@@ -1,0 +1,92 @@
+"""Figure 6(b): report generation time while scaling the data size.
+
+The paper scales the bitcoin dataset from 10M to 100M rows and shows both
+tools scaling linearly, with DataPrep.EDA about six times faster throughout.
+The sweep here uses smaller row counts (see ``SCALING_ROWS``) but checks the
+same two claims: near-linear growth for both tools and a stable DataPrep.EDA
+advantage.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCALING_ROWS, print_header
+from repro.baselines import eager_profile_report
+from repro.datasets import bitcoin_dataset
+from repro.report import create_report
+
+#: (tool, n_rows) -> measured seconds.
+_RESULTS: Dict[str, Dict[int, float]] = {"dataprep": {}, "baseline": {}}
+
+_DATAPREP_CONFIG = {
+    "compute.use_graph": "always",
+    "compute.partition_rows": 50_000,
+}
+
+
+@pytest.mark.parametrize("n_rows", SCALING_ROWS)
+def test_fig6b_dataprep_scaling(benchmark, n_rows):
+    """DataPrep.EDA create_report at one data size."""
+    frame = bitcoin_dataset(n_rows=n_rows, seed=2)
+
+    def run():
+        started = time.perf_counter()
+        report = create_report(frame, config=_DATAPREP_CONFIG)
+        html = report.to_html()
+        _RESULTS["dataprep"][n_rows] = time.perf_counter() - started
+        return len(html)
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("n_rows", SCALING_ROWS)
+def test_fig6b_baseline_scaling(benchmark, n_rows):
+    """The eager baseline profiler at one data size."""
+    frame = bitcoin_dataset(n_rows=n_rows, seed=2)
+
+    def run():
+        started = time.perf_counter()
+        report = eager_profile_report(frame, render=True,
+                                      kendall_max_rows=100_000)
+        _RESULTS["baseline"][n_rows] = time.perf_counter() - started
+        return len(report.html or "")
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_fig6b_summary(benchmark):
+    """Print the Figure 6(b) series and check linear scaling + the gap."""
+    if any(len(series) < len(SCALING_ROWS) for series in _RESULTS.values()):
+        pytest.skip("run the scaling benchmarks first (whole-file run)")
+
+    def summarize():
+        print_header("Figure 6(b) — report generation time vs data size "
+                     "(bitcoin-shaped data)")
+        print(f"{'rows':>10s} {'baseline[s]':>12s} {'dataprep[s]':>12s} {'ratio':>7s}")
+        for n_rows in SCALING_ROWS:
+            baseline = _RESULTS["baseline"][n_rows]
+            dataprep = _RESULTS["dataprep"][n_rows]
+            print(f"{n_rows:>10,d} {baseline:>12.2f} {dataprep:>12.2f} "
+                  f"{baseline / max(dataprep, 1e-9):>6.1f}x")
+        return dict(_RESULTS)
+
+    results = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    # Claim 1: DataPrep.EDA is faster at every size (paper: ~6x).
+    for n_rows in SCALING_ROWS:
+        assert results["dataprep"][n_rows] < results["baseline"][n_rows]
+
+    # Claim 2: both tools scale roughly linearly — the time at the largest
+    # size should not exceed (size ratio x 2.5) times the time at the smallest
+    # non-trivial size (fixed overheads make small sizes sub-linear).
+    smallest, largest = SCALING_ROWS[1], SCALING_ROWS[-1]
+    size_ratio = largest / smallest
+    for tool in ("dataprep", "baseline"):
+        growth = results[tool][largest] / max(results[tool][smallest], 1e-9)
+        assert growth <= size_ratio * 2.5, \
+            f"{tool} grew super-linearly: {growth:.1f}x for {size_ratio:.1f}x data"

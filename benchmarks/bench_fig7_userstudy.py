@@ -1,0 +1,113 @@
+"""Section 6.3 / Figure 7: the simulated user study.
+
+The simulation's tool latencies are measured from the systems in this
+repository (one fine-grained ``plot`` call for DataPrep.EDA, one full
+rendered report for the eager baseline) on scaled-down BirdStrike and
+DelayedFlights datasets; the behavioural model then replays the
+within-subjects protocol for 32 simulated participants.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.baselines import eager_profile_report
+from repro.datasets import bird_strike_dataset, delayed_flights_dataset
+from repro.eda import plot
+from repro.userstudy import ToolLatencies, run_user_study, summarize_by_skill
+
+#: Scaled-down study datasets (the originals have 220K and 5.8M rows).
+DATASET_ROWS = {"BirdStrike": 20_000, "DelayedFlights": 60_000}
+
+_STATE: Dict[str, object] = {}
+
+
+def _study_frames():
+    return {
+        "BirdStrike": bird_strike_dataset(n_rows=DATASET_ROWS["BirdStrike"]),
+        "DelayedFlights": delayed_flights_dataset(
+            n_rows=DATASET_ROWS["DelayedFlights"]),
+    }
+
+
+def test_fig7_measure_tool_latencies(benchmark):
+    """Measure the real latencies that ground the participant simulation."""
+    frames = _study_frames()
+
+    def run():
+        dataprep_seconds = {}
+        report_seconds = {}
+        for name, frame in frames.items():
+            started = time.perf_counter()
+            plot(frame, frame.columns[6])
+            dataprep_seconds[name] = time.perf_counter() - started
+            started = time.perf_counter()
+            eager_profile_report(frame, render=True, kendall_max_rows=20_000)
+            report_seconds[name] = time.perf_counter() - started
+        # The study datasets are row-scaled; scale the measured latencies back
+        # to the original sizes so the session time budget stays meaningful.
+        scale = {"BirdStrike": 220_000 / DATASET_ROWS["BirdStrike"],
+                 "DelayedFlights": 5_819_079 / DATASET_ROWS["DelayedFlights"]}
+        latencies = ToolLatencies(
+            dataprep_task_seconds={name: seconds * scale[name]
+                                   for name, seconds in dataprep_seconds.items()},
+            profile_report_seconds={name: seconds * scale[name]
+                                    for name, seconds in report_seconds.items()})
+        _STATE["latencies"] = latencies
+        return latencies
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_header("Figure 7 — measured tool latencies (scaled to original rows)")
+    for name in DATASET_ROWS:
+        print(f"{name:16s} plot(df, col): "
+              f"{latencies.dataprep_task_seconds[name]:7.1f} s   "
+              f"profile report: {latencies.profile_report_seconds[name]:8.1f} s")
+
+
+def test_fig7_simulated_study(benchmark):
+    """Run the 32-participant simulation and check the paper's claims."""
+    latencies = _STATE.get("latencies")
+    if latencies is None:
+        pytest.skip("run the latency measurement benchmark first (whole-file run)")
+
+    def run():
+        return run_user_study(n_participants=32, latencies=latencies, seed=7)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = result.summary()
+    by_skill = summarize_by_skill(result)
+
+    print_header("Section 6.3 — simulated within-subjects study (32 participants)")
+    print(f"completed tasks / session : DataPrep.EDA {summary['dataprep_completed']:.2f} "
+          f"vs baseline {summary['baseline_completed']:.2f} "
+          f"(ratio {summary['completion_ratio']:.2f}x, paper 2.05x)")
+    print(f"correct answers / session : DataPrep.EDA {summary['dataprep_correct']:.2f} "
+          f"vs baseline {summary['baseline_correct']:.2f} "
+          f"(ratio {summary['correctness_ratio']:.2f}x, paper 2.2x)")
+    print(f"relative accuracy         : DataPrep.EDA "
+          f"{summary['dataprep_relative_accuracy']:.2f} vs baseline "
+          f"{summary['baseline_relative_accuracy']:.2f} (paper 0.82 vs 0.53)")
+    print()
+    print("Figure 7 — relative accuracy by tool / dataset / skill")
+    for key, values in by_skill.items():
+        print(f"  {key:44s} {values['relative_accuracy']:.2f} "
+              f"(completed {values['completed']:.2f})")
+
+    # Shape checks against the published aggregate statistics.
+    assert 1.5 <= summary["completion_ratio"] <= 3.0
+    assert summary["correctness_ratio"] >= 1.8
+    assert summary["dataprep_relative_accuracy"] > \
+        summary["baseline_relative_accuracy"] + 0.15
+    # Pandas-profiling degrades on the complex dataset; DataPrep.EDA does not.
+    baseline_simple = result.completed_per_participant("pandas_profiling",
+                                                       "BirdStrike")
+    baseline_complex = result.completed_per_participant("pandas_profiling",
+                                                        "DelayedFlights")
+    assert baseline_simple > baseline_complex
+    dataprep_simple = result.completed_per_participant("dataprep", "BirdStrike")
+    dataprep_complex = result.completed_per_participant("dataprep", "DelayedFlights")
+    assert dataprep_complex >= 0.6 * dataprep_simple

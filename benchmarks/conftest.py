@@ -1,0 +1,32 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section (see EXPERIMENTS.md for the index).  The synthetic datasets are
+row-scaled so a full run finishes on a laptop in minutes; the *shape* of
+each result (who wins, by roughly what factor, where crossovers fall) is what
+is being reproduced, not the paper's absolute seconds.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Scale factor applied to the Table 2 dataset row counts.  Override with the
+#: REPRO_BENCH_SCALE environment variable (1.0 = the published row counts).
+TABLE2_ROW_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+#: Row count used for the bitcoin-shaped dataset (the paper uses 4.7M rows on
+#: a server; the default here keeps a laptop run fast).
+BITCOIN_ROWS = int(os.environ.get("REPRO_BENCH_BITCOIN_ROWS", "100000"))
+
+#: Row counts for the Figure 6(b) scaling sweep (the paper sweeps 10M-100M).
+SCALING_ROWS = [int(value) for value in os.environ.get(
+    "REPRO_BENCH_SCALING_ROWS", "25000,50000,100000,200000").split(",")]
+
+
+def print_header(title: str) -> None:
+    """Uniform section header in benchmark output."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,43 @@
+"""repro — a reproduction of DataPrep.EDA (SIGMOD 2021).
+
+Task-centric exploratory data analysis in Python, built from scratch on top
+of three substrates implemented in this package: a columnar DataFrame
+(:mod:`repro.frame`), a lazy task-graph execution engine (:mod:`repro.graph`)
+and an SVG/HTML render layer (:mod:`repro.render`).
+
+Public API
+----------
+* :func:`repro.plot`, :func:`repro.plot_correlation`, :func:`repro.plot_missing`
+  — the task-centric EDA functions (Figure 2 of the paper).
+* :func:`repro.create_report` — the full profile report (Table 2 workload).
+* :func:`repro.read_csv` / :class:`repro.DataFrame` — data ingestion.
+
+Quickstart
+----------
+>>> import repro
+>>> df = repro.read_csv("houses.csv")
+>>> repro.plot(df, "price")            # univariate analysis
+>>> repro.plot_correlation(df)          # correlation matrices
+>>> repro.plot_missing(df, "price")     # missing-value impact
+>>> repro.create_report(df).save("report.html")
+"""
+
+from repro.frame import Column, DataFrame, read_csv, write_csv
+from repro.eda import Config, plot, plot_correlation, plot_missing
+from repro.report import Report, create_report
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Column",
+    "Config",
+    "DataFrame",
+    "Report",
+    "create_report",
+    "plot",
+    "plot_correlation",
+    "plot_missing",
+    "read_csv",
+    "write_csv",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baseline systems the paper compares against.
+
+Only one baseline is needed for the evaluation: an eager, whole-dataset
+profiler with the same report sections as Pandas-profiling.  It is
+implemented on the same frame substrate as DataPrep.EDA so the comparison
+isolates the *execution strategy* (eager per-visualization versus one shared
+lazy graph), not the data structures.
+"""
+
+from repro.baselines.profiler import EagerProfileReport, eager_profile_report
+
+__all__ = ["EagerProfileReport", "eager_profile_report"]

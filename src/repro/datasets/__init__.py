@@ -1,0 +1,26 @@
+"""Synthetic dataset generators for the evaluation harness.
+
+The paper benchmarks on 15 Kaggle datasets (Table 2), the bitcoin dataset
+(Figure 6) and two user-study datasets (BirdStrike, DelayedFlights).  None of
+them can be downloaded in this environment, so this package generates seeded
+synthetic datasets that match each one's published *shape* — row count,
+column count, numerical/categorical split and a realistic missing-value rate
+— which is what the performance results depend on.
+"""
+
+from repro.datasets.synthetic import ColumnSpec, DatasetSpec, generate_dataset
+from repro.datasets.kaggle import TABLE2_DATASETS, load_kaggle_like, table2_dataset_names
+from repro.datasets.bitcoin import bitcoin_dataset
+from repro.datasets.userstudy import bird_strike_dataset, delayed_flights_dataset
+
+__all__ = [
+    "ColumnSpec",
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "bird_strike_dataset",
+    "bitcoin_dataset",
+    "delayed_flights_dataset",
+    "generate_dataset",
+    "load_kaggle_like",
+    "table2_dataset_names",
+]

@@ -1,0 +1,62 @@
+"""Synthetic stand-in for the Kaggle bitcoin historical dataset (Figure 6).
+
+The real dataset has 4.7 million rows and 8 columns of minute-level OHLCV
+trading data.  The generator below produces a random-walk price series with
+the same schema; the row count is a parameter because Figure 6(b) scales the
+data from 10 million to 100 million rows by duplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+
+#: Row count of the original Kaggle dataset.
+ORIGINAL_ROWS = 4_700_000
+
+#: Column names of the original dataset.
+COLUMNS = ("timestamp", "open", "high", "low", "close",
+           "volume_btc", "volume_currency", "weighted_price")
+
+
+def bitcoin_dataset(n_rows: int = 100_000, seed: int = 0,
+                    missing_rate: float = 0.01) -> DataFrame:
+    """Generate *n_rows* of bitcoin-shaped minute-level trading data.
+
+    The price follows a geometric random walk; high/low bracket open/close;
+    volumes are log-normal.  A small fraction of rows has missing prices,
+    mirroring the gaps in the real feed.
+    """
+    if n_rows <= 0:
+        raise DatasetError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    timestamp = 1_325_317_920 + 60 * np.arange(n_rows, dtype=np.int64)
+    returns = rng.normal(0.0, 0.002, n_rows)
+    close = 400.0 * np.exp(np.cumsum(returns))
+    open_price = np.concatenate([[close[0]], close[:-1]])
+    spread = np.abs(rng.normal(0.0, 0.002, n_rows)) * close
+    high = np.maximum(open_price, close) + spread
+    low = np.minimum(open_price, close) - spread
+    volume_btc = rng.lognormal(1.0, 1.2, n_rows)
+    volume_currency = volume_btc * close
+    weighted_price = (high + low + close) / 3.0
+
+    if missing_rate > 0:
+        missing = rng.random(n_rows) < missing_rate
+        for series in (open_price, high, low, close, weighted_price):
+            series[missing] = np.nan
+
+    return DataFrame([
+        Column("timestamp", timestamp),
+        Column("open", open_price),
+        Column("high", high),
+        Column("low", low),
+        Column("close", close),
+        Column("volume_btc", volume_btc),
+        Column("volume_currency", volume_currency),
+        Column("weighted_price", weighted_price),
+    ])

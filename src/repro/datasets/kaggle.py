@@ -1,0 +1,101 @@
+"""Synthetic stand-ins for the 15 Kaggle datasets of Table 2.
+
+Each entry records the published shape of the dataset — number of rows,
+number of columns and the numerical/categorical split — exactly as Table 2
+lists them.  :func:`load_kaggle_like` generates a seeded synthetic dataset
+with that shape (optionally row-scaled so the benchmark suite stays fast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.datasets.synthetic import DatasetSpec, generate_dataset, mixed_spec
+from repro.errors import DatasetError
+from repro.frame.frame import DataFrame
+
+
+@dataclass(frozen=True)
+class Table2Entry:
+    """Shape of one Table 2 dataset plus the paper's measured timings."""
+
+    name: str
+    n_rows: int
+    n_columns: int
+    n_numerical: int
+    n_categorical: int
+    size_label: str
+    paper_pandas_profiling_seconds: float
+    paper_dataprep_seconds: float
+
+    @property
+    def paper_speedup(self) -> float:
+        """Speedup reported in the paper (Pandas-profiling / DataPrep.EDA)."""
+        return self.paper_pandas_profiling_seconds / self.paper_dataprep_seconds
+
+
+#: The 15 datasets of Table 2 with the timings published in the paper.
+TABLE2_DATASETS: List[Table2Entry] = [
+    Table2Entry("heart", 303, 14, 14, 0, "11KB", 17.7, 2.0),
+    Table2Entry("diabetes", 768, 9, 9, 0, "23KB", 28.3, 1.6),
+    Table2Entry("automobile", 205, 26, 10, 16, "26KB", 38.2, 3.9),
+    Table2Entry("titanic", 891, 12, 7, 5, "64KB", 17.8, 2.1),
+    Table2Entry("women", 8553, 10, 5, 5, "500KB", 19.8, 2.3),
+    Table2Entry("credit", 30000, 25, 25, 0, "2.7MB", 127.0, 6.1),
+    Table2Entry("solar", 33000, 11, 7, 4, "2.8MB", 25.1, 2.7),
+    Table2Entry("suicide", 28000, 12, 6, 6, "2.8MB", 20.6, 2.8),
+    Table2Entry("diamonds", 54000, 11, 8, 3, "3MB", 28.2, 3.1),
+    Table2Entry("chess", 20000, 16, 6, 10, "7.3MB", 23.6, 4.3),
+    Table2Entry("adult", 49000, 15, 6, 9, "5.7MB", 23.2, 4.0),
+    Table2Entry("basketball", 53000, 31, 21, 10, "9.2MB", 126.2, 9.9),
+    Table2Entry("conflicts", 34000, 25, 10, 15, "13MB", 34.9, 8.6),
+    Table2Entry("rain", 142000, 24, 17, 7, "13.5MB", 100.1, 11.6),
+    Table2Entry("hotel", 119000, 32, 20, 12, "16MB", 83.2, 13.0),
+]
+
+_BY_NAME: Dict[str, Table2Entry] = {entry.name: entry for entry in TABLE2_DATASETS}
+
+
+def table2_dataset_names() -> List[str]:
+    """Names of the Table 2 datasets in publication order."""
+    return [entry.name for entry in TABLE2_DATASETS]
+
+
+def table2_entry(name: str) -> Table2Entry:
+    """Look up one Table 2 entry by dataset name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown Table 2 dataset {name!r}; "
+            f"available: {table2_dataset_names()}") from None
+
+
+def load_kaggle_like(name: str, row_scale: float = 1.0,
+                     missing_rate: float = 0.03,
+                     seed: Optional[int] = None) -> DataFrame:
+    """Generate a synthetic dataset shaped like one of the Table 2 datasets.
+
+    *row_scale* multiplies the row count (the benchmarks use ``< 1`` scales to
+    keep run times reasonable on a laptop while preserving the relative cost
+    ordering across datasets).
+    """
+    entry = table2_entry(name)
+    n_rows = max(int(entry.n_rows * row_scale), 50)
+    spec = kaggle_spec(name, n_rows=n_rows, missing_rate=missing_rate, seed=seed)
+    return generate_dataset(spec)
+
+
+def kaggle_spec(name: str, n_rows: Optional[int] = None,
+                missing_rate: float = 0.03,
+                seed: Optional[int] = None) -> DatasetSpec:
+    """The synthetic :class:`DatasetSpec` matching one Table 2 dataset."""
+    entry = table2_entry(name)
+    resolved_seed = seed if seed is not None else abs(hash(name)) % (2 ** 31)
+    return mixed_spec(name=name,
+                      n_rows=n_rows if n_rows is not None else entry.n_rows,
+                      n_numerical=entry.n_numerical,
+                      n_categorical=entry.n_categorical,
+                      missing_rate=missing_rate,
+                      seed=resolved_seed)

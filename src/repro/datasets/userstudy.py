@@ -1,0 +1,122 @@
+"""Synthetic stand-ins for the user-study datasets (Section 6.3).
+
+* **BirdStrike** — 12 columns of bird-strike damage reports, ~220,000 rows
+  compiled from 2,050 USA airports and 310 foreign airports.
+* **DelayedFlights** — 14 columns of flight delay/cancellation records,
+  5,819,079 rows in the original (generated scaled-down by default).
+
+The generators reproduce the schema, the numerical/categorical mix, realistic
+missing-value patterns and a handful of "ground truth" relationships (e.g. a
+correlated pair, a column with a heavy missing-value concentration) that the
+simulated study tasks ask about.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+
+#: Original row counts, for reference and for full-scale generation.
+BIRD_STRIKE_ORIGINAL_ROWS = 220_000
+DELAYED_FLIGHTS_ORIGINAL_ROWS = 5_819_079
+
+
+def bird_strike_dataset(n_rows: int = 50_000, seed: int = 11) -> DataFrame:
+    """Generate a BirdStrike-shaped dataset (12 columns)."""
+    if n_rows <= 0:
+        raise DatasetError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    airports = [f"airport_{index:04d}" for index in range(2360)]
+    species = ["gull", "hawk", "pigeon", "sparrow", "goose", "duck", "owl",
+               "crow", "starling", "unknown"]
+    phases = ["approach", "climb", "landing roll", "take-off run", "descent",
+              "en route", "taxi"]
+    damage_levels = ["no damage", "minor", "substantial", "destroyed"]
+    size_levels = ["small", "medium", "large"]
+
+    height = np.abs(rng.gamma(1.2, 900.0, n_rows))
+    speed = rng.normal(140.0, 40.0, n_rows).clip(0, 400)
+    # Ground-truth relationship: repair cost grows with aircraft speed.
+    cost_repair = (speed * 180.0 + rng.lognormal(6.0, 1.4, n_rows)).clip(0, None)
+    wildlife_struck = rng.poisson(1.4, n_rows) + 1
+
+    # Ground-truth missing pattern: cost columns are mostly missing when the
+    # damage level is "no damage" — exactly what study task 4 asks about.
+    damage = rng.choice(damage_levels, n_rows, p=[0.62, 0.25, 0.11, 0.02])
+    cost_missing = (damage == "no damage") & (rng.random(n_rows) < 0.8)
+    cost_repair = cost_repair.astype(np.float64)
+    cost_repair[cost_missing] = np.nan
+    cost_other = rng.lognormal(5.0, 1.8, n_rows)
+    cost_other[cost_missing | (rng.random(n_rows) < 0.1)] = np.nan
+    height[rng.random(n_rows) < 0.05] = np.nan
+
+    return DataFrame([
+        Column("record_id", np.arange(1, n_rows + 1)),
+        Column("airport", list(rng.choice(airports, n_rows))),
+        Column("aircraft_size", list(rng.choice(size_levels, n_rows, p=[0.3, 0.5, 0.2]))),
+        Column("species", list(rng.choice(species, n_rows))),
+        Column("flight_phase", list(rng.choice(phases, n_rows))),
+        Column("damage_level", list(damage)),
+        Column("height_ft", height),
+        Column("speed_knots", speed),
+        Column("cost_repair", cost_repair),
+        Column("cost_other", cost_other),
+        Column("wildlife_struck", wildlife_struck),
+        Column("warning_issued", list(rng.choice(["yes", "no"], n_rows, p=[0.4, 0.6]))),
+    ])
+
+
+def delayed_flights_dataset(n_rows: int = 100_000, seed: int = 13) -> DataFrame:
+    """Generate a DelayedFlights-shaped dataset (14 columns)."""
+    if n_rows <= 0:
+        raise DatasetError("n_rows must be positive")
+    rng = np.random.default_rng(seed)
+
+    carriers = ["WN", "AA", "DL", "UA", "B6", "AS", "NK", "F9", "HA", "G4"]
+    origins = [f"APT{index:03d}" for index in range(300)]
+    months = rng.integers(1, 13, n_rows)
+    day_of_week = rng.integers(1, 8, n_rows)
+    distance = rng.gamma(2.0, 400.0, n_rows).clip(60, 5000)
+    scheduled_dep = rng.integers(0, 2400, n_rows).astype(np.float64)
+
+    # Ground-truth relationships: departure delay drives arrival delay almost
+    # one-for-one (the high-correlation pair study task 5 asks for), and late
+    # evening departures are more delayed.
+    dep_delay = (rng.exponential(18.0, n_rows) - 6.0 +
+                 (scheduled_dep / 2400.0) * 25.0)
+    arr_delay = dep_delay + rng.normal(0.0, 8.0, n_rows)
+    carrier_delay = np.where(rng.random(n_rows) < 0.3,
+                             np.abs(rng.normal(15, 20, n_rows)), 0.0)
+    weather_delay = np.where(rng.random(n_rows) < 0.08,
+                             np.abs(rng.normal(35, 30, n_rows)), 0.0)
+    cancelled = (rng.random(n_rows) < 0.021).astype(np.int64)
+
+    # Missing pattern: delay breakdowns are only reported for delayed flights.
+    not_delayed = arr_delay < 15
+    carrier_delay = carrier_delay.astype(np.float64)
+    weather_delay = weather_delay.astype(np.float64)
+    carrier_delay[not_delayed] = np.nan
+    weather_delay[not_delayed] = np.nan
+    arr_delay = arr_delay.astype(np.float64)
+    arr_delay[cancelled == 1] = np.nan
+
+    return DataFrame([
+        Column("month", months),
+        Column("day_of_week", day_of_week),
+        Column("carrier", list(rng.choice(carriers, n_rows))),
+        Column("origin", list(rng.choice(origins, n_rows))),
+        Column("destination", list(rng.choice(origins, n_rows))),
+        Column("scheduled_departure", scheduled_dep),
+        Column("departure_delay", dep_delay),
+        Column("arrival_delay", arr_delay),
+        Column("carrier_delay", carrier_delay),
+        Column("weather_delay", weather_delay),
+        Column("distance_miles", distance),
+        Column("taxi_out_minutes", rng.gamma(2.5, 6.0, n_rows)),
+        Column("cancelled", cancelled),
+        Column("diverted", (rng.random(n_rows) < 0.003).astype(np.int64)),
+    ])

@@ -1,0 +1,31 @@
+"""Task-centric EDA layer: the paper's primary contribution.
+
+The public entry points are the three task-centric functions of Figure 2:
+
+* :func:`~repro.eda.api.plot` — overview, univariate and bivariate analysis.
+* :func:`~repro.eda.api.plot_correlation` — correlation analysis.
+* :func:`~repro.eda.api.plot_missing` — missing-value analysis.
+
+Each call flows through the back-end of Figure 3: the Config Manager builds
+a validated :class:`~repro.eda.config.Config`, the Compute module produces
+:class:`~repro.eda.intermediates.Intermediates` via the lazy task graph, and
+the Render module (:mod:`repro.render`) turns the intermediates into a tabbed
+HTML container with insight badges and how-to guides.
+"""
+
+from repro.eda.config import Config
+from repro.eda.dtypes import SemanticType, detect_semantic_type
+from repro.eda.intermediates import Intermediates
+from repro.eda.insights import Insight
+from repro.eda.api import plot, plot_correlation, plot_missing
+
+__all__ = [
+    "Config",
+    "Insight",
+    "Intermediates",
+    "SemanticType",
+    "detect_semantic_type",
+    "plot",
+    "plot_correlation",
+    "plot_missing",
+]

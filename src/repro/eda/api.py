@@ -1,0 +1,147 @@
+"""The task-centric API: ``plot``, ``plot_correlation`` and ``plot_missing``.
+
+Each function implements one row family of the Figure 2 mapping rules and
+follows the common signature ``plot_tasktype(df, col_list, config)``: no
+columns means overview analysis, one or two columns mean detailed analysis.
+
+Every call returns a :class:`~repro.render.container.Container` — the tabbed
+layout of charts, statistics, insights and how-to guides — unless
+``mode="intermediates"`` is passed, in which case the raw computed
+intermediates are returned for use with any other plotting library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from repro.eda.compute import (
+    compute_bivariate,
+    compute_correlation_overview,
+    compute_correlation_pair,
+    compute_correlation_single,
+    compute_missing_overview,
+    compute_missing_pair,
+    compute_missing_single,
+    compute_overview,
+    compute_univariate,
+)
+from repro.eda.config import Config
+from repro.eda.intermediates import Intermediates
+from repro.errors import EDAError
+from repro.frame.frame import DataFrame
+
+_VALID_MODES = ("container", "intermediates")
+
+
+def _prepare(df: DataFrame, config: Optional[Mapping[str, Any]],
+             display: Optional[Sequence[str]], mode: str) -> Config:
+    if not isinstance(df, DataFrame):
+        raise EDAError("the first argument must be a repro.frame.DataFrame")
+    if mode not in _VALID_MODES:
+        raise EDAError(f"mode must be one of {_VALID_MODES}, got {mode!r}")
+    return Config.from_user(config, display=display)
+
+
+def _finish(intermediates: Intermediates, config: Config, call: str, mode: str):
+    if mode == "intermediates":
+        return intermediates
+    from repro.render import render_intermediates
+    return render_intermediates(intermediates, config, call=call)
+
+
+def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
+         *, config: Optional[Mapping[str, Any]] = None,
+         display: Optional[Sequence[str]] = None,
+         mode: str = "container"):
+    """Overview, univariate or bivariate analysis (Figure 2, rows 1-3).
+
+    * ``plot(df)`` — "I want an overview of the dataset."
+    * ``plot(df, col1)`` — "I want to understand col1."
+    * ``plot(df, col1, col2)`` — "I want to understand the relationship
+      between col1 and col2."
+
+    Parameters
+    ----------
+    df:
+        The DataFrame to analyse.
+    col1, col2:
+        Optional column names selecting the finer-grained task.
+    config:
+        Dotted-key overrides, e.g. ``{"hist.bins": 200}``.
+    display:
+        Restrict the produced visualizations, e.g. ``["histogram"]``.
+    mode:
+        ``"container"`` (default) returns the rendered tabbed layout;
+        ``"intermediates"`` returns the raw computed values.
+    """
+    cfg = _prepare(df, config, display, mode)
+    if col1 is None and col2 is not None:
+        raise EDAError("col1 must be provided when col2 is given")
+    if col1 is None:
+        intermediates = compute_overview(df, cfg)
+        call = "plot(df)"
+    elif col2 is None:
+        intermediates = compute_univariate(df, col1, cfg)
+        call = f'plot(df, "{col1}")'
+    else:
+        intermediates = compute_bivariate(df, col1, col2, cfg)
+        call = f'plot(df, "{col1}", "{col2}")'
+    return _finish(intermediates, cfg, call, mode)
+
+
+def plot_correlation(df: DataFrame, col1: Optional[str] = None,
+                     col2: Optional[str] = None, *,
+                     config: Optional[Mapping[str, Any]] = None,
+                     display: Optional[Sequence[str]] = None,
+                     mode: str = "container"):
+    """Correlation analysis (Figure 2, rows 4-6).
+
+    * ``plot_correlation(df)`` — correlation matrices of all numerical columns
+      (Pearson, Spearman, Kendall tau).
+    * ``plot_correlation(df, col1)`` — correlation of ``col1`` against every
+      other numerical column.
+    * ``plot_correlation(df, col1, col2)`` — scatter plot with a regression
+      line for the two columns.
+    """
+    cfg = _prepare(df, config, display, mode)
+    if col1 is None and col2 is not None:
+        raise EDAError("col1 must be provided when col2 is given")
+    if col1 is None:
+        intermediates = compute_correlation_overview(df, cfg)
+        call = "plot_correlation(df)"
+    elif col2 is None:
+        intermediates = compute_correlation_single(df, col1, cfg)
+        call = f'plot_correlation(df, "{col1}")'
+    else:
+        intermediates = compute_correlation_pair(df, col1, col2, cfg)
+        call = f'plot_correlation(df, "{col1}", "{col2}")'
+    return _finish(intermediates, cfg, call, mode)
+
+
+def plot_missing(df: DataFrame, col1: Optional[str] = None,
+                 col2: Optional[str] = None, *,
+                 config: Optional[Mapping[str, Any]] = None,
+                 display: Optional[Sequence[str]] = None,
+                 mode: str = "container"):
+    """Missing-value analysis (Figure 2, rows 7-9).
+
+    * ``plot_missing(df)`` — overview: missing bar chart, missing spectrum,
+      nullity correlation heat map, nullity dendrogram.
+    * ``plot_missing(df, col1)`` — the impact of dropping the rows where
+      ``col1`` is missing on every other column.
+    * ``plot_missing(df, col1, col2)`` — the impact of dropping the rows where
+      ``col1`` is missing on the distribution of ``col2``.
+    """
+    cfg = _prepare(df, config, display, mode)
+    if col1 is None and col2 is not None:
+        raise EDAError("col1 must be provided when col2 is given")
+    if col1 is None:
+        intermediates = compute_missing_overview(df, cfg)
+        call = "plot_missing(df)"
+    elif col2 is None:
+        intermediates = compute_missing_single(df, col1, cfg)
+        call = f'plot_missing(df, "{col1}")'
+    else:
+        intermediates = compute_missing_pair(df, col1, col2, cfg)
+        call = f'plot_missing(df, "{col1}", "{col2}")'
+    return _finish(intermediates, cfg, call, mode)

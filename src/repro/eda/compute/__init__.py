@@ -1,0 +1,35 @@
+"""The Compute module (component 2 of the paper's back-end, Figure 3).
+
+Each submodule computes the ``Intermediates`` of one EDA task family by
+building lazy reductions over a partitioned frame (the "Dask computation"
+stage) and finishing with small local post-processing (the "Pandas
+computation" stage), exactly mirroring Figure 4 of the paper.
+"""
+
+from repro.eda.compute.base import ComputeContext
+from repro.eda.compute.overview import compute_overview
+from repro.eda.compute.univariate import compute_univariate
+from repro.eda.compute.bivariate import compute_bivariate
+from repro.eda.compute.correlation import (
+    compute_correlation_overview,
+    compute_correlation_pair,
+    compute_correlation_single,
+)
+from repro.eda.compute.missing import (
+    compute_missing_overview,
+    compute_missing_pair,
+    compute_missing_single,
+)
+
+__all__ = [
+    "ComputeContext",
+    "compute_bivariate",
+    "compute_correlation_overview",
+    "compute_correlation_pair",
+    "compute_correlation_single",
+    "compute_missing_overview",
+    "compute_missing_pair",
+    "compute_missing_single",
+    "compute_overview",
+    "compute_univariate",
+]

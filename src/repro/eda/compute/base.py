@@ -1,0 +1,288 @@
+"""Shared plumbing of the Compute module.
+
+:class:`ComputeContext` decides whether an EDA task runs through the lazy
+task graph ("graph stage", the paper's Dask computation) or directly on the
+in-memory frame ("local stage", the paper's Pandas computation), builds the
+lazy reductions, and resolves many of them together against one merged,
+optimized graph so shared work (partition slices, summaries, histograms) is
+computed once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.eda.config import Config
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+from repro.graph.delayed import Delayed
+from repro.graph.engines import Engine, ExecutionReport, get_engine
+from repro.graph.partition import PartitionedFrame
+from repro.stats.correlation import PearsonPartial
+from repro.stats.descriptive import CategoricalSummary, NumericSummary
+from repro.stats.histogram import Histogram, compute_histogram
+
+
+# --------------------------------------------------------------------------- #
+# Module-level chunk/combine functions.
+#
+# They must be module-level (not lambdas) so the optimizer's CSE pass can
+# recognise two identical computations built independently.
+# --------------------------------------------------------------------------- #
+def _chunk_numeric_summary(partition: DataFrame, column: str) -> NumericSummary:
+    return NumericSummary.from_column(partition.column(column))
+
+
+def _combine_numeric_summaries(partials: List[NumericSummary]) -> NumericSummary:
+    return NumericSummary.merge_all(partials)
+
+
+def _chunk_categorical_summary(partition: DataFrame, column: str) -> CategoricalSummary:
+    return CategoricalSummary.from_column(partition.column(column))
+
+
+def _combine_categorical_summaries(partials: List[CategoricalSummary]) -> CategoricalSummary:
+    return CategoricalSummary.merge_all(partials)
+
+
+def _chunk_histogram(partition: DataFrame, column: str, bins: int,
+                     low: float, high: float) -> Histogram:
+    values = partition.column(column).to_numpy(drop_missing=True).astype(np.float64)
+    return compute_histogram(values, bins, (low, high))
+
+
+def _combine_histograms(partials: List[Histogram]) -> Histogram:
+    return Histogram.merge_all(partials)
+
+
+def _chunk_pearson(partition: DataFrame, columns: Tuple[str, ...]) -> PearsonPartial:
+    matrix = np.column_stack([
+        partition.column(name).to_numpy(drop_missing=False).astype(np.float64)
+        if partition.column(name).dtype.is_numeric
+        else np.full(len(partition), np.nan)
+        for name in columns])
+    # Mark missing entries as NaN for non-float numerics.
+    for index, name in enumerate(columns):
+        column = partition.column(name)
+        if column.dtype.is_numeric:
+            matrix[column.isna(), index] = np.nan
+    return PearsonPartial.from_matrix(matrix)
+
+
+def _combine_pearson(partials: List[PearsonPartial]) -> PearsonPartial:
+    return PearsonPartial.merge_all(partials)
+
+
+def _chunk_missing_mask(partition: DataFrame) -> np.ndarray:
+    return partition.missing_mask()
+
+
+def _combine_missing_masks(partials: List[np.ndarray]) -> np.ndarray:
+    non_empty = [mask for mask in partials if mask.size]
+    if not non_empty:
+        return partials[0]
+    return np.vstack(non_empty)
+
+
+def _chunk_row_count(partition: DataFrame) -> int:
+    return len(partition)
+
+
+def _combine_counts(partials: List[int]) -> int:
+    return int(sum(partials))
+
+
+def _chunk_sample(partition: DataFrame, columns: Tuple[str, ...], fraction: float,
+                  seed: int) -> DataFrame:
+    subset = partition.select(list(columns))
+    size = max(1, int(round(len(subset) * fraction))) if len(subset) else 0
+    if size >= len(subset):
+        return subset
+    return subset.sample(size, seed=seed)
+
+
+def _combine_samples(partials: List[DataFrame]) -> DataFrame:
+    from repro.frame.frame import concat_rows
+    non_empty = [frame for frame in partials if len(frame)]
+    if not non_empty:
+        return partials[0]
+    return concat_rows(non_empty)
+
+
+def _chunk_pair_counts(partition: DataFrame, col1: str, col2: str) -> Dict[Tuple[str, str], int]:
+    first = partition.column(col1)
+    second = partition.column(col2)
+    keep = first.notna() & second.notna()
+    counts: Dict[Tuple[str, str], int] = {}
+    for a, b in zip(first.filter(keep).to_list(), second.filter(keep).to_list()):
+        key = (str(a), str(b))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _combine_pair_counts(partials: List[Dict[Tuple[str, str], int]]
+                         ) -> Dict[Tuple[str, str], int]:
+    merged: Dict[Tuple[str, str], int] = {}
+    for partial in partials:
+        for key, count in partial.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+class ComputeContext:
+    """Execution context for one EDA task.
+
+    The context owns the partitioned frame, the engine and the timing
+    bookkeeping.  Compute functions ask it for lazy (or, on tiny data, eager)
+    intermediates and then call :meth:`resolve` once per pipeline stage so
+    every requested value lands in the same optimized graph.
+    """
+
+    def __init__(self, frame: DataFrame, config: Config,
+                 engine: Optional[Engine] = None):
+        self.frame = frame
+        self.config = config
+        self.timings: Dict[str, float] = {}
+        self.reports: List[ExecutionReport] = []
+        self._partitioned: Optional[PartitionedFrame] = None
+        self.use_graph = self._decide_graph_mode()
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = get_engine(
+                config.get("compute.engine"),
+                **self._engine_kwargs(config.get("compute.engine")))
+
+    def _engine_kwargs(self, engine_name: str) -> Dict[str, Any]:
+        if engine_name == "lazy":
+            return {
+                "max_workers": self.config.get("compute.max_workers"),
+                "enable_cse": self.config.get("compute.enable_cse"),
+                "enable_fusion": self.config.get("compute.enable_fusion"),
+            }
+        if engine_name == "eager":
+            return {"max_workers": self.config.get("compute.max_workers")}
+        return {}
+
+    def _decide_graph_mode(self) -> bool:
+        mode = self.config.get("compute.use_graph")
+        if mode == "always":
+            return True
+        if mode == "never":
+            return False
+        return len(self.frame) >= self.config.get("compute.small_data_rows")
+
+    # ------------------------------------------------------------------ #
+    # Partitioning (the chunk-size precompute stage)
+    # ------------------------------------------------------------------ #
+    @property
+    def partitioned(self) -> PartitionedFrame:
+        """The partitioned frame, built on first use with precomputed chunks."""
+        if self._partitioned is None:
+            started = time.perf_counter()
+            self._partitioned = PartitionedFrame.from_frame(
+                self.frame, partition_rows=self.config.get("compute.partition_rows"))
+            self.timings["precompute_chunk_sizes"] = time.perf_counter() - started
+        return self._partitioned
+
+    # ------------------------------------------------------------------ #
+    # Intermediate builders (lazy in graph mode, eager otherwise)
+    # ------------------------------------------------------------------ #
+    def numeric_summary(self, column: str) -> Union[Delayed, NumericSummary]:
+        """Mergeable numeric summary of one column."""
+        if not self.use_graph:
+            return NumericSummary.from_column(self.frame.column(column))
+        return self.partitioned.reduction(
+            _chunk_numeric_summary, _combine_numeric_summaries,
+            chunk_args=(column,))
+
+    def categorical_summary(self, column: str) -> Union[Delayed, CategoricalSummary]:
+        """Mergeable categorical summary of one column."""
+        if not self.use_graph:
+            return CategoricalSummary.from_column(self.frame.column(column))
+        return self.partitioned.reduction(
+            _chunk_categorical_summary, _combine_categorical_summaries,
+            chunk_args=(column,))
+
+    def histogram(self, column: str, bins: int, low: float,
+                  high: float) -> Union[Delayed, Histogram]:
+        """Mergeable histogram of one column over a fixed range."""
+        if not self.use_graph:
+            values = self.frame.column(column).to_numpy(drop_missing=True)
+            return compute_histogram(values.astype(np.float64), bins, (low, high))
+        return self.partitioned.reduction(
+            _chunk_histogram, _combine_histograms,
+            chunk_args=(column, bins, float(low), float(high)))
+
+    def pearson_partial(self, columns: Sequence[str]) -> Union[Delayed, PearsonPartial]:
+        """Mergeable Pearson partial sums over the given numeric columns."""
+        columns = tuple(columns)
+        if not self.use_graph:
+            return _chunk_pearson(self.frame, columns)
+        return self.partitioned.reduction(
+            _chunk_pearson, _combine_pearson, chunk_args=(columns,))
+
+    def missing_mask(self) -> Union[Delayed, np.ndarray]:
+        """Full boolean missing mask (rows x columns)."""
+        if not self.use_graph:
+            return self.frame.missing_mask()
+        return self.partitioned.reduction(_chunk_missing_mask, _combine_missing_masks)
+
+    def row_count(self) -> Union[Delayed, int]:
+        """Total number of rows."""
+        if not self.use_graph:
+            return len(self.frame)
+        return self.partitioned.reduction(_chunk_row_count, _combine_counts)
+
+    def sample(self, columns: Sequence[str], size: int,
+               seed: int = 0) -> Union[Delayed, DataFrame]:
+        """A uniform row sample of the given columns (about *size* rows)."""
+        columns = tuple(columns)
+        if not self.use_graph:
+            return self.frame.select(list(columns)).sample(size, seed=seed)
+        total = max(len(self.frame), 1)
+        fraction = min(1.0, size / total)
+        return self.partitioned.reduction(
+            _chunk_sample, _combine_samples,
+            chunk_args=(columns, fraction, seed))
+
+    def pair_counts(self, col1: str, col2: str) -> Union[Delayed, Dict[Tuple[str, str], int]]:
+        """Joint value counts of two categorical columns."""
+        if not self.use_graph:
+            return _chunk_pair_counts(self.frame, col1, col2)
+        return self.partitioned.reduction(
+            _chunk_pair_counts, _combine_pair_counts, chunk_args=(col1, col2))
+
+    # ------------------------------------------------------------------ #
+    # Resolution (one merged graph per stage)
+    # ------------------------------------------------------------------ #
+    def resolve(self, requested: Dict[str, Any], stage: str = "graph") -> Dict[str, Any]:
+        """Compute all Delayed values in *requested* against one shared graph.
+
+        Non-Delayed values pass through untouched, so compute functions can
+        freely mix lazy and already-known values.  Timing and execution
+        reports are recorded per stage for the benchmarks.
+        """
+        started = time.perf_counter()
+        keys = [key for key, value in requested.items() if isinstance(value, Delayed)]
+        resolved = dict(requested)
+        if keys:
+            values, report = self.engine.compute_with_report(
+                [requested[key] for key in keys])
+            self.reports.append(report)
+            for key, value in zip(keys, values):
+                resolved[key] = value
+        elapsed = time.perf_counter() - started
+        self.timings[stage] = self.timings.get(stage, 0.0) + elapsed
+        return resolved
+
+    def record_local_stage(self, seconds: float) -> None:
+        """Record time spent in the local ("Pandas computation") stage."""
+        self.timings["local"] = self.timings.get("local", 0.0) + seconds
+
+    def column(self, name: str) -> Column:
+        """Access a column of the underlying frame (validates the name)."""
+        return self.frame.column(name)

@@ -1,0 +1,243 @@
+"""The Config Manager (component 1 of the paper's back-end, Figure 3).
+
+Users customize DataPrep.EDA by passing a flat dictionary of dotted keys,
+e.g. ``plot(df, "price", config={"hist.bins": 50})``.  The Config Manager
+validates the keys (with "did you mean" suggestions), fills in defaults for
+everything else, and produces a :class:`Config` object that is passed through
+the Compute and Render modules so individual functions never juggle dozens of
+keyword arguments.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigError, _closest
+
+#: Default values for every configurable parameter, grouped by component.
+#: The how-to guide surfaces these keys to the user (Section 4.1).
+DEFAULTS: Dict[str, Any] = {
+    # Histogram
+    "hist.bins": 50,
+    "hist.auto_bins": False,
+    # Kernel density estimate plot
+    "kde.grid_points": 200,
+    "kde.bins": 256,
+    # Normal Q-Q plot
+    "qq.points": 100,
+    # Box plot
+    "box.whisker": 1.5,
+    "box.max_groups": 10,
+    # Bar / pie chart for categorical columns
+    "bar.top_words": 10,
+    "bar.sort_descending": True,
+    "pie.slices": 6,
+    # Word statistics for categorical columns
+    "wordfreq.top_words": 10,
+    "wordfreq.lowercase": True,
+    # Scatter / hexbin for numerical-numerical bivariate analysis
+    "scatter.sample_size": 1000,
+    "hexbin.gridsize": 20,
+    "binnedbox.bins": 10,
+    # Nested / stacked bar charts and heat map for two categorical columns
+    "nested.max_categories": 10,
+    "stacked.max_categories": 10,
+    "heatmap.max_categories": 20,
+    # Multi-line chart for categorical-numerical bivariate analysis
+    "line.max_groups": 10,
+    "line.bins": 20,
+    "line.aggregate": "mean",
+    # Correlation analysis
+    "correlation.methods": ("pearson", "spearman", "kendall"),
+    "correlation.kendall_max_rows": 10000,
+    "correlation.scatter_sample_size": 1000,
+    "correlation.top_k": 5,
+    # Missing-value analysis
+    "missing.spectrum_bins": 32,
+    "missing.bins": 30,
+    "missing.quantiles": 100,
+    # Insight thresholds (Section 4.2.2: each insight has its own threshold)
+    "insight.missing.threshold": 0.1,
+    "insight.duplicates.threshold": 0.05,
+    "insight.similar_distribution.alpha": 0.05,
+    "insight.uniform.alpha": 0.05,
+    "insight.normal.alpha": 0.05,
+    "insight.skewness.threshold": 1.0,
+    "insight.infinity.threshold": 0.0,
+    "insight.zeros.threshold": 0.5,
+    "insight.negatives.threshold": 0.0,
+    "insight.high_cardinality.threshold": 50,
+    "insight.constant.enabled": True,
+    "insight.outlier.iqr_multiplier": 1.5,
+    "insight.outlier.threshold": 0.01,
+    "insight.correlation.threshold": 0.8,
+    "insight.enabled": True,
+    # Compute pipeline
+    "compute.partition_rows": 100000,
+    "compute.use_graph": "auto",          # "auto" | "always" | "never"
+    "compute.small_data_rows": 50000,      # below this, skip the graph stage
+    "compute.engine": "lazy",              # see repro.graph.engines
+    "compute.max_workers": None,
+    "compute.histogram_bins_internal": 512,
+    "compute.enable_cse": True,
+    "compute.enable_fusion": False,
+    # Rendering
+    "render.width": 640,
+    "render.height": 360,
+    "render.max_tabs": 12,
+    "report.title": "DataPrep.EDA Report",
+    "report.sample_rows": 10,
+    "report.interactions_max_columns": 10,
+}
+
+#: Keys whose value must be a positive integer.
+_POSITIVE_INT_KEYS = {
+    "hist.bins", "kde.grid_points", "kde.bins", "qq.points", "box.max_groups",
+    "bar.top_words", "pie.slices", "wordfreq.top_words", "scatter.sample_size",
+    "hexbin.gridsize", "binnedbox.bins", "nested.max_categories",
+    "stacked.max_categories", "heatmap.max_categories", "line.max_groups",
+    "line.bins", "correlation.kendall_max_rows", "correlation.scatter_sample_size",
+    "correlation.top_k", "missing.spectrum_bins", "missing.bins",
+    "missing.quantiles", "insight.high_cardinality.threshold",
+    "compute.partition_rows", "compute.small_data_rows",
+    "compute.histogram_bins_internal", "render.width", "render.height",
+    "render.max_tabs", "report.sample_rows", "report.interactions_max_columns",
+}
+
+#: Keys whose value must be a float in [0, 1].
+_RATE_KEYS = {
+    "insight.missing.threshold", "insight.duplicates.threshold",
+    "insight.similar_distribution.alpha", "insight.uniform.alpha",
+    "insight.normal.alpha", "insight.zeros.threshold",
+    "insight.negatives.threshold", "insight.outlier.threshold",
+    "insight.infinity.threshold",
+}
+
+_VALID_GRAPH_MODES = ("auto", "always", "never")
+_VALID_CORRELATION_METHODS = ("pearson", "spearman", "kendall")
+
+
+@dataclass
+class Config:
+    """Validated configuration passed through the Compute and Render modules."""
+
+    values: Dict[str, Any] = field(default_factory=dict)
+    display: Optional[List[str]] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_user(cls, user_config: Optional[Mapping[str, Any]] = None,
+                  display: Optional[Sequence[str]] = None) -> "Config":
+        """Build a Config from user overrides, validating every key."""
+        values = dict(DEFAULTS)
+        if user_config:
+            for key, value in user_config.items():
+                if key not in DEFAULTS:
+                    suggestion = _closest(key, DEFAULTS.keys())
+                    raise ConfigError(f"unknown config key {key!r}", key=key,
+                                      suggestion=suggestion)
+                values[key] = _validate(key, value)
+        return cls(values=values,
+                   display=list(display) if display is not None else None)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Any:
+        """Look up a configuration value by dotted key."""
+        try:
+            return self.values[key]
+        except KeyError:
+            suggestion = _closest(key, self.values.keys())
+            raise ConfigError(f"unknown config key {key!r}", key=key,
+                              suggestion=suggestion) from None
+
+    def __getitem__(self, key: str) -> Any:
+        return self.get(key)
+
+    def group(self, prefix: str) -> Dict[str, Any]:
+        """All values under a prefix, with the prefix stripped.
+
+        ``config.group("hist")`` returns ``{"bins": 50, "auto_bins": False}``.
+        """
+        prefix_dot = prefix.rstrip(".") + "."
+        return {key[len(prefix_dot):]: value
+                for key, value in self.values.items() if key.startswith(prefix_dot)}
+
+    def wants(self, chart_name: str) -> bool:
+        """Whether the user asked for *chart_name* (all charts by default)."""
+        if self.display is None:
+            return True
+        wanted = {name.lower() for name in self.display}
+        return chart_name.lower() in wanted
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "Config":
+        """Return a copy of this config with extra validated overrides."""
+        merged = copy.deepcopy(self.values)
+        for key, value in overrides.items():
+            if key not in DEFAULTS:
+                suggestion = _closest(key, DEFAULTS.keys())
+                raise ConfigError(f"unknown config key {key!r}", key=key,
+                                  suggestion=suggestion)
+            merged[key] = _validate(key, value)
+        return Config(values=merged, display=self.display)
+
+    def user_overrides(self) -> Dict[str, Any]:
+        """The keys whose values differ from the library defaults."""
+        return {key: value for key, value in self.values.items()
+                if DEFAULTS.get(key) != value}
+
+    def __repr__(self) -> str:
+        overrides = self.user_overrides()
+        return f"Config(overrides={overrides}, display={self.display})"
+
+
+def _validate(key: str, value: Any) -> Any:
+    """Validate a single override, raising :class:`ConfigError` on bad values."""
+    if key in _POSITIVE_INT_KEYS:
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ConfigError(f"config key {key!r} expects a positive integer, "
+                              f"got {value!r}", key=key)
+        return value
+    if key in _RATE_KEYS:
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or \
+                not 0.0 <= float(value) <= 1.0:
+            raise ConfigError(f"config key {key!r} expects a number in [0, 1], "
+                              f"got {value!r}", key=key)
+        return float(value)
+    if key == "compute.use_graph":
+        if value not in _VALID_GRAPH_MODES:
+            raise ConfigError(f"config key {key!r} expects one of "
+                              f"{_VALID_GRAPH_MODES}, got {value!r}", key=key)
+        return value
+    if key == "correlation.methods":
+        methods = tuple(value) if isinstance(value, (list, tuple)) else (value,)
+        for method in methods:
+            if method not in _VALID_CORRELATION_METHODS:
+                raise ConfigError(
+                    f"unknown correlation method {method!r}; expected a subset "
+                    f"of {_VALID_CORRELATION_METHODS}", key=key)
+        if not methods:
+            raise ConfigError("correlation.methods must not be empty", key=key)
+        return methods
+    if key == "line.aggregate":
+        from repro.frame.ops import AGGREGATIONS
+        if value not in AGGREGATIONS:
+            raise ConfigError(f"unknown aggregation {value!r}; expected one of "
+                              f"{sorted(AGGREGATIONS)}", key=key)
+        return value
+    if key == "compute.max_workers":
+        if value is not None and (not isinstance(value, int) or value <= 0):
+            raise ConfigError(f"config key {key!r} expects None or a positive "
+                              f"integer, got {value!r}", key=key)
+        return value
+    return value
+
+
+def available_config_keys() -> List[str]:
+    """All configurable dotted keys (used by the how-to guide and the docs)."""
+    return sorted(DEFAULTS)

@@ -1,0 +1,33 @@
+"""Columnar DataFrame substrate.
+
+The execution environment for this reproduction does not ship pandas, so the
+package provides a small, self-contained columnar DataFrame built on numpy:
+
+* :class:`~repro.frame.column.Column` — a typed 1-D array with a null mask.
+* :class:`~repro.frame.frame.DataFrame` — an ordered collection of equal
+  length columns with selection, filtering and summary operations.
+* :func:`~repro.frame.io.read_csv` / :func:`~repro.frame.io.write_csv` — CSV
+  input/output with dtype inference.
+
+The EDA layer (``repro.eda``) and the lazy execution engine (``repro.graph``)
+are written against this substrate only.
+"""
+
+from repro.frame.dtypes import DType, infer_dtype
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame, concat_rows
+from repro.frame.io import read_csv, write_csv
+from repro.frame.ops import crosstab, groupby_aggregate, value_counts
+
+__all__ = [
+    "Column",
+    "DataFrame",
+    "DType",
+    "concat_rows",
+    "crosstab",
+    "groupby_aggregate",
+    "infer_dtype",
+    "read_csv",
+    "value_counts",
+    "write_csv",
+]

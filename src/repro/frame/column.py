@@ -1,0 +1,392 @@
+"""The Column type: a typed 1-D array with an explicit null mask."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DTypeError, FrameError
+from repro.frame.dtypes import DType, coerce_values, from_numpy, infer_dtype
+
+
+class Column:
+    """A single named, typed column with missing-value support.
+
+    Values are stored in a numpy array (``data``) and missingness in a boolean
+    array of the same length (``mask``; True means missing).  All reduction
+    methods skip missing values.
+
+    Columns are immutable from the caller's perspective: every operation
+    returns a new :class:`Column` and never mutates ``data`` in place.
+    """
+
+    __slots__ = ("name", "data", "mask", "dtype")
+
+    def __init__(self, name: str, values: Union[Sequence[Any], np.ndarray],
+                 dtype: Optional[DType] = None,
+                 mask: Optional[np.ndarray] = None):
+        self.name = str(name)
+        if isinstance(values, np.ndarray) and dtype is None and mask is None:
+            data, inferred_mask, inferred_dtype = from_numpy(values)
+            self.data = data
+            self.mask = inferred_mask
+            self.dtype = inferred_dtype
+        elif isinstance(values, np.ndarray) and dtype is not None and mask is not None:
+            if values.shape != mask.shape:
+                raise FrameError("data and mask must have the same shape")
+            self.data = values
+            self.mask = mask.astype(np.bool_)
+            self.dtype = dtype
+        else:
+            values_list = list(values)
+            resolved_dtype = dtype if dtype is not None else infer_dtype(values_list)
+            data, inferred_mask = coerce_values(values_list, resolved_dtype)
+            if mask is not None:
+                inferred_mask = inferred_mask | np.asarray(mask, dtype=np.bool_)
+            self.data = data
+            self.mask = inferred_mask
+            self.dtype = resolved_dtype
+        if self.dtype is DType.FLOAT:
+            # NaN and the mask must agree so float reductions stay consistent.
+            self.mask = self.mask | np.isnan(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.data.shape[0])
+
+    def __iter__(self) -> Iterator[Any]:
+        for index in range(len(self)):
+            yield self[index]
+
+    def __getitem__(self, item: Union[int, slice, np.ndarray]) -> Any:
+        if isinstance(item, (int, np.integer)):
+            if self.mask[item]:
+                return None
+            value = self.data[item]
+            if isinstance(value, np.generic):
+                return value.item()
+            return value
+        if isinstance(item, slice):
+            return Column(self.name, self.data[item], self.dtype, self.mask[item])
+        indexer = np.asarray(item)
+        return Column(self.name, self.data[indexer], self.dtype, self.mask[indexer])
+
+    def __repr__(self) -> str:
+        return (f"Column(name={self.name!r}, dtype={self.dtype.value}, "
+                f"length={len(self)}, missing={self.missing_count()})")
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return (self.name == other.name and self.dtype is other.dtype and
+                len(self) == len(other) and
+                bool(np.array_equal(self.mask, other.mask)) and
+                self._values_equal(other))
+
+    def __hash__(self) -> int:  # Columns are not hashable (mutable arrays inside)
+        raise TypeError("Column objects are unhashable")
+
+    def _values_equal(self, other: "Column") -> bool:
+        valid = ~self.mask
+        if self.dtype is DType.FLOAT:
+            return bool(np.allclose(self.data[valid], other.data[valid], equal_nan=True))
+        return bool(np.array_equal(self.data[valid], other.data[valid]))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def rename(self, name: str) -> "Column":
+        """Return a copy of this column under a new name (data is shared)."""
+        return Column(name, self.data, self.dtype, self.mask)
+
+    def copy(self) -> "Column":
+        """Return a deep copy of this column."""
+        return Column(self.name, self.data.copy(), self.dtype, self.mask.copy())
+
+    def astype(self, dtype: DType) -> "Column":
+        """Cast this column to another storage dtype.
+
+        Missing entries stay missing.  Raises :class:`DTypeError` when a
+        non-missing value cannot be represented in the target dtype.
+        """
+        if dtype is self.dtype:
+            return self
+        values = [None if self.mask[i] else self[i] for i in range(len(self))]
+        data, mask = coerce_values(values, dtype)
+        return Column(self.name, data, dtype, mask)
+
+    # ------------------------------------------------------------------ #
+    # Missing values
+    # ------------------------------------------------------------------ #
+    def isna(self) -> np.ndarray:
+        """Boolean array, True where the value is missing."""
+        return self.mask.copy()
+
+    def notna(self) -> np.ndarray:
+        """Boolean array, True where the value is present."""
+        return ~self.mask
+
+    def missing_count(self) -> int:
+        """Number of missing values."""
+        return int(self.mask.sum())
+
+    def missing_rate(self) -> float:
+        """Fraction of missing values; 0.0 for an empty column."""
+        if len(self) == 0:
+            return 0.0
+        return self.missing_count() / len(self)
+
+    def dropna(self) -> "Column":
+        """Return a column containing only the present values."""
+        keep = ~self.mask
+        return Column(self.name, self.data[keep], self.dtype, self.mask[keep])
+
+    def fillna(self, value: Any) -> "Column":
+        """Return a column with missing entries replaced by *value*."""
+        filled = [value if self.mask[i] else self[i] for i in range(len(self))]
+        return Column(self.name, filled, dtype=None)
+
+    # ------------------------------------------------------------------ #
+    # Value access
+    # ------------------------------------------------------------------ #
+    def to_numpy(self, drop_missing: bool = False) -> np.ndarray:
+        """Return the underlying values as a numpy array.
+
+        When ``drop_missing`` is True the result only contains present
+        values; otherwise missing slots contain the dtype's null sentinel
+        (NaN for floats).
+        """
+        if drop_missing:
+            return self.data[~self.mask].copy()
+        if self.dtype is DType.FLOAT:
+            data = self.data.copy()
+            data[self.mask] = np.nan
+            return data
+        return self.data.copy()
+
+    def to_list(self) -> List[Any]:
+        """Return the column as a list of python scalars, None where missing."""
+        return [self[i] for i in range(len(self))]
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return the rows selected by integer positions."""
+        indexer = np.asarray(indices, dtype=np.int64)
+        return Column(self.name, self.data[indexer], self.dtype, self.mask[indexer])
+
+    def filter(self, predicate: np.ndarray) -> "Column":
+        """Return the rows where the boolean *predicate* array is True."""
+        keep = np.asarray(predicate, dtype=np.bool_)
+        if keep.shape[0] != len(self):
+            raise FrameError("predicate length does not match column length")
+        return Column(self.name, self.data[keep], self.dtype, self.mask[keep])
+
+    def head(self, n: int = 5) -> "Column":
+        """Return the first *n* rows."""
+        return self[:n]
+
+    def map(self, func: Callable[[Any], Any]) -> "Column":
+        """Apply a python function to each present value (missing stays missing)."""
+        mapped = [None if self.mask[i] else func(self[i]) for i in range(len(self))]
+        return Column(self.name, mapped)
+
+    # ------------------------------------------------------------------ #
+    # Reductions (missing values skipped)
+    # ------------------------------------------------------------------ #
+    def _numeric_values(self) -> np.ndarray:
+        if not self.dtype.is_numeric:
+            raise DTypeError(
+                f"column {self.name!r} has dtype {self.dtype.value}, "
+                "which does not support numeric reductions")
+        return self.data[~self.mask].astype(np.float64)
+
+    def count(self) -> int:
+        """Number of present (non-missing) values."""
+        return len(self) - self.missing_count()
+
+    def sum(self) -> float:
+        """Sum of present values (0.0 when all values are missing)."""
+        values = self._numeric_values()
+        return float(values.sum()) if values.size else 0.0
+
+    def mean(self) -> float:
+        """Mean of present values (NaN when all values are missing)."""
+        values = self._numeric_values()
+        return float(values.mean()) if values.size else float("nan")
+
+    def std(self, ddof: int = 1) -> float:
+        """Standard deviation of present values."""
+        values = self._numeric_values()
+        if values.size <= ddof:
+            return float("nan")
+        return float(values.std(ddof=ddof))
+
+    def var(self, ddof: int = 1) -> float:
+        """Variance of present values."""
+        values = self._numeric_values()
+        if values.size <= ddof:
+            return float("nan")
+        return float(values.var(ddof=ddof))
+
+    def min(self) -> Any:
+        """Minimum present value (None when all values are missing)."""
+        return self._extreme(np.min)
+
+    def max(self) -> Any:
+        """Maximum present value (None when all values are missing)."""
+        return self._extreme(np.max)
+
+    def _extreme(self, reducer: Callable[[np.ndarray], Any]) -> Any:
+        present = self.data[~self.mask]
+        if present.size == 0:
+            return None
+        if self.dtype is DType.STRING:
+            # numpy ufunc reductions do not support unicode arrays; the number
+            # of present strings is modest enough for the builtin min/max.
+            values = [str(value) for value in present.tolist()]
+            return min(values) if reducer is np.min else max(values)
+        value = reducer(present)
+        if isinstance(value, np.generic):
+            return value.item() if self.dtype is not DType.DATETIME else value
+        return value
+
+    def quantile(self, q: Union[float, Sequence[float]]) -> Union[float, np.ndarray]:
+        """Quantile(s) of present values using linear interpolation."""
+        values = self._numeric_values()
+        if values.size == 0:
+            if isinstance(q, (int, float)):
+                return float("nan")
+            return np.full(len(list(q)), np.nan)
+        result = np.quantile(values, q)
+        if isinstance(q, (int, float)):
+            return float(result)
+        return np.asarray(result, dtype=np.float64)
+
+    def nunique(self) -> int:
+        """Number of distinct present values."""
+        present = self.data[~self.mask]
+        if present.size == 0:
+            return 0
+        if self.dtype is DType.STRING:
+            return len(set(present.tolist()))
+        return int(np.unique(present).size)
+
+    def unique(self) -> List[Any]:
+        """Distinct present values in first-seen order."""
+        seen: Dict[Any, None] = {}
+        for index in range(len(self)):
+            if self.mask[index]:
+                continue
+            seen.setdefault(self[index], None)
+        return list(seen.keys())
+
+    def value_counts(self, descending: bool = True) -> List[Tuple[Any, int]]:
+        """Counts of distinct present values as ``(value, count)`` pairs."""
+        present = self.data[~self.mask]
+        if present.size == 0:
+            return []
+        if self.dtype is DType.STRING:
+            uniques, counts = np.unique(present.astype(str), return_counts=True)
+            pairs = [(str(value), int(count)) for value, count in zip(uniques, counts)]
+        else:
+            uniques, counts = np.unique(present, return_counts=True)
+            pairs = []
+            for value, count in zip(uniques, counts):
+                scalar = value.item() if isinstance(value, np.generic) and \
+                    self.dtype is not DType.DATETIME else value
+                pairs.append((scalar, int(count)))
+        pairs.sort(key=lambda pair: (-pair[1], str(pair[0])) if descending
+                   else (pair[1], str(pair[0])))
+        return pairs
+
+    def mode(self) -> Any:
+        """Most frequent present value (None when the column is all-missing)."""
+        pairs = self.value_counts()
+        return pairs[0][0] if pairs else None
+
+    def skewness(self) -> float:
+        """Sample skewness (Fisher-Pearson, bias-uncorrected) of present values."""
+        values = self._numeric_values()
+        if values.size < 3:
+            return float("nan")
+        centered = values - values.mean()
+        second_moment = float(np.mean(centered ** 2))
+        if second_moment == 0.0:
+            return 0.0
+        third_moment = float(np.mean(centered ** 3))
+        return third_moment / second_moment ** 1.5
+
+    def kurtosis(self) -> float:
+        """Excess kurtosis of present values."""
+        values = self._numeric_values()
+        if values.size < 4:
+            return float("nan")
+        centered = values - values.mean()
+        second_moment = float(np.mean(centered ** 2))
+        if second_moment == 0.0:
+            return 0.0
+        fourth_moment = float(np.mean(centered ** 4))
+        return fourth_moment / second_moment ** 2 - 3.0
+
+    def infinite_count(self) -> int:
+        """Number of +inf/-inf entries (always 0 for non-float dtypes)."""
+        if self.dtype is not DType.FLOAT:
+            return 0
+        return int(np.isinf(self.data[~self.mask]).sum())
+
+    def zeros_count(self) -> int:
+        """Number of present values equal to zero (numeric dtypes only)."""
+        if not self.dtype.is_numeric:
+            return 0
+        values = self._numeric_values()
+        return int((values == 0).sum())
+
+    def negatives_count(self) -> int:
+        """Number of present values below zero (numeric dtypes only)."""
+        if not self.dtype.is_numeric:
+            return 0
+        values = self._numeric_values()
+        return int((values < 0).sum())
+
+    def memory_bytes(self) -> int:
+        """Approximate memory footprint of the stored arrays."""
+        if self.dtype is DType.STRING:
+            payload = sum(len(value) for value in self.data[~self.mask].tolist())
+            return int(self.data.nbytes + self.mask.nbytes + payload)
+        return int(self.data.nbytes + self.mask.nbytes)
+
+    def describe(self) -> Dict[str, Any]:
+        """Summary statistics appropriate for the column dtype."""
+        base: Dict[str, Any] = {
+            "name": self.name,
+            "dtype": self.dtype.value,
+            "count": self.count(),
+            "missing": self.missing_count(),
+            "missing_rate": self.missing_rate(),
+            "distinct": self.nunique(),
+        }
+        if self.dtype.is_numeric:
+            quantiles = self.quantile([0.25, 0.5, 0.75])
+            base.update({
+                "mean": self.mean(),
+                "std": self.std(),
+                "min": self.min(),
+                "q25": float(quantiles[0]),
+                "median": float(quantiles[1]),
+                "q75": float(quantiles[2]),
+                "max": self.max(),
+                "skewness": self.skewness(),
+                "kurtosis": self.kurtosis(),
+                "zeros": self.zeros_count(),
+                "infinite": self.infinite_count(),
+            })
+        else:
+            top = self.value_counts()[:1]
+            base.update({
+                "top": top[0][0] if top else None,
+                "top_freq": top[0][1] if top else 0,
+            })
+        return base

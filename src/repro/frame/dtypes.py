@@ -1,0 +1,289 @@
+"""Storage dtypes and dtype inference for the columnar frame.
+
+The frame recognises five storage dtypes, intentionally small but sufficient
+for the EDA tasks in the paper:
+
+* ``BOOL`` — stored as ``numpy.bool_`` with a separate null mask.
+* ``INT`` — stored as ``numpy.int64`` with a separate null mask.
+* ``FLOAT`` — stored as ``numpy.float64``; NaN doubles as the null marker but
+  a mask is still kept so the behaviour is uniform across dtypes.
+* ``STRING`` — stored as a numpy object array of ``str``.
+* ``DATETIME`` — stored as ``numpy.datetime64[s]``.
+
+Semantic types used by the EDA mapping rules (Numerical / Categorical) are a
+separate concept and live in :mod:`repro.eda.dtypes`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from datetime import datetime
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DTypeError
+
+#: String tokens treated as missing when parsing text data (CSV, python lists).
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "missing", "?"})
+
+#: Accepted textual datetime formats, tried in order during inference.
+DATETIME_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d",
+    "%Y/%m/%d",
+    "%m/%d/%Y",
+    "%d-%m-%Y",
+)
+
+_BOOL_TRUE = frozenset({"true", "t", "yes", "y", "1"})
+_BOOL_FALSE = frozenset({"false", "f", "no", "n", "0"})
+
+
+class DType(enum.Enum):
+    """Storage dtype of a :class:`repro.frame.Column`."""
+
+    BOOL = "bool"
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATETIME = "datetime"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this dtype support arithmetic reductions."""
+        return self in (DType.BOOL, DType.INT, DType.FLOAT)
+
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store values of this storage dtype."""
+        return _NUMPY_DTYPES[self]
+
+    def null_value(self) -> Any:
+        """The sentinel stored in masked slots for this dtype."""
+        return _NULL_VALUES[self]
+
+
+_NUMPY_DTYPES = {
+    DType.BOOL: np.dtype(np.bool_),
+    DType.INT: np.dtype(np.int64),
+    DType.FLOAT: np.dtype(np.float64),
+    DType.STRING: np.dtype(object),
+    DType.DATETIME: np.dtype("datetime64[s]"),
+}
+
+_NULL_VALUES = {
+    DType.BOOL: False,
+    DType.INT: 0,
+    DType.FLOAT: float("nan"),
+    DType.STRING: "",
+    DType.DATETIME: np.datetime64("1970-01-01", "s"),
+}
+
+
+def is_missing_scalar(value: Any) -> bool:
+    """Return True if a raw python value should be treated as missing."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    if isinstance(value, np.floating) and np.isnan(value):
+        return True
+    if isinstance(value, str) and value.strip().lower() in MISSING_TOKENS:
+        return True
+    if isinstance(value, np.datetime64) and np.isnat(value):
+        return True
+    return False
+
+
+def parse_bool(value: Any) -> Optional[bool]:
+    """Parse a scalar as a boolean, returning None when it is not boolean-like."""
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, str):
+        token = value.strip().lower()
+        if token in _BOOL_TRUE:
+            return True
+        if token in _BOOL_FALSE:
+            return False
+    return None
+
+
+def parse_datetime(value: Any) -> Optional[np.datetime64]:
+    """Parse a scalar as a datetime, returning None when parsing fails."""
+    if isinstance(value, np.datetime64):
+        return value.astype("datetime64[s]")
+    if isinstance(value, datetime):
+        return np.datetime64(value.replace(tzinfo=None), "s")
+    if isinstance(value, str):
+        text = value.strip()
+        for fmt in DATETIME_FORMATS:
+            try:
+                return np.datetime64(datetime.strptime(text, fmt), "s")
+            except ValueError:
+                continue
+    return None
+
+
+def _parse_number(value: Any) -> Optional[Tuple[float, bool]]:
+    """Parse a scalar as a number.
+
+    Returns ``(value, is_integral)`` or None when the scalar is not numeric.
+    Booleans are deliberately *not* treated as numbers here so that boolean
+    columns keep their own dtype.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return None
+    if isinstance(value, (int, np.integer)):
+        return float(value), True
+    if isinstance(value, (float, np.floating)):
+        number = float(value)
+        return number, float(number).is_integer() and abs(number) < 2 ** 53
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return None
+        try:
+            number = float(text)
+        except ValueError:
+            return None
+        is_integral = "." not in text and "e" not in text.lower() and \
+            "inf" not in text.lower() and not math.isnan(number)
+        return number, is_integral and float(number).is_integer()
+    return None
+
+
+def infer_dtype(values: Iterable[Any]) -> DType:
+    """Infer the storage dtype of a sequence of raw python values.
+
+    Missing markers are ignored during inference.  Mixed numeric content
+    (ints and floats) infers FLOAT; anything containing non-parsable strings
+    infers STRING.  An all-missing column infers FLOAT so it can hold NaN.
+    """
+    saw_bool = saw_int = saw_float = saw_datetime = saw_string = False
+    saw_any = False
+    for value in values:
+        if is_missing_scalar(value):
+            continue
+        saw_any = True
+        # Numbers take precedence over booleans so "0"/"1" text columns stay
+        # numeric; python bools are never treated as numbers by _parse_number.
+        number = _parse_number(value)
+        if number is not None:
+            if number[1]:
+                saw_int = True
+            else:
+                saw_float = True
+            continue
+        if parse_bool(value) is not None:
+            saw_bool = True
+            continue
+        if parse_datetime(value) is not None:
+            saw_datetime = True
+            continue
+        saw_string = True
+    if not saw_any:
+        return DType.FLOAT
+    if saw_string:
+        return DType.STRING
+    if saw_datetime:
+        if saw_bool or saw_int or saw_float:
+            return DType.STRING
+        return DType.DATETIME
+    if saw_float:
+        return DType.FLOAT
+    if saw_int:
+        if saw_bool:
+            return DType.STRING
+        return DType.INT
+    if saw_bool:
+        return DType.BOOL
+    return DType.STRING
+
+
+def coerce_values(values: Sequence[Any], dtype: DType) -> Tuple[np.ndarray, np.ndarray]:
+    """Coerce raw python values into ``(data, mask)`` arrays for *dtype*.
+
+    ``mask`` is True where the value is missing.  Raises
+    :class:`repro.errors.DTypeError` when a non-missing value cannot be
+    represented in the requested dtype.
+    """
+    size = len(values)
+    data = np.empty(size, dtype=dtype.numpy_dtype())
+    mask = np.zeros(size, dtype=np.bool_)
+    null = dtype.null_value()
+    for index, value in enumerate(values):
+        if is_missing_scalar(value):
+            data[index] = null
+            mask[index] = True
+            continue
+        data[index] = _coerce_scalar(value, dtype)
+    return data, mask
+
+
+def _coerce_scalar(value: Any, dtype: DType) -> Any:
+    """Coerce a single non-missing scalar to *dtype*, raising on failure."""
+    if dtype is DType.BOOL:
+        parsed_bool = parse_bool(value)
+        if parsed_bool is None:
+            raise DTypeError(f"cannot interpret {value!r} as bool")
+        return parsed_bool
+    if dtype is DType.INT:
+        number = _parse_number(value)
+        if number is None or not number[1]:
+            parsed_bool = parse_bool(value)
+            if parsed_bool is not None:
+                return int(parsed_bool)
+            raise DTypeError(f"cannot interpret {value!r} as int")
+        return int(number[0])
+    if dtype is DType.FLOAT:
+        number = _parse_number(value)
+        if number is not None:
+            return number[0]
+        parsed_bool = parse_bool(value)
+        if parsed_bool is not None:
+            return float(parsed_bool)
+        raise DTypeError(f"cannot interpret {value!r} as float")
+    if dtype is DType.DATETIME:
+        parsed_datetime = parse_datetime(value)
+        if parsed_datetime is None:
+            raise DTypeError(f"cannot interpret {value!r} as datetime")
+        return parsed_datetime
+    if dtype is DType.STRING:
+        if isinstance(value, str):
+            return value
+        if isinstance(value, (np.bool_, np.integer, np.floating)):
+            return str(value.item())
+        return str(value)
+    raise DTypeError(f"unknown dtype {dtype!r}")
+
+
+def from_numpy(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray, DType]:
+    """Adopt an existing numpy array as column storage.
+
+    Returns ``(data, mask, dtype)``.  Float arrays reuse NaN positions as the
+    mask; other numeric arrays have an all-False mask; object arrays fall back
+    to full inference and coercion.
+    """
+    if array.ndim != 1:
+        raise DTypeError(f"columns must be one-dimensional, got shape {array.shape}")
+    kind = array.dtype.kind
+    if kind == "b":
+        return array.astype(np.bool_), np.zeros(array.size, dtype=np.bool_), DType.BOOL
+    if kind in ("i", "u"):
+        return array.astype(np.int64), np.zeros(array.size, dtype=np.bool_), DType.INT
+    if kind == "f":
+        data = array.astype(np.float64)
+        return data, np.isnan(data), DType.FLOAT
+    if kind == "M":
+        data = array.astype("datetime64[s]")
+        return data, np.isnat(data), DType.DATETIME
+    if kind in ("U", "S"):
+        data = array.astype(str).astype(object)
+        mask = np.array([is_missing_scalar(item) for item in data], dtype=np.bool_)
+        return data, mask, DType.STRING
+    values = list(array)
+    dtype = infer_dtype(values)
+    data, mask = coerce_values(values, dtype)
+    return data, mask, dtype

@@ -1,0 +1,144 @@
+"""CSV input/output for the columnar frame.
+
+The reader performs two passes over the text: the first collects raw string
+cells per column, the second infers a storage dtype per column and coerces.
+This mirrors how the EDA tools in the paper ingest Kaggle CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.column import Column
+from repro.frame.dtypes import DType, coerce_values, infer_dtype
+from repro.frame.frame import DataFrame
+
+PathOrBuffer = Union[str, os.PathLike, io.TextIOBase]
+
+
+def read_csv(path_or_buffer: PathOrBuffer,
+             delimiter: str = ",",
+             has_header: bool = True,
+             column_names: Optional[Sequence[str]] = None,
+             dtypes: Optional[Dict[str, DType]] = None,
+             max_rows: Optional[int] = None) -> DataFrame:
+    """Read a CSV file (or open text buffer) into a :class:`DataFrame`.
+
+    Parameters
+    ----------
+    path_or_buffer:
+        File path or an open text stream.
+    delimiter:
+        Field separator, ``","`` by default.
+    has_header:
+        Whether the first row contains column names.
+    column_names:
+        Explicit column names; required when ``has_header`` is False.
+    dtypes:
+        Optional per-column dtype overrides; other columns are inferred.
+    max_rows:
+        Read at most this many data rows (useful for previews).
+    """
+    if isinstance(path_or_buffer, (str, os.PathLike)):
+        with open(path_or_buffer, "r", newline="", encoding="utf-8") as handle:
+            return _read_csv_stream(handle, delimiter, has_header, column_names,
+                                    dtypes, max_rows)
+    return _read_csv_stream(path_or_buffer, delimiter, has_header, column_names,
+                            dtypes, max_rows)
+
+
+def _read_csv_stream(stream: io.TextIOBase,
+                     delimiter: str,
+                     has_header: bool,
+                     column_names: Optional[Sequence[str]],
+                     dtypes: Optional[Dict[str, DType]],
+                     max_rows: Optional[int]) -> DataFrame:
+    reader = csv.reader(stream, delimiter=delimiter)
+    rows = iter(reader)
+
+    names: List[str]
+    if has_header:
+        try:
+            header = next(rows)
+        except StopIteration:
+            return DataFrame()
+        names = [name.strip() for name in header]
+    else:
+        if column_names is None:
+            raise FrameError("column_names is required when has_header is False")
+        names = list(column_names)
+
+    cells: List[List[str]] = [[] for _ in names]
+    for row_number, row in enumerate(rows):
+        if max_rows is not None and row_number >= max_rows:
+            break
+        if not row:
+            continue
+        if len(row) != len(names):
+            row = _normalize_row(row, len(names))
+        for column_index, cell in enumerate(row):
+            cells[column_index].append(cell)
+
+    overrides = dtypes or {}
+    columns = []
+    for name, raw_values in zip(names, cells):
+        dtype = overrides.get(name, infer_dtype(raw_values))
+        data, mask = coerce_values(raw_values, dtype)
+        columns.append(Column(name, data, dtype, mask))
+    return DataFrame(columns)
+
+
+def _normalize_row(row: List[str], width: int) -> List[str]:
+    """Pad or truncate a ragged CSV row to the header width."""
+    if len(row) < width:
+        return row + [""] * (width - len(row))
+    return row[:width]
+
+
+def write_csv(frame: DataFrame, path_or_buffer: PathOrBuffer,
+              delimiter: str = ",", missing_token: str = "") -> None:
+    """Write a :class:`DataFrame` to CSV.
+
+    Missing values are written as *missing_token* (empty string by default)
+    so a round-trip through :func:`read_csv` preserves missingness.
+    """
+    if isinstance(path_or_buffer, (str, os.PathLike)):
+        with open(path_or_buffer, "w", newline="", encoding="utf-8") as handle:
+            _write_csv_stream(frame, handle, delimiter, missing_token)
+        return
+    _write_csv_stream(frame, path_or_buffer, delimiter, missing_token)
+
+
+def _write_csv_stream(frame: DataFrame, stream: io.TextIOBase,
+                      delimiter: str, missing_token: str) -> None:
+    writer = csv.writer(stream, delimiter=delimiter)
+    writer.writerow(frame.columns)
+    lists = frame.to_dict()
+    names = frame.columns
+    for index in range(len(frame)):
+        row = []
+        for name in names:
+            value = lists[name][index]
+            row.append(missing_token if value is None else _format_cell(value))
+        writer.writerow(row)
+
+
+def _format_cell(value: Any) -> str:
+    """Format a scalar for CSV output."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return ""
+        if value.is_integer():
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, np.datetime64):
+        return str(value)
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,134 @@
+"""Relational-style helper operations over the columnar frame.
+
+These are the operations the EDA compute layer needs beyond plain column
+reductions: per-column value counts, two-column cross tabulation, and simple
+grouped aggregation (used for categorical-vs-numerical bivariate plots).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DTypeError
+from repro.frame.column import Column
+from repro.frame.frame import DataFrame
+
+#: Aggregations supported by :func:`groupby_aggregate`.
+AGGREGATIONS: Dict[str, Callable[[np.ndarray], float]] = {
+    "mean": lambda values: float(np.mean(values)) if values.size else float("nan"),
+    "sum": lambda values: float(np.sum(values)) if values.size else 0.0,
+    "min": lambda values: float(np.min(values)) if values.size else float("nan"),
+    "max": lambda values: float(np.max(values)) if values.size else float("nan"),
+    "median": lambda values: float(np.median(values)) if values.size else float("nan"),
+    "std": lambda values: float(np.std(values, ddof=1)) if values.size > 1 else float("nan"),
+    "count": lambda values: float(values.size),
+}
+
+
+def value_counts(frame: DataFrame, column: str,
+                 top: Optional[int] = None) -> List[Tuple[Any, int]]:
+    """Value counts of one column, optionally truncated to the *top* values."""
+    pairs = frame.column(column).value_counts()
+    if top is not None:
+        return pairs[:top]
+    return pairs
+
+
+def crosstab(frame: DataFrame, row_column: str, col_column: str,
+             max_row_categories: int = 20,
+             max_col_categories: int = 20) -> Tuple[List[Any], List[Any], np.ndarray]:
+    """Cross tabulation (contingency table) of two categorical columns.
+
+    Returns ``(row_categories, col_categories, counts)`` where counts has
+    shape ``(len(row_categories), len(col_categories))``.  Categories beyond
+    the per-axis limits are collapsed into an ``"(other)"`` bucket, mirroring
+    how EDA tools keep nested/stacked bar charts readable.
+    """
+    rows = frame.column(row_column)
+    cols = frame.column(col_column)
+    keep = rows.notna() & cols.notna()
+    row_values = [str(value) for value in rows.filter(keep).to_list()]
+    col_values = [str(value) for value in cols.filter(keep).to_list()]
+
+    row_categories = _top_categories(row_values, max_row_categories)
+    col_categories = _top_categories(col_values, max_col_categories)
+    row_index = {category: i for i, category in enumerate(row_categories)}
+    col_index = {category: i for i, category in enumerate(col_categories)}
+
+    counts = np.zeros((len(row_categories), len(col_categories)), dtype=np.int64)
+    other_row = row_index.get("(other)")
+    other_col = col_index.get("(other)")
+    for row_value, col_value in zip(row_values, col_values):
+        i = row_index.get(row_value, other_row)
+        j = col_index.get(col_value, other_col)
+        if i is None or j is None:
+            continue
+        counts[i, j] += 1
+    return row_categories, col_categories, counts
+
+
+def _top_categories(values: Sequence[str], limit: int) -> List[str]:
+    """The most frequent categories, with an ``"(other)"`` bucket if truncated."""
+    counts: Dict[str, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    categories = [category for category, _ in ordered[:limit]]
+    if len(ordered) > limit:
+        categories.append("(other)")
+    return categories
+
+
+def groupby_aggregate(frame: DataFrame, by: str, value: str,
+                      aggregation: str = "mean",
+                      max_groups: int = 20) -> List[Tuple[Any, float]]:
+    """Aggregate a numeric column per category of another column.
+
+    Returns ``(category, aggregated value)`` pairs for the *max_groups* most
+    frequent categories.  Raises :class:`DTypeError` if the value column is
+    not numeric or the aggregation name is unknown.
+    """
+    if aggregation not in AGGREGATIONS:
+        raise DTypeError(
+            f"unknown aggregation {aggregation!r}; "
+            f"expected one of {sorted(AGGREGATIONS)}")
+    group_column = frame.column(by)
+    value_column = frame.column(value)
+    if not value_column.dtype.is_numeric:
+        raise DTypeError(f"column {value!r} must be numeric for aggregation")
+
+    keep = group_column.notna() & value_column.notna()
+    groups = [str(item) for item in group_column.filter(keep).to_list()]
+    values = value_column.filter(keep).to_numpy(drop_missing=False).astype(np.float64)
+
+    buckets: Dict[str, List[float]] = {}
+    for group, number in zip(groups, values):
+        buckets.setdefault(group, []).append(float(number))
+    frequency = sorted(buckets.items(), key=lambda pair: (-len(pair[1]), pair[0]))
+    reducer = AGGREGATIONS[aggregation]
+    return [(group, reducer(np.asarray(numbers)))
+            for group, numbers in frequency[:max_groups]]
+
+
+def grouped_values(frame: DataFrame, by: str, value: str,
+                   max_groups: int = 10) -> List[Tuple[str, np.ndarray]]:
+    """Raw numeric values per category, for categorical box plots.
+
+    Returns the *max_groups* most frequent categories with their numeric
+    samples as float arrays (missing values dropped).
+    """
+    group_column = frame.column(by)
+    value_column = frame.column(value)
+    if not value_column.dtype.is_numeric:
+        raise DTypeError(f"column {value!r} must be numeric")
+    keep = group_column.notna() & value_column.notna()
+    groups = [str(item) for item in group_column.filter(keep).to_list()]
+    values = value_column.filter(keep).to_numpy().astype(np.float64)
+    buckets: Dict[str, List[float]] = {}
+    for group, number in zip(groups, values):
+        buckets.setdefault(group, []).append(float(number))
+    frequency = sorted(buckets.items(), key=lambda pair: (-len(pair[1]), pair[0]))
+    return [(group, np.asarray(numbers, dtype=np.float64))
+            for group, numbers in frequency[:max_groups]]

@@ -1,0 +1,74 @@
+"""Lazy task-graph execution engine (Dask-style substrate).
+
+The paper's Compute module builds a *single* lazy computational graph per EDA
+task so that redundant computations shared by multiple visualizations are
+evaluated once, then executes the optimized graph with a parallel scheduler.
+The real system uses Dask; the execution environment for this reproduction
+does not ship Dask, so this package implements the required subset:
+
+* :class:`~repro.graph.task.Task` / :class:`~repro.graph.graph.TaskGraph` —
+  the graph representation.
+* :func:`~repro.graph.delayed.delayed` and
+  :class:`~repro.graph.delayed.Delayed` — lazy call wrappers used to build
+  graphs declaratively.
+* :mod:`~repro.graph.optimize` — graph optimizations: culling, common
+  sub-expression elimination (the "share computations" optimization) and
+  linear-chain fusion.
+* :mod:`~repro.graph.scheduler` — synchronous and threaded schedulers.
+* :class:`~repro.graph.partition.PartitionedFrame` — a row-chunked DataFrame
+  with lazy per-partition map and tree reductions, plus the chunk-size
+  precompute stage described in Section 5.2 of the paper.
+* :mod:`~repro.graph.engines` — execution strategies compared in Figure 6(a):
+  lazy-shared (DataPrep.EDA / Dask), eager per-operation (Modin-like) and
+  cluster-RPC with scheduling overhead (Koalas / PySpark-like).
+* :mod:`~repro.graph.cluster` — the simulated multi-worker cluster + HDFS
+  model used to reproduce Figure 6(c).
+"""
+
+from repro.graph.task import Task, TaskRef, tokenize
+from repro.graph.graph import TaskGraph
+from repro.graph.delayed import Delayed, compute, delayed
+from repro.graph.optimize import common_subexpression_elimination, cull, fuse_linear_chains, optimize
+from repro.graph.scheduler import SynchronousScheduler, ThreadedScheduler, get_scheduler
+from repro.graph.partition import (
+    PartitionedFrame,
+    precompute_chunk_sizes,
+    precompute_csv_chunks,
+)
+from repro.graph.engines import (
+    ClusterRPCEngine,
+    EagerEngine,
+    Engine,
+    LazyEngine,
+    available_engines,
+    get_engine,
+)
+from repro.graph.cluster import ClusterCostModel, SimulatedCluster
+
+__all__ = [
+    "ClusterCostModel",
+    "ClusterRPCEngine",
+    "Delayed",
+    "EagerEngine",
+    "Engine",
+    "LazyEngine",
+    "PartitionedFrame",
+    "SimulatedCluster",
+    "SynchronousScheduler",
+    "Task",
+    "TaskGraph",
+    "TaskRef",
+    "ThreadedScheduler",
+    "available_engines",
+    "common_subexpression_elimination",
+    "compute",
+    "cull",
+    "delayed",
+    "fuse_linear_chains",
+    "get_engine",
+    "get_scheduler",
+    "optimize",
+    "precompute_chunk_sizes",
+    "precompute_csv_chunks",
+    "tokenize",
+]

@@ -1,0 +1,133 @@
+"""Simulated multi-worker cluster used to reproduce Figure 6(c).
+
+The paper runs ``create_report`` on an 8-node cluster reading 100M rows from
+HDFS and shows that wall time drops as workers are added because the HDFS
+read is split across nodes.  Neither a cluster nor HDFS is available here, so
+this module provides two complementary substitutes:
+
+* :class:`ClusterCostModel` — an analytical model of the cluster run: total
+  time = (scan bytes / aggregate read bandwidth) + (compute work / aggregate
+  compute throughput) + fixed per-run coordination overhead.  The parameters
+  are calibrated from single-node measurements by the Figure 6(c) benchmark.
+* :class:`SimulatedCluster` — a discrete "executor" that actually runs a real
+  partitioned computation with N worker threads and injects simulated I/O
+  latency per partition, for integration tests that need end-to-end behaviour
+  rather than a closed-form estimate.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.errors import GraphError
+
+
+@dataclass
+class ClusterCostModel:
+    """Analytical wall-time model for the Figure 6(c) experiment.
+
+    Attributes
+    ----------
+    hdfs_bandwidth_bytes_per_s:
+        Aggregate read bandwidth of ONE worker pulling from HDFS.  Reads
+        scale linearly with workers (the paper's explanation for the speedup).
+    worker_throughput_rows_per_s:
+        Rows per second one worker can process for the report computation.
+    coordination_overhead_s:
+        Fixed per-run scheduling/driver overhead, independent of workers.
+    bytes_per_row:
+        On-disk size per row of the workload.
+    """
+
+    hdfs_bandwidth_bytes_per_s: float = 200e6
+    worker_throughput_rows_per_s: float = 2.5e6
+    coordination_overhead_s: float = 15.0
+    bytes_per_row: float = 60.0
+
+    def estimate_seconds(self, n_rows: int, n_workers: int) -> float:
+        """Estimated wall time of ``create_report`` on the simulated cluster."""
+        if n_workers <= 0:
+            raise GraphError("n_workers must be positive")
+        if n_rows < 0:
+            raise GraphError("n_rows must be non-negative")
+        io_seconds = (n_rows * self.bytes_per_row) / (
+            self.hdfs_bandwidth_bytes_per_s * n_workers)
+        compute_seconds = n_rows / (self.worker_throughput_rows_per_s * n_workers)
+        return self.coordination_overhead_s + io_seconds + compute_seconds
+
+    def sweep(self, n_rows: int, workers: Sequence[int]) -> List[float]:
+        """Estimated wall time for each worker count (the Fig. 6c series)."""
+        return [self.estimate_seconds(n_rows, n) for n in workers]
+
+    def calibrate_from_single_node(self, n_rows: int,
+                                   measured_seconds: float,
+                                   io_fraction: float = 0.4,
+                                   coordination_seconds: float = 0.0) -> "ClusterCostModel":
+        """Return a model whose 1-worker prediction matches a measurement.
+
+        *io_fraction* is the share of the measured time attributed to reading
+        the input; the remainder is compute.  This lets the benchmark anchor
+        the simulation to real single-node numbers gathered in this repo.
+        """
+        if measured_seconds <= 0:
+            raise GraphError("measured_seconds must be positive")
+        if not 0.0 < io_fraction < 1.0:
+            raise GraphError("io_fraction must be in (0, 1)")
+        usable = measured_seconds - coordination_seconds
+        if usable <= 0:
+            raise GraphError("coordination overhead exceeds the measurement")
+        io_seconds = usable * io_fraction
+        compute_seconds = usable - io_seconds
+        return ClusterCostModel(
+            hdfs_bandwidth_bytes_per_s=(n_rows * self.bytes_per_row) / io_seconds,
+            worker_throughput_rows_per_s=n_rows / compute_seconds,
+            coordination_overhead_s=coordination_seconds,
+            bytes_per_row=self.bytes_per_row,
+        )
+
+
+class SimulatedCluster:
+    """Executes partitioned work on N worker threads with simulated I/O.
+
+    Each partition "read" sleeps for ``partition_bytes / (bandwidth)`` seconds
+    before the real computation runs, modelling an HDFS read whose aggregate
+    bandwidth is fixed per worker.  The cluster is intentionally tiny — it is
+    meant for integration tests and the Fig. 6(c) shape check, not for
+    processing genuinely large data.
+    """
+
+    def __init__(self, n_workers: int,
+                 read_bandwidth_bytes_per_s: float = 50e6,
+                 coordination_overhead_s: float = 0.0):
+        if n_workers <= 0:
+            raise GraphError("n_workers must be positive")
+        self.n_workers = int(n_workers)
+        self.read_bandwidth_bytes_per_s = float(read_bandwidth_bytes_per_s)
+        self.coordination_overhead_s = float(coordination_overhead_s)
+
+    def run(self, partitions: Sequence[Any],
+            partition_bytes: Sequence[int],
+            work: Callable[[Any], Any]) -> List[Any]:
+        """Process partitions on the simulated cluster, returning results in order."""
+        if len(partitions) != len(partition_bytes):
+            raise GraphError("partitions and partition_bytes must align")
+        if self.coordination_overhead_s:
+            time.sleep(self.coordination_overhead_s)
+
+        def process(args: tuple[Any, int]) -> Any:
+            partition, size = args
+            time.sleep(size / self.read_bandwidth_bytes_per_s)
+            return work(partition)
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(process, zip(partitions, partition_bytes)))
+
+    def timed_run(self, partitions: Sequence[Any], partition_bytes: Sequence[int],
+                  work: Callable[[Any], Any]) -> tuple[List[Any], float]:
+        """Like :meth:`run` but also returns the elapsed wall time in seconds."""
+        started = time.perf_counter()
+        results = self.run(partitions, partition_bytes, work)
+        return results, time.perf_counter() - started

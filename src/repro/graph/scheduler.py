@@ -1,0 +1,132 @@
+"""Schedulers that execute a TaskGraph and return requested outputs."""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import SchedulerError
+from repro.graph.graph import TaskGraph
+
+
+class Scheduler:
+    """Base class for graph schedulers."""
+
+    #: Human-readable name used by the engine registry and benchmarks.
+    name = "base"
+
+    def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
+        """Execute *graph* and return ``{output key: value}``."""
+        raise NotImplementedError
+
+    def get(self, graph: TaskGraph, outputs: Sequence[str]) -> List[Any]:
+        """Execute and return output values in request order."""
+        results = self.execute(graph, outputs)
+        return [results[key] for key in outputs]
+
+
+class SynchronousScheduler(Scheduler):
+    """Single-threaded scheduler executing tasks in topological order.
+
+    Optionally injects a fixed per-task dispatch latency, which the engine
+    comparison benchmark (Figure 6a) uses to model RPC-style scheduling
+    overhead of cluster frameworks running on a single node.
+    """
+
+    name = "synchronous"
+
+    def __init__(self, dispatch_latency: float = 0.0):
+        self.dispatch_latency = float(dispatch_latency)
+
+    def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
+        order = graph.toposort()
+        results: Dict[str, Any] = {}
+        for key in order:
+            if self.dispatch_latency:
+                time.sleep(self.dispatch_latency)
+            task = graph[key]
+            try:
+                results[key] = task.execute(results)
+            except Exception as error:  # noqa: BLE001 - rewrapped with task context
+                raise SchedulerError(key, error) from error
+        missing = [key for key in outputs if key not in results]
+        if missing:
+            raise SchedulerError(missing[0], KeyError("output not produced"))
+        return {key: results[key] for key in outputs}
+
+
+class ThreadedScheduler(Scheduler):
+    """Thread-pool scheduler that runs independent tasks concurrently.
+
+    This is the default execution backend, mirroring Dask's threaded
+    scheduler: EDA computations are numpy-dominated so threads parallelize
+    well despite the GIL.
+    """
+
+    name = "threaded"
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 dispatch_latency: float = 0.0):
+        if max_workers is None:
+            max_workers = min(8, os.cpu_count() or 4)
+        self.max_workers = int(max_workers)
+        self.dispatch_latency = float(dispatch_latency)
+
+    def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
+        graph.validate()
+        dependents = graph.dependents()
+        remaining: Dict[str, int] = {
+            key: len(set(graph.dependencies(key))) for key in graph.keys()}
+        results: Dict[str, Any] = {}
+        lock = threading.Lock()
+
+        ready = [key for key, count in remaining.items() if count == 0]
+        in_flight: Dict[Future, str] = {}
+
+        def run_task(key: str) -> Any:
+            if self.dispatch_latency:
+                time.sleep(self.dispatch_latency)
+            return graph[key].execute(results)
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            while ready or in_flight:
+                while ready:
+                    key = ready.pop()
+                    in_flight[pool.submit(run_task, key)] = key
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = in_flight.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        for pending in in_flight:
+                            pending.cancel()
+                        raise SchedulerError(key, error) from error
+                    with lock:
+                        results[key] = future.result()
+                    for consumer in dependents.get(key, ()):
+                        remaining[consumer] -= 1
+                        if remaining[consumer] == 0:
+                            ready.append(consumer)
+
+        missing = [key for key in outputs if key not in results]
+        if missing:
+            raise SchedulerError(missing[0], KeyError("output not produced"))
+        return {key: results[key] for key in outputs}
+
+
+_SCHEDULERS = {
+    SynchronousScheduler.name: SynchronousScheduler,
+    ThreadedScheduler.name: ThreadedScheduler,
+}
+
+
+def get_scheduler(name: str = "threaded", **kwargs: Any) -> Scheduler:
+    """Instantiate a scheduler by name (``"synchronous"`` or ``"threaded"``)."""
+    try:
+        factory = _SCHEDULERS[name]
+    except KeyError:
+        raise SchedulerError(name, KeyError(f"unknown scheduler {name!r}")) from None
+    return factory(**kwargs)

@@ -1,0 +1,173 @@
+"""Task representation and argument tokenization for the task graph."""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+import numpy as np
+
+_COUNTER = itertools.count()
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """A reference to the output of another task in the same graph."""
+
+    key: str
+
+    def __repr__(self) -> str:
+        return f"TaskRef({self.key!r})"
+
+
+@dataclass
+class Task:
+    """A single node in a :class:`~repro.graph.graph.TaskGraph`.
+
+    Attributes
+    ----------
+    key:
+        Unique identifier of the task inside its graph.
+    func:
+        The python callable to run.
+    args / kwargs:
+        Call arguments.  Any :class:`TaskRef` instances are replaced by the
+        referenced task's result before *func* is called.
+    token:
+        A structural fingerprint of ``(func, args, kwargs)``; two tasks with
+        the same token compute the same value and can be merged by the CSE
+        optimization pass.
+    """
+
+    key: str
+    func: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    token: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.token:
+            self.token = tokenize(self.func, self.args, self.kwargs)
+
+    def dependencies(self) -> List[str]:
+        """Keys of the tasks this task depends on."""
+        refs: List[str] = []
+        for value in self.args:
+            refs.extend(_collect_refs(value))
+        for value in self.kwargs.values():
+            refs.extend(_collect_refs(value))
+        return refs
+
+    def substitute(self, mapping: Dict[str, str]) -> "Task":
+        """Return a copy with dependency keys rewritten via *mapping*."""
+        new_args = tuple(_rewrite_refs(value, mapping) for value in self.args)
+        new_kwargs = {name: _rewrite_refs(value, mapping)
+                      for name, value in self.kwargs.items()}
+        return Task(self.key, self.func, new_args, new_kwargs, token=self.token)
+
+    def execute(self, results: Dict[str, Any]) -> Any:
+        """Run the task, resolving TaskRef arguments from *results*."""
+        args = tuple(_resolve(value, results) for value in self.args)
+        kwargs = {name: _resolve(value, results) for name, value in self.kwargs.items()}
+        return self.func(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        name = getattr(self.func, "__name__", repr(self.func))
+        return f"Task(key={self.key!r}, func={name}, deps={self.dependencies()})"
+
+
+def next_key(prefix: str) -> str:
+    """Generate a fresh task key with a readable prefix."""
+    return f"{prefix}-{next(_COUNTER)}"
+
+
+def tokenize(func: Callable[..., Any], args: Tuple[Any, ...],
+             kwargs: Dict[str, Any]) -> str:
+    """Structural fingerprint of a call, used for CSE.
+
+    Literal arguments are fingerprinted by value for cheap scalar types and by
+    object identity for containers and arrays (two tasks that operate on the
+    *same* in-memory frame/array share a fingerprint, which is exactly the
+    sharing opportunity inside one EDA call).  TaskRef arguments are
+    fingerprinted by the referenced key.
+    """
+    hasher = hashlib.sha1()
+    hasher.update(_callable_name(func).encode())
+    for value in args:
+        hasher.update(_token_of(value).encode())
+    for name in sorted(kwargs):
+        hasher.update(name.encode())
+        hasher.update(_token_of(kwargs[name]).encode())
+    return hasher.hexdigest()[:16]
+
+
+def _callable_name(func: Callable[..., Any]) -> str:
+    module = getattr(func, "__module__", "")
+    qualname = getattr(func, "__qualname__", getattr(func, "__name__", repr(func)))
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        # Lambdas/closures are not structurally comparable; identity keeps
+        # them distinct so CSE never merges two different closures.
+        return f"{module}.{qualname}@{id(func)}"
+    return f"{module}.{qualname}"
+
+
+def _token_of(value: Any) -> str:
+    if isinstance(value, TaskRef):
+        return f"ref:{value.key}"
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return f"lit:{type(value).__name__}:{value!r}"
+    if isinstance(value, (tuple, list)):
+        inner = ",".join(_token_of(item) for item in value)
+        return f"{type(value).__name__}:({inner})"
+    if isinstance(value, frozenset):
+        inner = ",".join(sorted(_token_of(item) for item in value))
+        return f"frozenset:({inner})"
+    if isinstance(value, dict):
+        inner = ",".join(f"{name!r}={_token_of(item)}"
+                         for name, item in sorted(value.items(), key=lambda kv: repr(kv[0])))
+        return f"dict:({inner})"
+    if isinstance(value, np.ndarray):
+        return f"ndarray:{id(value)}"
+    return f"obj:{type(value).__name__}:{id(value)}"
+
+
+def _collect_refs(value: Any) -> List[str]:
+    if isinstance(value, TaskRef):
+        return [value.key]
+    if isinstance(value, (list, tuple)):
+        refs: List[str] = []
+        for item in value:
+            refs.extend(_collect_refs(item))
+        return refs
+    if isinstance(value, dict):
+        refs = []
+        for item in value.values():
+            refs.extend(_collect_refs(item))
+        return refs
+    return []
+
+
+def _resolve(value: Any, results: Dict[str, Any]) -> Any:
+    if isinstance(value, TaskRef):
+        return results[value.key]
+    if isinstance(value, list):
+        return [_resolve(item, results) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_resolve(item, results) for item in value)
+    if isinstance(value, dict):
+        return {name: _resolve(item, results) for name, item in value.items()}
+    return value
+
+
+def _rewrite_refs(value: Any, mapping: Dict[str, str]) -> Any:
+    if isinstance(value, TaskRef):
+        return TaskRef(mapping.get(value.key, value.key))
+    if isinstance(value, list):
+        return [_rewrite_refs(item, mapping) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_rewrite_refs(item, mapping) for item in value)
+    if isinstance(value, dict):
+        return {name: _rewrite_refs(item, mapping) for name, item in value.items()}
+    return value

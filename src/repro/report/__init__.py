@@ -1,0 +1,5 @@
+"""Report generation (the ``create_report`` functionality compared in Table 2)."""
+
+from repro.report.report import Report, create_report
+
+__all__ = ["Report", "create_report"]

@@ -1,0 +1,325 @@
+"""Mergeable descriptive summaries for numeric and categorical columns.
+
+Both summary types support ``merge`` so per-partition partial summaries can
+be combined in a tree reduction; the derived statistics (mean, variance,
+skewness, kurtosis, entropy, ...) are computed only at finalization time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.frame.column import Column
+
+
+@dataclass
+class NumericSummary:
+    """Mergeable moments-based summary of a numeric column.
+
+    The four raw power sums allow mean, variance, skewness and kurtosis to be
+    derived after merging, matching the single-pass statistics the paper's
+    Compute module shares across the stats table, box plot and Q-Q plot.
+    """
+
+    count: int = 0
+    missing: int = 0
+    infinite: int = 0
+    zeros: int = 0
+    negatives: int = 0
+    total: int = 0
+    sum1: float = 0.0
+    sum2: float = 0.0
+    sum3: float = 0.0
+    sum4: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_values(cls, values: np.ndarray, missing: int = 0) -> "NumericSummary":
+        """Summary of an array of present (non-missing) float values."""
+        values = np.asarray(values, dtype=np.float64)
+        finite = values[np.isfinite(values)]
+        summary = cls()
+        summary.total = int(values.size) + int(missing)
+        summary.missing = int(missing)
+        summary.infinite = int(np.isinf(values).sum())
+        summary.count = int(finite.size)
+        if finite.size:
+            summary.zeros = int((finite == 0).sum())
+            summary.negatives = int((finite < 0).sum())
+            summary.sum1 = float(finite.sum())
+            summary.sum2 = float(np.square(finite).sum())
+            summary.sum3 = float(np.power(finite, 3).sum())
+            summary.sum4 = float(np.power(finite, 4).sum())
+            summary.minimum = float(finite.min())
+            summary.maximum = float(finite.max())
+        return summary
+
+    @classmethod
+    def from_column(cls, column: Column) -> "NumericSummary":
+        """Summary of a numeric :class:`Column` (missing values excluded)."""
+        return cls.from_values(column.to_numpy(drop_missing=True).astype(np.float64),
+                               missing=column.missing_count())
+
+    def merge(self, other: "NumericSummary") -> "NumericSummary":
+        """Combine two partial summaries (associative and commutative)."""
+        merged = NumericSummary(
+            count=self.count + other.count,
+            missing=self.missing + other.missing,
+            infinite=self.infinite + other.infinite,
+            zeros=self.zeros + other.zeros,
+            negatives=self.negatives + other.negatives,
+            total=self.total + other.total,
+            sum1=self.sum1 + other.sum1,
+            sum2=self.sum2 + other.sum2,
+            sum3=self.sum3 + other.sum3,
+            sum4=self.sum4 + other.sum4,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+        )
+        return merged
+
+    @staticmethod
+    def merge_all(summaries: Sequence["NumericSummary"]) -> "NumericSummary":
+        """Merge a list of partial summaries."""
+        merged = NumericSummary()
+        for summary in summaries:
+            merged = merged.merge(summary)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def mean(self) -> float:
+        """Mean of the finite values (NaN when empty)."""
+        return self.sum1 / self.count if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1) of the finite values."""
+        if self.count < 2:
+            return float("nan")
+        mean = self.mean
+        centered = self.sum2 - self.count * mean * mean
+        return max(centered, 0.0) / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation of the finite values."""
+        variance = self.variance
+        return math.sqrt(variance) if variance == variance else float("nan")
+
+    @property
+    def skewness(self) -> float:
+        """Fisher-Pearson skewness derived from the raw power sums."""
+        if self.count < 3:
+            return float("nan")
+        n = self.count
+        mean = self.mean
+        m2 = self.sum2 / n - mean ** 2
+        if m2 <= 0:
+            return 0.0
+        m3 = self.sum3 / n - 3 * mean * self.sum2 / n + 2 * mean ** 3
+        return m3 / m2 ** 1.5
+
+    @property
+    def kurtosis(self) -> float:
+        """Excess kurtosis derived from the raw power sums."""
+        if self.count < 4:
+            return float("nan")
+        n = self.count
+        mean = self.mean
+        m2 = self.sum2 / n - mean ** 2
+        if m2 <= 0:
+            return 0.0
+        m4 = (self.sum4 / n
+              - 4 * mean * self.sum3 / n
+              + 6 * mean ** 2 * self.sum2 / n
+              - 3 * mean ** 4)
+        return m4 / m2 ** 2 - 3.0
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / mean (NaN when the mean is zero or undefined)."""
+        mean = self.mean
+        if mean == 0 or mean != mean:
+            return float("nan")
+        return self.std / mean
+
+    @property
+    def value_range(self) -> float:
+        """max - min of the finite values (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
+        return self.maximum - self.minimum
+
+    @property
+    def missing_rate(self) -> float:
+        """Fraction of missing entries out of all rows seen."""
+        return self.missing / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten the summary + derived statistics into a dictionary."""
+        return {
+            "count": self.count,
+            "missing": self.missing,
+            "missing_rate": self.missing_rate,
+            "infinite": self.infinite,
+            "zeros": self.zeros,
+            "negatives": self.negatives,
+            "mean": self.mean,
+            "std": self.std,
+            "variance": self.variance,
+            "cv": self.coefficient_of_variation,
+            "min": self.minimum if self.count else float("nan"),
+            "max": self.maximum if self.count else float("nan"),
+            "range": self.value_range,
+            "skewness": self.skewness,
+            "kurtosis": self.kurtosis,
+            "sum": self.sum1,
+        }
+
+
+@dataclass
+class CategoricalSummary:
+    """Mergeable summary of a categorical (string-like) column."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+    missing: int = 0
+    total: int = 0
+    total_length: int = 0
+    min_length: Optional[int] = None
+    max_length: Optional[int] = None
+
+    @classmethod
+    def from_values(cls, values: Iterable[Any], missing: int = 0) -> "CategoricalSummary":
+        """Summary of an iterable of present values (stringified)."""
+        summary = cls(missing=missing)
+        counts: Dict[str, int] = {}
+        for value in values:
+            text = str(value)
+            counts[text] = counts.get(text, 0) + 1
+            length = len(text)
+            summary.total_length += length
+            summary.min_length = length if summary.min_length is None \
+                else min(summary.min_length, length)
+            summary.max_length = length if summary.max_length is None \
+                else max(summary.max_length, length)
+        summary.counts = counts
+        present = sum(counts.values())
+        summary.total = present + missing
+        return summary
+
+    @classmethod
+    def from_column(cls, column: Column) -> "CategoricalSummary":
+        """Summary of a :class:`Column` treated as categorical."""
+        present = [value for value, is_missing in zip(column.to_list(), column.isna())
+                   if not is_missing]
+        return cls.from_values(present, missing=column.missing_count())
+
+    def merge(self, other: "CategoricalSummary") -> "CategoricalSummary":
+        """Combine two partial summaries."""
+        counts = dict(self.counts)
+        for value, count in other.counts.items():
+            counts[value] = counts.get(value, 0) + count
+        lengths = [length for length in (self.min_length, other.min_length)
+                   if length is not None]
+        max_lengths = [length for length in (self.max_length, other.max_length)
+                       if length is not None]
+        return CategoricalSummary(
+            counts=counts,
+            missing=self.missing + other.missing,
+            total=self.total + other.total,
+            total_length=self.total_length + other.total_length,
+            min_length=min(lengths) if lengths else None,
+            max_length=max(max_lengths) if max_lengths else None,
+        )
+
+    @staticmethod
+    def merge_all(summaries: Sequence["CategoricalSummary"]) -> "CategoricalSummary":
+        """Merge a list of partial summaries."""
+        merged = CategoricalSummary()
+        for summary in summaries:
+            merged = merged.merge(summary)
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of present values."""
+        return sum(self.counts.values())
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct present values."""
+        return len(self.counts)
+
+    @property
+    def missing_rate(self) -> float:
+        """Fraction of missing entries out of all rows seen."""
+        return self.missing / self.total if self.total else 0.0
+
+    @property
+    def mean_length(self) -> float:
+        """Mean string length of present values."""
+        count = self.count
+        return self.total_length / count if count else float("nan")
+
+    @property
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the category distribution."""
+        count = self.count
+        if count == 0:
+            return 0.0
+        entropy = 0.0
+        for frequency in self.counts.values():
+            p = frequency / count
+            entropy -= p * math.log2(p)
+        return entropy
+
+    def top_values(self, n: int = 10) -> List[Tuple[str, int]]:
+        """The *n* most frequent values as ``(value, count)`` pairs."""
+        ordered = sorted(self.counts.items(), key=lambda pair: (-pair[1], pair[0]))
+        return ordered[:n]
+
+    def mode(self) -> Optional[str]:
+        """Most frequent value (None when the column is empty)."""
+        top = self.top_values(1)
+        return top[0][0] if top else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flatten the summary + derived statistics into a dictionary."""
+        top = self.top_values(1)
+        return {
+            "count": self.count,
+            "missing": self.missing,
+            "missing_rate": self.missing_rate,
+            "distinct": self.distinct,
+            "unique_rate": self.distinct / self.count if self.count else 0.0,
+            "top": top[0][0] if top else None,
+            "top_freq": top[0][1] if top else 0,
+            "entropy": self.entropy,
+            "mean_length": self.mean_length,
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+        }
+
+
+def numeric_summary_of(column: Column) -> NumericSummary:
+    """Convenience wrapper used by the eager baseline profiler."""
+    return NumericSummary.from_column(column)
+
+
+def categorical_summary_of(column: Column) -> CategoricalSummary:
+    """Convenience wrapper used by the eager baseline profiler."""
+    return CategoricalSummary.from_column(column)

@@ -1,0 +1,34 @@
+"""Simulated user study (Section 6.3 / Figure 7 of the paper).
+
+The original evaluation recruited 32 human participants; that is not
+reproducible offline, so this package provides a calibrated stochastic
+simulation of the study protocol: within-subjects design, two datasets
+(BirdStrike, DelayedFlights), five sequential tasks per session, a fixed
+session time budget and a participant model with novice/skilled levels.
+
+The simulation's tool-latency inputs are *measured* from this repository's
+DataPrep.EDA reproduction and the eager baseline profiler, so the study
+outcome is grounded in the systems actually built here; the behavioural
+parameters (think time, error rates) are calibrated to the paper's published
+aggregate statistics and documented in EXPERIMENTS.md as a substitution.
+"""
+
+from repro.userstudy.tasks import STUDY_TASKS, StudyTask
+from repro.userstudy.participants import Participant, recruit_participants
+from repro.userstudy.study import (
+    StudyResult,
+    ToolLatencies,
+    run_user_study,
+    summarize_by_skill,
+)
+
+__all__ = [
+    "Participant",
+    "STUDY_TASKS",
+    "StudyResult",
+    "StudyTask",
+    "ToolLatencies",
+    "recruit_participants",
+    "run_user_study",
+    "summarize_by_skill",
+]

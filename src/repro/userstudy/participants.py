@@ -1,0 +1,67 @@
+"""The participant model of the simulated user study."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclass
+class Participant:
+    """A simulated study participant.
+
+    Attributes
+    ----------
+    participant_id:
+        Stable identifier, 0-based.
+    skill:
+        ``"novice"`` or ``"skilled"`` (the paper's pre-screen split).
+    speed:
+        Multiplier on think time (lower = faster); drawn around 1.0 for
+        skilled and around 1.35 for novice participants.
+    care:
+        Multiplier on the probability of answering correctly once a task is
+        completed; skilled analysts both read plots better and sanity-check
+        more.
+    """
+
+    participant_id: int
+    skill: str
+    speed: float
+    care: float
+
+    @property
+    def is_skilled(self) -> bool:
+        """Whether the participant passed the skilled pre-screen."""
+        return self.skill == "skilled"
+
+
+def recruit_participants(n_participants: int = 32, skilled_fraction: float = 0.5,
+                         seed: int = 0) -> List[Participant]:
+    """Create the simulated participant pool.
+
+    Half the pool is skilled by default, mirroring the recruitment balance of
+    the original study.
+    """
+    if n_participants <= 0:
+        raise DatasetError("n_participants must be positive")
+    if not 0.0 <= skilled_fraction <= 1.0:
+        raise DatasetError("skilled_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_skilled = int(round(n_participants * skilled_fraction))
+    participants = []
+    for index in range(n_participants):
+        skilled = index < n_skilled
+        speed = float(rng.normal(1.0 if skilled else 1.35, 0.12))
+        care = float(rng.normal(1.0 if skilled else 0.88, 0.05))
+        participants.append(Participant(
+            participant_id=index,
+            skill="skilled" if skilled else "novice",
+            speed=max(speed, 0.6),
+            care=min(max(care, 0.6), 1.1),
+        ))
+    return participants

@@ -1,0 +1,57 @@
+"""The five study tasks of Section 6.3.
+
+Each task records how many tool interactions it takes with a task-centric
+tool, how well the coarse-grained profile report covers it, and how much
+reasoning is involved — the knobs the simulation uses to model completion
+time and answer correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class StudyTask:
+    """One of the five sequential tasks participants complete."""
+
+    task_id: int
+    name: str
+    description: str
+    #: Number of tool interactions a task-centric tool needs (plot calls).
+    interactions: int
+    #: Minutes of reading/reasoning a median skilled analyst needs on top of
+    #: tool latency.
+    think_minutes: float
+    #: How well the all-columns profile report answers the task directly
+    #: (1.0 = the report shows it outright, 0.0 = requires fine-grained
+    #: analysis the report does not offer).
+    report_coverage: float
+
+    def __str__(self) -> str:
+        return f"Task {self.task_id}: {self.name}"
+
+
+#: The five tasks, matching the descriptions in Section 6.3:
+#: tasks 1-3 are distribution analyses (univariate, bivariate, skewness),
+#: task 4 is missing-value impact, task 5 is correlation hunting.
+STUDY_TASKS: List[StudyTask] = [
+    StudyTask(1, "univariate distribution",
+              "Describe the distribution of a single column across the dataset.",
+              interactions=1, think_minutes=2.0, report_coverage=0.9),
+    StudyTask(2, "bivariate distribution",
+              "Describe how a numeric column varies across the categories of "
+              "another column.",
+              interactions=2, think_minutes=3.0, report_coverage=0.35),
+    StudyTask(3, "skewness check",
+              "Identify which columns are strongly skewed.",
+              interactions=2, think_minutes=2.5, report_coverage=0.7),
+    StudyTask(4, "missing-value impact",
+              "Examine where missing values concentrate and how dropping them "
+              "changes another column's distribution.",
+              interactions=2, think_minutes=3.5, report_coverage=0.3),
+    StudyTask(5, "correlation hunting",
+              "Find the pairs of columns with the highest correlation.",
+              interactions=1, think_minutes=2.5, report_coverage=0.75),
+]

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frame import Column, DataFrame
+
+
+@pytest.fixture
+def house_frame() -> DataFrame:
+    """The running example of the paper: house-price training data."""
+    rng = np.random.default_rng(42)
+    n = 400
+    size = rng.normal(2000, 350, n)
+    price = size * 150 + rng.normal(0, 20_000, n)
+    price[rng.random(n) < 0.1] = np.nan
+    year_built = rng.integers(1950, 2021, n)
+    return DataFrame({
+        "size": size,
+        "year_built": year_built,
+        "city": list(rng.choice(["vancouver", "toronto", "montreal", "calgary"], n,
+                                p=[0.4, 0.3, 0.2, 0.1])),
+        "house_type": list(rng.choice(["detached", "condo", "townhouse"], n)),
+        "price": price,
+    })
+
+
+@pytest.fixture
+def mixed_frame() -> DataFrame:
+    """A tiny hand-written frame with every dtype and missing values."""
+    return DataFrame({
+        "ints": [1, 2, 3, 4, None],
+        "floats": [1.5, None, 3.25, -2.0, 0.0],
+        "strings": ["a", "b", "a", None, "c"],
+        "bools": [True, False, True, None, False],
+        "dates": ["2020-01-01", "2020-06-15", None, "2021-03-30", "2021-12-31"],
+    })
+
+
+@pytest.fixture
+def numeric_column() -> Column:
+    """A numeric column with a known distribution and two missing entries."""
+    values = [10.0, 12.0, 14.0, 16.0, 18.0, 20.0, None, None, 100.0, 12.0]
+    return Column("metric", values)
+
+
+@pytest.fixture
+def categorical_column() -> Column:
+    """A categorical column with a dominant category and one missing entry."""
+    return Column("color", ["red", "red", "red", "blue", "green", None, "blue"])

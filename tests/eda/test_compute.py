@@ -1,0 +1,187 @@
+"""Tests of the Compute module's numeric correctness and pipeline behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.eda.compute import (
+    ComputeContext,
+    compute_bivariate,
+    compute_correlation_overview,
+    compute_missing_overview,
+    compute_missing_single,
+    compute_overview,
+    compute_univariate,
+)
+from repro.eda.config import Config
+from repro.errors import ColumnNotFoundError, EDAError
+from repro.frame import DataFrame
+
+
+@pytest.fixture
+def config():
+    return Config.from_user()
+
+
+class TestOverview:
+    def test_dataset_statistics(self, house_frame, config):
+        intermediates = compute_overview(house_frame, config)
+        stats = intermediates.stats
+        assert stats["n_rows"] == len(house_frame)
+        assert stats["n_columns"] == 5
+        assert stats["n_numerical"] == 3
+        assert stats["n_categorical"] == 2
+        assert stats["missing_cells"] == sum(house_frame.missing_counts().values())
+        assert 0 <= stats["missing_cells_rate"] <= 1
+
+    def test_variable_entries_have_stats(self, house_frame, config):
+        intermediates = compute_overview(house_frame, config)
+        for name in house_frame.columns:
+            assert "stats" in intermediates["variables"][name]
+
+    def test_display_filter_removes_charts(self, house_frame):
+        config = Config.from_user(display=["stats"])
+        intermediates = compute_overview(house_frame, config)
+        assert "histogram" not in intermediates["variables"]["price"]
+        assert "bar_chart" not in intermediates["variables"]["city"]
+
+
+class TestUnivariate:
+    def test_numeric_statistics_match_column(self, house_frame, config):
+        intermediates = compute_univariate(house_frame, "size", config)
+        column = house_frame.column("size")
+        assert intermediates.stats["mean"] == pytest.approx(column.mean())
+        assert intermediates.stats["std"] == pytest.approx(column.std())
+        assert intermediates.stats["min"] == pytest.approx(column.min())
+        assert intermediates.stats["max"] == pytest.approx(column.max())
+        assert intermediates.stats["missing"] == column.missing_count()
+
+    def test_histogram_total_equals_present_count(self, house_frame, config):
+        intermediates = compute_univariate(house_frame, "price", config)
+        histogram = intermediates["histogram"]
+        assert sum(histogram["counts"]) == house_frame.column("price").count()
+        assert len(histogram["edges"]) == len(histogram["counts"]) + 1
+
+    def test_hist_bins_config_is_respected(self, house_frame):
+        config = Config.from_user({"hist.bins": 17})
+        intermediates = compute_univariate(house_frame, "price", config)
+        assert len(intermediates["histogram"]["counts"]) == 17
+
+    def test_quantiles_are_ordered(self, house_frame, config):
+        stats = compute_univariate(house_frame, "price", config).stats
+        assert stats["min"] <= stats["q1"] <= stats["median"] <= stats["q3"] <= stats["max"]
+
+    def test_categorical_counts_match_value_counts(self, house_frame, config):
+        intermediates = compute_univariate(house_frame, "city", config)
+        bar = intermediates["bar_chart"]
+        expected = dict(house_frame.column("city").value_counts())
+        assert dict(zip(bar["categories"], bar["counts"])) == \
+            {key: expected[key] for key in bar["categories"]}
+        pie = intermediates["pie_chart"]
+        assert sum(pie["counts"]) == house_frame.column("city").count()
+
+    def test_word_frequencies_lowercase_option(self):
+        frame = DataFrame({"text": ["Alpha Beta", "alpha", "BETA beta"]})
+        lowered = compute_univariate(frame, "text", Config.from_user())
+        words = dict(zip(lowered["word_frequencies"]["words"],
+                         lowered["word_frequencies"]["counts"]))
+        assert words["alpha"] == 2
+        assert words["beta"] == 3
+
+    def test_unknown_column_raises_with_suggestion(self, house_frame, config):
+        with pytest.raises(ColumnNotFoundError) as excinfo:
+            compute_univariate(house_frame, "prices", config)
+        assert "price" in str(excinfo.value)
+
+
+class TestBivariate:
+    def test_nn_correlation_matches_direct(self, house_frame, config):
+        intermediates = compute_bivariate(house_frame, "size", "price", config)
+        both = house_frame.column("size").notna() & house_frame.column("price").notna()
+        x = house_frame.column("size").filter(both).to_numpy()
+        y = house_frame.column("price").filter(both).to_numpy()
+        expected = np.corrcoef(x, y)[0, 1]
+        assert intermediates.stats["pearson_correlation"] == pytest.approx(expected,
+                                                                           abs=1e-9)
+
+    def test_scatter_sample_size_respected(self, house_frame):
+        config = Config.from_user({"scatter.sample_size": 50})
+        intermediates = compute_bivariate(house_frame, "size", "price", config)
+        assert len(intermediates["scatter_plot"]["x"]) <= 50
+
+    def test_cn_box_plot_groups(self, house_frame, config):
+        intermediates = compute_bivariate(house_frame, "city", "size", config)
+        boxes = intermediates["box_plot"]["boxes"]
+        categories = {box["category"] for box in boxes}
+        assert categories <= set(house_frame.column("city").unique())
+        for box in boxes:
+            assert box["q1"] <= box["median"] <= box["q3"]
+
+    def test_cc_heat_map_counts(self, house_frame, config):
+        intermediates = compute_bivariate(house_frame, "city", "house_type", config)
+        heat = intermediates["heat_map"]
+        total = sum(sum(row) for row in heat["counts"])
+        both = house_frame.column("city").notna() & \
+            house_frame.column("house_type").notna()
+        assert total == int(both.sum())
+
+
+class TestCorrelationAndMissing:
+    def test_correlation_requires_two_numeric_columns(self, config):
+        frame = DataFrame({"only": [1.0, 2.0, 3.0], "cat": ["a", "b", "c"]})
+        with pytest.raises(EDAError):
+            compute_correlation_overview(frame, config)
+
+    def test_correlation_matrix_is_symmetric(self, house_frame, config):
+        intermediates = compute_correlation_overview(house_frame, config)
+        matrix = np.asarray(intermediates["correlation_pearson"]["matrix"])
+        assert np.allclose(matrix, matrix.T, equal_nan=True)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_missing_overview_counts(self, house_frame, config):
+        intermediates = compute_missing_overview(house_frame, config)
+        bar = intermediates["missing_bar_chart"]
+        counts = dict(zip(bar["columns"], bar["missing_counts"]))
+        assert counts == house_frame.missing_counts()
+
+    def test_missing_single_row_counts(self, house_frame, config):
+        intermediates = compute_missing_single(house_frame, "price", config)
+        stats = intermediates.stats
+        assert stats["missing_rows"] == house_frame.column("price").missing_count()
+        assert stats["rows_after_drop"] == len(house_frame) - stats["missing_rows"]
+
+
+class TestPipelineModes:
+    def test_graph_and_local_modes_agree(self, house_frame):
+        local = compute_univariate(house_frame, "price",
+                                   Config.from_user({"compute.use_graph": "never"}))
+        graph = compute_univariate(
+            house_frame, "price",
+            Config.from_user({"compute.use_graph": "always",
+                              "compute.partition_rows": 64}))
+        assert local.stats["mean"] == pytest.approx(graph.stats["mean"])
+        assert local.stats["missing"] == graph.stats["missing"]
+        assert local["histogram"]["counts"] == graph["histogram"]["counts"]
+
+    def test_graph_mode_records_stage_timings(self, house_frame):
+        config = Config.from_user({"compute.use_graph": "always",
+                                   "compute.partition_rows": 100})
+        intermediates = compute_overview(house_frame, config)
+        assert "precompute_chunk_sizes" in intermediates.timings
+        assert "graph" in intermediates.timings
+        assert "local" in intermediates.timings
+
+    def test_context_reports_sharing(self, house_frame):
+        config = Config.from_user({"compute.use_graph": "always",
+                                   "compute.partition_rows": 100})
+        context = ComputeContext(house_frame, config)
+        compute_overview(house_frame, config, context=context)
+        assert context.reports, "the engine should have produced execution reports"
+        assert all(report.engine == "lazy" for report in context.reports)
+
+    def test_eager_engine_configuration(self, house_frame):
+        config = Config.from_user({"compute.engine": "eager",
+                                   "compute.use_graph": "always",
+                                   "compute.partition_rows": 200})
+        intermediates = compute_univariate(house_frame, "price", config)
+        assert intermediates.stats["mean"] == pytest.approx(
+            house_frame.column("price").mean())

@@ -1,0 +1,112 @@
+"""Tests for the Config Manager."""
+
+import pytest
+
+from repro.eda.config import Config, DEFAULTS, available_config_keys
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_defaults_are_complete(self):
+        config = Config.from_user()
+        for key in DEFAULTS:
+            assert config.get(key) == DEFAULTS[key]
+
+    def test_available_keys_sorted(self):
+        keys = available_config_keys()
+        assert keys == sorted(keys)
+        assert "hist.bins" in keys
+
+    def test_no_overrides_reported_by_default(self):
+        assert Config.from_user().user_overrides() == {}
+
+
+class TestOverrides:
+    def test_override_is_applied(self):
+        config = Config.from_user({"hist.bins": 200})
+        assert config.get("hist.bins") == 200
+        assert config.user_overrides() == {"hist.bins": 200}
+
+    def test_unknown_key_suggests_closest(self):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({"hist.bin": 10})
+        assert "hist.bins" in str(excinfo.value)
+
+    def test_getitem_and_get_raise_for_unknown_keys(self):
+        config = Config.from_user()
+        with pytest.raises(ConfigError):
+            config.get("nope.nope")
+        with pytest.raises(ConfigError):
+            config["nope.nope"]
+
+    def test_with_overrides_returns_new_config(self):
+        base = Config.from_user()
+        derived = base.with_overrides({"kde.grid_points": 400})
+        assert base.get("kde.grid_points") == DEFAULTS["kde.grid_points"]
+        assert derived.get("kde.grid_points") == 400
+
+    def test_group_strips_prefix(self):
+        group = Config.from_user().group("hist")
+        assert group == {"bins": DEFAULTS["hist.bins"],
+                         "auto_bins": DEFAULTS["hist.auto_bins"]}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("key,value", [
+        ("hist.bins", 0), ("hist.bins", -3), ("hist.bins", 2.5),
+        ("hist.bins", True), ("scatter.sample_size", "many"),
+    ])
+    def test_positive_int_keys(self, key, value):
+        with pytest.raises(ConfigError):
+            Config.from_user({key: value})
+
+    @pytest.mark.parametrize("value", [-0.1, 1.5, "high", True])
+    def test_rate_keys(self, value):
+        with pytest.raises(ConfigError):
+            Config.from_user({"insight.missing.threshold": value})
+
+    def test_rate_keys_accept_boundaries(self):
+        config = Config.from_user({"insight.missing.threshold": 0.0,
+                                   "insight.zeros.threshold": 1.0})
+        assert config.get("insight.missing.threshold") == 0.0
+
+    def test_graph_mode_validation(self):
+        assert Config.from_user({"compute.use_graph": "never"}).get(
+            "compute.use_graph") == "never"
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.use_graph": "sometimes"})
+
+    def test_correlation_methods_validation(self):
+        config = Config.from_user({"correlation.methods": ["pearson"]})
+        assert config.get("correlation.methods") == ("pearson",)
+        with pytest.raises(ConfigError):
+            Config.from_user({"correlation.methods": ["phi_k"]})
+        with pytest.raises(ConfigError):
+            Config.from_user({"correlation.methods": []})
+
+    def test_aggregate_validation(self):
+        assert Config.from_user({"line.aggregate": "median"}).get(
+            "line.aggregate") == "median"
+        with pytest.raises(ConfigError):
+            Config.from_user({"line.aggregate": "mode"})
+
+    def test_max_workers_validation(self):
+        assert Config.from_user({"compute.max_workers": 4}).get(
+            "compute.max_workers") == 4
+        assert Config.from_user({"compute.max_workers": None}).get(
+            "compute.max_workers") is None
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.max_workers": 0})
+
+
+class TestDisplay:
+    def test_wants_everything_by_default(self):
+        config = Config.from_user()
+        assert config.wants("histogram")
+        assert config.wants("anything")
+
+    def test_display_restricts_visualizations(self):
+        config = Config.from_user(display=["Histogram", "box_plot"])
+        assert config.wants("histogram")
+        assert config.wants("Box_Plot")
+        assert not config.wants("qq_plot")

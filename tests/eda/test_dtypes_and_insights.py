@@ -1,0 +1,164 @@
+"""Tests for semantic type detection, insights and the how-to guide."""
+
+import numpy as np
+import pytest
+
+from repro.eda.config import Config
+from repro.eda.dtypes import SemanticType, detect_frame_types, detect_semantic_type
+from repro.eda.howto import GUIDE_KEYS, guides_for, how_to_guide
+from repro.eda.insights import (
+    categorical_column_insights,
+    correlation_insights,
+    dataset_insights,
+    numeric_column_insights,
+    outlier_insight,
+    similarity_insight,
+)
+from repro.frame import Column, DataFrame
+from repro.stats.descriptive import CategoricalSummary, NumericSummary
+from repro.stats.histogram import compute_histogram
+
+
+class TestSemanticTypes:
+    def test_float_is_numerical(self):
+        assert detect_semantic_type(Column("x", [1.5, 2.5, 3.5])) is \
+            SemanticType.NUMERICAL
+
+    def test_string_is_categorical(self):
+        assert detect_semantic_type(Column("x", ["a", "b", "c"])) is \
+            SemanticType.CATEGORICAL
+
+    def test_bool_is_categorical(self):
+        assert detect_semantic_type(Column("x", [True, False, True])) is \
+            SemanticType.CATEGORICAL
+
+    def test_low_cardinality_int_is_categorical(self):
+        assert detect_semantic_type(Column("x", [1, 2, 3, 1, 2, 3])) is \
+            SemanticType.CATEGORICAL
+
+    def test_high_cardinality_int_is_numerical(self):
+        assert detect_semantic_type(Column("x", list(range(100)))) is \
+            SemanticType.NUMERICAL
+
+    def test_constant_detection(self):
+        assert detect_semantic_type(Column("x", [7, 7, 7])) is SemanticType.CONSTANT
+        assert detect_semantic_type(Column("x", [None, None])) is SemanticType.CONSTANT
+
+    def test_datetime_detection(self):
+        column = Column("x", ["2020-01-01", "2021-01-01", "2022-03-04"])
+        assert detect_semantic_type(column) is SemanticType.DATETIME
+
+    def test_detect_frame_types(self, house_frame):
+        types = detect_frame_types(house_frame)
+        assert types["price"] is SemanticType.NUMERICAL
+        assert types["city"] is SemanticType.CATEGORICAL
+        assert types["year_built"] is SemanticType.NUMERICAL
+
+    def test_short_codes(self):
+        assert SemanticType.NUMERICAL.short == "N"
+        assert SemanticType.CATEGORICAL.short == "C"
+
+
+class TestInsights:
+    @pytest.fixture
+    def config(self):
+        return Config.from_user()
+
+    def test_missing_insight_triggered_by_threshold(self, config):
+        summary = NumericSummary.from_column(Column("x", [1.0, None, None, 4.0]))
+        insights = numeric_column_insights("x", summary, None, config)
+        assert any(insight.kind == "missing" for insight in insights)
+        strict = Config.from_user({"insight.missing.threshold": 0.9})
+        assert not any(insight.kind == "missing" for insight in
+                       numeric_column_insights("x", summary, None, strict))
+
+    def test_skewness_insight(self, config):
+        values = np.random.default_rng(0).exponential(1.0, 3000) ** 2
+        summary = NumericSummary.from_values(values)
+        insights = numeric_column_insights("x", summary, None, config)
+        assert any(insight.kind == "skewed" for insight in insights)
+
+    def test_normality_insight(self, config):
+        values = np.random.default_rng(0).normal(10, 2, 3000)
+        summary = NumericSummary.from_values(values)
+        histogram = compute_histogram(values, 50)
+        insights = numeric_column_insights("x", summary, histogram, config,
+                                           sample=values)
+        assert any(insight.kind == "normal" for insight in insights)
+
+    def test_infinite_insight(self, config):
+        summary = NumericSummary.from_values(np.array([1.0, np.inf, 2.0]))
+        summary.total = 3
+        insights = numeric_column_insights("x", summary, None, config)
+        assert any(insight.kind == "infinite" and insight.severity == "warning"
+                   for insight in insights)
+
+    def test_outlier_insight(self, config):
+        assert outlier_insight("x", outlier_count=50, total=1000, config=config)
+        assert not outlier_insight("x", outlier_count=1, total=1000, config=config)
+
+    def test_high_cardinality_insight(self, config):
+        summary = CategoricalSummary.from_values([f"v{i}" for i in range(200)])
+        insights = categorical_column_insights("x", summary, config)
+        assert any(insight.kind == "high_cardinality" for insight in insights)
+
+    def test_constant_insight(self, config):
+        summary = CategoricalSummary.from_values(["same"] * 20)
+        insights = categorical_column_insights("x", summary, config)
+        assert any(insight.kind == "constant" for insight in insights)
+
+    def test_uniform_categorical_insight(self, config):
+        summary = CategoricalSummary.from_values(["a", "b", "c", "d"] * 100)
+        insights = categorical_column_insights("x", summary, config)
+        assert any(insight.kind == "uniform" for insight in insights)
+
+    def test_dataset_insights_duplicates(self, config):
+        insights = dataset_insights(n_rows=100, duplicate_rows=20,
+                                    missing_rates={"a": 0.0}, config=config)
+        assert any(insight.kind == "duplicates" for insight in insights)
+
+    def test_correlation_insights(self, config):
+        matrix = np.array([[1.0, 0.95], [0.95, 1.0]])
+        insights = correlation_insights(["a", "b"], matrix, "pearson", config)
+        assert len(insights) == 1
+        assert "highly correlated" in insights[0].message
+
+    def test_similarity_insight_flags_changed_distribution(self, config):
+        rng = np.random.default_rng(1)
+        insights = similarity_insight("x", "missing_impact",
+                                      rng.normal(0, 1, 2000),
+                                      rng.normal(3, 1, 2000), config)
+        assert insights[0].severity == "warning"
+
+    def test_insights_disabled_globally(self):
+        config = Config.from_user({"insight.enabled": False})
+        summary = NumericSummary.from_column(Column("x", [1.0, None, None]))
+        assert numeric_column_insights("x", summary, None, config) == []
+        assert dataset_insights(10, 10, {"a": 1.0}, config) == []
+
+
+class TestHowToGuide:
+    def test_every_guide_key_exists_in_defaults(self):
+        from repro.eda.config import DEFAULTS
+        for keys in GUIDE_KEYS.values():
+            for key in keys:
+                assert key in DEFAULTS
+
+    def test_guide_contains_example_with_key(self):
+        entry = how_to_guide("histogram", call='plot(df, "price")')
+        assert "hist.bins" in entry.keys
+        assert "hist.bins" in entry.example
+        assert "plot(df" in entry.example
+
+    def test_unknown_visualization_returns_none(self):
+        assert how_to_guide("spiral_chart") is None
+
+    def test_guides_for_filters_unknown(self):
+        guides = guides_for(["histogram", "unknown_viz"])
+        assert set(guides) == {"histogram"}
+
+    def test_guide_as_text(self):
+        text = how_to_guide("box_plot").as_text()
+        assert "box.whisker" in text
+        text = how_to_guide("nullity_dendrogram").as_text()
+        assert "no tunable parameters" in text

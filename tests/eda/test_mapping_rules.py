@@ -1,0 +1,108 @@
+"""Figure 2: the mapping rules between EDA tasks and stats/plots.
+
+These tests assert that every call form of the task-centric API produces
+exactly the visualization families the paper's Figure 2 prescribes for the
+detected column types.
+"""
+
+import pytest
+
+from repro.eda import plot, plot_correlation, plot_missing
+
+
+class TestPlotMappingRules:
+    def test_overview_row(self, house_frame):
+        intermediates = plot(house_frame, mode="intermediates")
+        assert intermediates.task == "overview"
+        variables = intermediates["variables"]
+        # Histogram for each numerical column, bar chart for each categorical.
+        assert "histogram" in variables["price"]
+        assert "histogram" in variables["size"]
+        assert "bar_chart" in variables["city"]
+        assert "bar_chart" in variables["house_type"]
+        assert "overview" in intermediates
+
+    def test_univariate_numerical_row(self, house_frame):
+        intermediates = plot(house_frame, "price", mode="intermediates")
+        expected = {"stats", "histogram", "kde_plot", "qq_plot", "box_plot"}
+        assert expected <= set(intermediates.visualization_names())
+        assert intermediates.meta["semantic_type"] == "numerical"
+
+    def test_univariate_categorical_row(self, house_frame):
+        intermediates = plot(house_frame, "city", mode="intermediates")
+        expected = {"stats", "bar_chart", "pie_chart", "word_cloud",
+                    "word_frequencies"}
+        assert expected <= set(intermediates.visualization_names())
+
+    def test_bivariate_nn_row(self, house_frame):
+        intermediates = plot(house_frame, "size", "price", mode="intermediates")
+        expected = {"scatter_plot", "hexbin_plot", "binned_box_plot"}
+        assert expected <= set(intermediates.visualization_names())
+        assert intermediates.meta["combination"] == "NN"
+
+    @pytest.mark.parametrize("first,second", [("city", "price"), ("price", "city")])
+    def test_bivariate_nc_and_cn_rows(self, house_frame, first, second):
+        intermediates = plot(house_frame, first, second, mode="intermediates")
+        expected = {"box_plot", "multi_line_chart"}
+        assert expected <= set(intermediates.visualization_names())
+        assert intermediates.meta["combination"] == "CN"
+
+    def test_bivariate_cc_row(self, house_frame):
+        intermediates = plot(house_frame, "city", "house_type", mode="intermediates")
+        expected = {"nested_bar_chart", "stacked_bar_chart", "heat_map"}
+        assert expected <= set(intermediates.visualization_names())
+        assert intermediates.meta["combination"] == "CC"
+
+
+class TestCorrelationMappingRules:
+    def test_overview_row_has_three_methods(self, house_frame):
+        intermediates = plot_correlation(house_frame, mode="intermediates")
+        expected = {"correlation_pearson", "correlation_spearman",
+                    "correlation_kendall"}
+        assert expected <= set(intermediates.visualization_names())
+        for name in expected:
+            matrix = intermediates[name]["matrix"]
+            assert len(matrix) == len(intermediates[name]["columns"])
+
+    def test_single_column_row_gives_vectors(self, house_frame):
+        intermediates = plot_correlation(house_frame, "price", mode="intermediates")
+        vector = intermediates["correlation_pearson"]
+        assert vector["column"] == "price"
+        assert "price" not in vector["others"]
+        assert len(vector["values"]) == len(vector["others"])
+
+    def test_pair_row_gives_scatter_with_regression(self, house_frame):
+        intermediates = plot_correlation(house_frame, "size", "price",
+                                         mode="intermediates")
+        scatter = intermediates["correlation_scatter"]
+        assert "slope" in scatter and "intercept" in scatter
+        assert intermediates.stats["pearson_correlation"] == pytest.approx(
+            scatter["correlation"])
+
+
+class TestMissingMappingRules:
+    def test_overview_row(self, house_frame):
+        intermediates = plot_missing(house_frame, mode="intermediates")
+        expected = {"missing_bar_chart", "missing_spectrum",
+                    "nullity_correlation", "nullity_dendrogram"}
+        assert expected <= set(intermediates.visualization_names())
+
+    def test_single_column_row_compares_all_other_columns(self, house_frame):
+        intermediates = plot_missing(house_frame, "price", mode="intermediates")
+        impact = intermediates["missing_impact"]
+        assert set(impact) == set(house_frame.columns) - {"price"}
+        assert impact["size"]["type"] == "numerical"
+        assert impact["city"]["type"] == "categorical"
+        for block in impact.values():
+            assert len(block["before_counts"]) == len(block["after_counts"])
+
+    def test_pair_row_numerical_target(self, house_frame):
+        intermediates = plot_missing(house_frame, "price", "size",
+                                     mode="intermediates")
+        expected = {"missing_impact", "pdf", "cdf", "box_plot"}
+        assert expected <= set(intermediates.visualization_names())
+
+    def test_pair_row_categorical_target(self, house_frame):
+        intermediates = plot_missing(house_frame, "price", "city",
+                                     mode="intermediates")
+        assert intermediates["missing_impact"]["type"] == "categorical"

@@ -1,0 +1,133 @@
+"""Tests for storage dtype inference and coercion."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.frame.dtypes import (
+    DType,
+    coerce_values,
+    from_numpy,
+    infer_dtype,
+    is_missing_scalar,
+    parse_bool,
+    parse_datetime,
+)
+
+
+class TestInference:
+    def test_integers_infer_int(self):
+        assert infer_dtype([1, 2, 3]) is DType.INT
+
+    def test_floats_infer_float(self):
+        assert infer_dtype([1.5, 2.25]) is DType.FLOAT
+
+    def test_integral_floats_infer_int(self):
+        assert infer_dtype([1.0, 2.0, 3.0]) is DType.INT
+
+    def test_mixed_int_float_infers_float(self):
+        assert infer_dtype([1, 2.5]) is DType.FLOAT
+
+    def test_numeric_strings_infer_numbers(self):
+        assert infer_dtype(["1", "2", "3"]) is DType.INT
+        assert infer_dtype(["1.5", "2"]) is DType.FLOAT
+
+    def test_booleans_infer_bool(self):
+        assert infer_dtype([True, False]) is DType.BOOL
+        assert infer_dtype(["yes", "no", "yes"]) is DType.BOOL
+
+    def test_strings_infer_string(self):
+        assert infer_dtype(["a", "b"]) is DType.STRING
+
+    def test_mixed_string_and_number_infers_string(self):
+        assert infer_dtype([1, "a"]) is DType.STRING
+
+    def test_dates_infer_datetime(self):
+        assert infer_dtype(["2020-01-01", "2021-12-31"]) is DType.DATETIME
+
+    def test_all_missing_infers_float(self):
+        assert infer_dtype([None, float("nan"), ""]) is DType.FLOAT
+
+    def test_missing_values_are_ignored_during_inference(self):
+        assert infer_dtype([None, 1, 2, "NA"]) is DType.INT
+
+
+class TestMissingScalars:
+    @pytest.mark.parametrize("value", [None, float("nan"), "", "NA", "null",
+                                       "None", "n/a", "?", " NaN "])
+    def test_missing_tokens(self, value):
+        assert is_missing_scalar(value)
+
+    @pytest.mark.parametrize("value", [0, 0.0, False, "0", "abc", "nap"])
+    def test_non_missing_values(self, value):
+        assert not is_missing_scalar(value)
+
+
+class TestParsers:
+    def test_parse_bool_variants(self):
+        assert parse_bool("TRUE") is True
+        assert parse_bool("f") is False
+        assert parse_bool(np.True_) is True
+        assert parse_bool("maybe") is None
+        assert parse_bool(3) is None
+
+    def test_parse_datetime_formats(self):
+        assert parse_datetime("2020-01-02") == np.datetime64("2020-01-02", "s")
+        assert parse_datetime("2020-01-02 03:04:05") == \
+            np.datetime64("2020-01-02T03:04:05", "s")
+        assert parse_datetime("02/28/2021") == np.datetime64("2021-02-28", "s")
+        assert parse_datetime("not a date") is None
+
+
+class TestCoercion:
+    def test_coerce_to_float_fills_nan_for_missing(self):
+        data, mask = coerce_values([1, None, "3.5"], DType.FLOAT)
+        assert data[0] == 1.0 and data[2] == 3.5
+        assert math.isnan(data[1])
+        assert list(mask) == [False, True, False]
+
+    def test_coerce_to_int(self):
+        data, mask = coerce_values(["4", 5, None], DType.INT)
+        assert list(data[:2]) == [4, 5]
+        assert mask[2]
+
+    def test_coerce_bool_from_strings(self):
+        data, _ = coerce_values(["yes", "no"], DType.BOOL)
+        assert list(data) == [True, False]
+
+    def test_coerce_invalid_raises(self):
+        with pytest.raises(DTypeError):
+            coerce_values(["abc"], DType.INT)
+        with pytest.raises(DTypeError):
+            coerce_values(["abc"], DType.DATETIME)
+
+    def test_coerce_to_string_stringifies(self):
+        data, _ = coerce_values([1, 2.5, True], DType.STRING)
+        assert list(data) == ["1", "2.5", "True"]
+
+
+class TestFromNumpy:
+    def test_float_array_uses_nan_as_mask(self):
+        data, mask, dtype = from_numpy(np.array([1.0, np.nan, 3.0]))
+        assert dtype is DType.FLOAT
+        assert list(mask) == [False, True, False]
+
+    def test_int_array(self):
+        data, mask, dtype = from_numpy(np.arange(4))
+        assert dtype is DType.INT
+        assert not mask.any()
+
+    def test_bool_array(self):
+        _, _, dtype = from_numpy(np.array([True, False]))
+        assert dtype is DType.BOOL
+
+    def test_unicode_array(self):
+        data, mask, dtype = from_numpy(np.array(["a", "", "c"]))
+        assert dtype is DType.STRING
+        assert list(mask) == [False, True, False]
+
+    def test_2d_array_rejected(self):
+        with pytest.raises(DTypeError):
+            from_numpy(np.zeros((2, 2)))

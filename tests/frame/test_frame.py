@@ -1,0 +1,188 @@
+"""Tests for the DataFrame container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnNotFoundError, FrameError, LengthMismatchError
+from repro.frame import Column, DataFrame, DType, concat_rows
+
+
+class TestConstruction:
+    def test_from_dict(self, mixed_frame):
+        assert mixed_frame.shape == (5, 5)
+        assert mixed_frame.columns == ["ints", "floats", "strings", "bools", "dates"]
+
+    def test_from_columns(self):
+        frame = DataFrame([Column("a", [1, 2]), Column("b", ["x", "y"])])
+        assert frame.columns == ["a", "b"]
+
+    def test_empty_frame(self):
+        frame = DataFrame()
+        assert frame.shape == (0, 0)
+        assert len(frame) == 0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(LengthMismatchError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(FrameError):
+            DataFrame([Column("a", [1]), Column("a", [2])])
+
+    def test_dtypes_property(self, mixed_frame):
+        dtypes = mixed_frame.dtypes
+        assert dtypes["ints"] is DType.INT
+        assert dtypes["strings"] is DType.STRING
+        assert dtypes["dates"] is DType.DATETIME
+
+    def test_frames_are_unhashable(self, mixed_frame):
+        with pytest.raises(TypeError):
+            hash(mixed_frame)
+
+
+class TestSelection:
+    def test_getitem_column(self, mixed_frame):
+        assert isinstance(mixed_frame["ints"], Column)
+
+    def test_getitem_list(self, mixed_frame):
+        subset = mixed_frame[["ints", "floats"]]
+        assert subset.columns == ["ints", "floats"]
+
+    def test_getitem_missing_column_suggests(self, mixed_frame):
+        with pytest.raises(ColumnNotFoundError) as excinfo:
+            mixed_frame.column("intz")
+        assert "ints" in str(excinfo.value)
+
+    def test_select_and_drop(self, mixed_frame):
+        assert mixed_frame.select(["bools"]).n_columns == 1
+        assert mixed_frame.drop("bools").n_columns == 4
+        with pytest.raises(ColumnNotFoundError):
+            mixed_frame.drop("nope")
+
+    def test_with_column_appends_and_replaces(self, mixed_frame):
+        added = mixed_frame.with_column(Column("new", [1, 2, 3, 4, 5]))
+        assert added.n_columns == 6
+        replaced = mixed_frame.with_column(Column("ints", [9, 9, 9, 9, 9]))
+        assert replaced.column("ints").to_list() == [9, 9, 9, 9, 9]
+        assert replaced.n_columns == 5
+
+    def test_rename(self, mixed_frame):
+        renamed = mixed_frame.rename({"ints": "integers"})
+        assert "integers" in renamed.columns
+        assert "ints" not in renamed.columns
+
+    def test_contains(self, mixed_frame):
+        assert "ints" in mixed_frame
+        assert "nope" not in mixed_frame
+
+
+class TestRowOperations:
+    def test_slice_and_head_tail(self, house_frame):
+        assert len(house_frame.head(10)) == 10
+        assert len(house_frame.tail(7)) == 7
+        assert len(house_frame.slice(5, 15)) == 10
+
+    def test_getitem_slice(self, house_frame):
+        assert len(house_frame[10:20]) == 10
+
+    def test_filter_with_boolean_mask(self, house_frame):
+        mask = house_frame.column("size").to_numpy() > 2000
+        filtered = house_frame[np.asarray(mask, dtype=bool)]
+        assert len(filtered) == int(mask.sum())
+
+    def test_filter_length_mismatch(self, house_frame):
+        with pytest.raises(FrameError):
+            house_frame.filter(np.array([True, False]))
+
+    def test_take(self, mixed_frame):
+        taken = mixed_frame.take([0, 4])
+        assert len(taken) == 2
+        assert taken.column("ints").to_list() == [1, None]
+
+    def test_sample_is_deterministic_with_seed(self, house_frame):
+        first = house_frame.sample(50, seed=3)
+        second = house_frame.sample(50, seed=3)
+        assert first == second
+        assert len(first) == 50
+
+    def test_sample_larger_than_frame_returns_copy(self, mixed_frame):
+        assert len(mixed_frame.sample(100)) == len(mixed_frame)
+
+    def test_dropna_all_columns(self, mixed_frame):
+        clean = mixed_frame.dropna()
+        assert len(clean) == 1  # only the first row has no missing value
+        for name in clean.columns:
+            assert clean.column(name).missing_count() == 0
+
+    def test_dropna_subset(self, mixed_frame):
+        clean = mixed_frame.dropna(subset=["ints"])
+        assert len(clean) == 4
+
+    def test_copy_is_independent(self, mixed_frame):
+        copy = mixed_frame.copy()
+        assert copy == mixed_frame
+        copy.column("ints").data[0] = 99
+        assert copy != mixed_frame
+
+
+class TestSummaries:
+    def test_missing_counts(self, mixed_frame):
+        counts = mixed_frame.missing_counts()
+        assert counts["ints"] == 1
+        assert sum(counts.values()) == 5
+
+    def test_missing_mask_shape(self, mixed_frame):
+        mask = mixed_frame.missing_mask()
+        assert mask.shape == (5, 5)
+        assert mask.sum() == 5
+
+    def test_duplicate_row_count(self):
+        frame = DataFrame({"a": [1, 1, 2, 1], "b": ["x", "x", "y", "x"]})
+        assert frame.duplicate_row_count() == 2
+
+    def test_duplicate_rows_with_missing(self):
+        frame = DataFrame({"a": [None, None, 1]})
+        assert frame.duplicate_row_count() == 1
+
+    def test_describe_covers_all_columns(self, house_frame):
+        description = house_frame.describe()
+        assert set(description) == set(house_frame.columns)
+
+    def test_numeric_and_string_column_lists(self, mixed_frame):
+        assert "floats" in mixed_frame.numeric_columns()
+        assert "strings" in mixed_frame.string_columns()
+
+    def test_memory_bytes_positive(self, house_frame):
+        assert house_frame.memory_bytes() > 0
+
+    def test_to_rows_round_trip(self, mixed_frame):
+        rows = mixed_frame.to_rows()
+        assert len(rows) == 5
+        assert rows[0]["ints"] == 1
+        assert rows[4]["ints"] is None
+
+    def test_row(self, mixed_frame):
+        row = mixed_frame.row(1)
+        assert row["strings"] == "b"
+
+
+class TestConcat:
+    def test_concat_rows(self, house_frame):
+        first, second = house_frame.slice(0, 100), house_frame.slice(100, 400)
+        combined = concat_rows([first, second])
+        assert len(combined) == 400
+        assert combined == house_frame
+
+    def test_concat_promotes_numeric_dtypes(self):
+        first = DataFrame({"a": [1, 2]})
+        second = DataFrame({"a": [1.5]})
+        combined = concat_rows([first, second])
+        assert combined.column("a").dtype is DType.FLOAT
+        assert len(combined) == 3
+
+    def test_concat_mismatched_columns_raises(self):
+        with pytest.raises(FrameError):
+            concat_rows([DataFrame({"a": [1]}), DataFrame({"b": [1]})])
+
+    def test_concat_empty_list(self):
+        assert len(concat_rows([])) == 0

@@ -1,0 +1,89 @@
+"""Property-based tests of the frame substrate (hypothesis)."""
+
+import io
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import Column, DataFrame, concat_rows, read_csv, write_csv
+
+# Finite floats that survive CSV round trips without precision surprises.
+finite_floats = st.floats(min_value=-1e9, max_value=1e9,
+                          allow_nan=False, allow_infinity=False)
+optional_floats = st.one_of(st.none(), finite_floats)
+category_values = st.one_of(st.none(), st.sampled_from(["red", "green", "blue", "x y"]))
+
+
+@st.composite
+def small_frames(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=40))
+    numbers = draw(st.lists(optional_floats, min_size=n_rows, max_size=n_rows))
+    categories = draw(st.lists(category_values, min_size=n_rows, max_size=n_rows))
+    return DataFrame({"num": numbers, "cat": categories})
+
+
+@given(values=st.lists(optional_floats, min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_column_count_plus_missing_equals_length(values):
+    column = Column("x", values)
+    assert column.count() + column.missing_count() == len(column)
+    assert 0.0 <= column.missing_rate() <= 1.0
+
+
+@given(values=st.lists(finite_floats, min_size=2, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_column_statistics_match_numpy(values):
+    column = Column("x", values)
+    array = np.asarray(values, dtype=float)
+    assert column.mean() == np.float64(array.mean()) or \
+        math.isclose(column.mean(), array.mean(), rel_tol=1e-9, abs_tol=1e-9)
+    assert math.isclose(column.sum(), array.sum(), rel_tol=1e-9, abs_tol=1e-6)
+    assert column.min() == array.min()
+    assert column.max() == array.max()
+
+
+@given(values=st.lists(optional_floats, min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_dropna_fillna_invariants(values):
+    column = Column("x", values)
+    assert column.dropna().missing_count() == 0
+    assert column.fillna(0.0).missing_count() == 0
+    assert len(column.dropna()) == column.count()
+
+
+@given(frame=small_frames())
+@settings(max_examples=40, deadline=None)
+def test_csv_round_trip_preserves_shape_and_missingness(frame):
+    buffer = io.StringIO()
+    write_csv(frame, buffer)
+    buffer.seek(0)
+    loaded = read_csv(buffer)
+    assert loaded.shape == frame.shape
+    assert loaded.missing_counts() == frame.missing_counts()
+
+
+@given(frame=small_frames(), split=st.integers(min_value=0, max_value=40))
+@settings(max_examples=40, deadline=None)
+def test_slice_concat_round_trip(frame, split):
+    split = min(split, len(frame))
+    combined = concat_rows([frame.slice(0, split), frame.slice(split, len(frame))])
+    assert combined.shape == frame.shape
+    assert combined.missing_counts() == frame.missing_counts()
+
+
+@given(frame=small_frames())
+@settings(max_examples=40, deadline=None)
+def test_filter_never_increases_rows(frame):
+    mask = frame.column("num").notna()
+    filtered = frame.filter(mask)
+    assert len(filtered) <= len(frame)
+    assert filtered.column("num").missing_count() == 0
+
+
+@given(frame=small_frames())
+@settings(max_examples=40, deadline=None)
+def test_duplicate_count_bounds(frame):
+    duplicates = frame.duplicate_row_count()
+    assert 0 <= duplicates <= max(len(frame) - 1, 0)

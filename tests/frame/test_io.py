@@ -1,0 +1,92 @@
+"""Tests for CSV input/output."""
+
+import io
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import DataFrame, DType, read_csv, write_csv
+
+
+def roundtrip(frame: DataFrame, **kwargs) -> DataFrame:
+    buffer = io.StringIO()
+    write_csv(frame, buffer)
+    buffer.seek(0)
+    return read_csv(buffer, **kwargs)
+
+
+class TestReadCsv:
+    def test_basic_read_with_inference(self):
+        text = "a,b,c\n1,x,2020-01-01\n2,y,2021-02-03\n"
+        frame = read_csv(io.StringIO(text))
+        assert frame.shape == (2, 3)
+        assert frame.dtypes["a"] is DType.INT
+        assert frame.dtypes["b"] is DType.STRING
+        assert frame.dtypes["c"] is DType.DATETIME
+
+    def test_missing_tokens_become_missing(self):
+        text = "a,b\n1,\n,x\nNA,y\n"
+        frame = read_csv(io.StringIO(text))
+        assert frame.column("a").missing_count() == 2
+        assert frame.column("b").missing_count() == 1
+
+    def test_dtype_override(self):
+        text = "a\n1\n2\n"
+        frame = read_csv(io.StringIO(text), dtypes={"a": DType.STRING})
+        assert frame.dtypes["a"] is DType.STRING
+
+    def test_no_header_requires_names(self):
+        with pytest.raises(FrameError):
+            read_csv(io.StringIO("1,2\n"), has_header=False)
+        frame = read_csv(io.StringIO("1,2\n3,4\n"), has_header=False,
+                         column_names=["x", "y"])
+        assert frame.columns == ["x", "y"]
+        assert len(frame) == 2
+
+    def test_max_rows(self):
+        text = "a\n" + "\n".join(str(index) for index in range(100)) + "\n"
+        frame = read_csv(io.StringIO(text), max_rows=10)
+        assert len(frame) == 10
+
+    def test_ragged_rows_are_normalised(self):
+        text = "a,b\n1,2\n3\n4,5,6\n"
+        frame = read_csv(io.StringIO(text))
+        assert frame.shape == (3, 2)
+        assert frame.column("b").missing_count() == 1
+
+    def test_empty_stream(self):
+        frame = read_csv(io.StringIO(""))
+        assert frame.shape == (0, 0)
+
+    def test_file_round_trip(self, tmp_path, house_frame):
+        path = tmp_path / "houses.csv"
+        write_csv(house_frame, str(path))
+        loaded = read_csv(str(path))
+        assert loaded.shape == house_frame.shape
+        assert loaded.columns == house_frame.columns
+
+
+class TestRoundTrip:
+    def test_values_and_missing_survive(self, mixed_frame):
+        loaded = roundtrip(mixed_frame)
+        assert loaded.shape == mixed_frame.shape
+        assert loaded.column("ints").missing_count() == 1
+        assert loaded.column("strings").to_list()[:3] == ["a", "b", "a"]
+
+    def test_numeric_precision(self):
+        frame = DataFrame({"x": [0.1, 1e-7, 123456.789]})
+        loaded = roundtrip(frame)
+        for original, copied in zip(frame.column("x").to_list(),
+                                    loaded.column("x").to_list()):
+            assert copied == pytest.approx(original)
+
+    def test_bool_round_trip(self):
+        frame = DataFrame({"flag": [True, False, None]})
+        loaded = roundtrip(frame)
+        assert loaded.dtypes["flag"] is DType.BOOL
+        assert loaded.column("flag").to_list() == [True, False, None]
+
+    def test_datetime_round_trip(self, mixed_frame):
+        loaded = roundtrip(mixed_frame)
+        assert loaded.dtypes["dates"] is DType.DATETIME
+        assert loaded.column("dates").missing_count() == 1

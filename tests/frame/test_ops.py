@@ -1,0 +1,80 @@
+"""Tests for relational helper operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.frame import DataFrame
+from repro.frame.ops import crosstab, groupby_aggregate, grouped_values, value_counts
+
+
+@pytest.fixture
+def sales_frame() -> DataFrame:
+    return DataFrame({
+        "region": ["north", "north", "south", "south", "south", "east", None],
+        "product": ["a", "b", "a", "a", "b", "a", "b"],
+        "amount": [10.0, 20.0, 30.0, None, 50.0, 60.0, 70.0],
+    })
+
+
+class TestValueCounts:
+    def test_counts(self, sales_frame):
+        counts = value_counts(sales_frame, "region")
+        assert counts[0] == ("south", 3)
+
+    def test_top_limits_output(self, sales_frame):
+        assert len(value_counts(sales_frame, "region", top=2)) == 2
+
+
+class TestCrosstab:
+    def test_counts_match_manual(self, sales_frame):
+        rows, cols, counts = crosstab(sales_frame, "region", "product")
+        table = {(row, col): counts[i, j]
+                 for i, row in enumerate(rows) for j, col in enumerate(cols)}
+        assert table[("south", "a")] == 2
+        assert table[("north", "b")] == 1
+
+    def test_missing_rows_are_excluded(self, sales_frame):
+        _, _, counts = crosstab(sales_frame, "region", "product")
+        assert counts.sum() == 6  # one region value is missing
+
+    def test_category_limit_creates_other_bucket(self):
+        frame = DataFrame({
+            "many": [f"cat{i}" for i in range(30)],
+            "few": ["x"] * 30,
+        })
+        rows, _, counts = crosstab(frame, "many", "few", max_row_categories=5)
+        assert "(other)" in rows
+        assert counts.sum() == 30
+
+
+class TestGroupby:
+    def test_mean_aggregation(self, sales_frame):
+        result = dict(groupby_aggregate(sales_frame, "region", "amount", "mean"))
+        assert result["north"] == pytest.approx(15.0)
+        assert result["south"] == pytest.approx(40.0)
+
+    def test_count_and_sum(self, sales_frame):
+        counts = dict(groupby_aggregate(sales_frame, "region", "amount", "count"))
+        assert counts["south"] == 2.0  # the missing amount is dropped
+        sums = dict(groupby_aggregate(sales_frame, "region", "amount", "sum"))
+        assert sums["east"] == 60.0
+
+    def test_unknown_aggregation_raises(self, sales_frame):
+        with pytest.raises(DTypeError):
+            groupby_aggregate(sales_frame, "region", "amount", "exotic")
+
+    def test_non_numeric_value_column_raises(self, sales_frame):
+        with pytest.raises(DTypeError):
+            groupby_aggregate(sales_frame, "region", "product")
+
+    def test_max_groups_limits_output(self, sales_frame):
+        result = groupby_aggregate(sales_frame, "region", "amount", max_groups=1)
+        assert len(result) == 1
+        # north and south both keep two non-missing amounts; ties break by name.
+        assert result[0][0] == "north"
+
+    def test_grouped_values_returns_arrays(self, sales_frame):
+        groups = dict(grouped_values(sales_frame, "region", "amount"))
+        assert isinstance(groups["south"], np.ndarray)
+        assert groups["south"].shape == (2,)

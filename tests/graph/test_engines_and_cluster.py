@@ -1,0 +1,128 @@
+"""Tests for the execution engines (Fig. 6a) and the cluster model (Fig. 6c)."""
+
+import operator
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    ClusterCostModel,
+    ClusterRPCEngine,
+    EagerEngine,
+    LazyEngine,
+    SimulatedCluster,
+    available_engines,
+    delayed,
+    get_engine,
+)
+
+
+def build_workload():
+    """Three lazy values that share a common expensive sub-computation."""
+    counter = {"calls": 0}
+
+    def expensive(value):
+        counter["calls"] += 1
+        return value * 2
+
+    base = delayed(expensive)(21)
+    double = base.then(operator.add, 0)
+    squared = base.then(operator.mul, 2)
+    other = delayed(expensive)(21)
+    return [double, squared, other], counter
+
+
+class TestEngines:
+    def test_registry(self):
+        assert set(available_engines()) == {"lazy", "eager", "cluster-rpc"}
+        assert isinstance(get_engine("lazy"), LazyEngine)
+        with pytest.raises(GraphError):
+            get_engine("spark")
+
+    @pytest.mark.parametrize("engine", [LazyEngine(), EagerEngine(),
+                                        ClusterRPCEngine(dispatch_latency=0.0)])
+    def test_all_engines_produce_identical_results(self, engine):
+        values, _ = build_workload()
+        assert engine.compute(values) == [42, 84, 42]
+
+    def test_lazy_engine_shares_work(self):
+        values, counter = build_workload()
+        results, report = LazyEngine().compute_with_report(values)
+        assert results == [42, 84, 42]
+        assert counter["calls"] == 1
+        assert report.graphs_built == 1
+        assert report.shared_tasks >= 1
+        assert report.sharing_ratio > 0
+
+    def test_eager_engine_repeats_work(self):
+        values, counter = build_workload()
+        results, report = EagerEngine().compute_with_report(values)
+        assert results == [42, 84, 42]
+        assert counter["calls"] == 3
+        assert report.graphs_built == len(values)
+        assert report.shared_tasks == 0
+
+    def test_cluster_rpc_engine_reports_single_graph(self):
+        values, _ = build_workload()
+        results, report = ClusterRPCEngine(dispatch_latency=0.0).compute_with_report(values)
+        assert results == [42, 84, 42]
+        assert report.graphs_built == 1
+
+    def test_lazy_engine_without_cse_still_correct(self):
+        values, counter = build_workload()
+        engine = LazyEngine(enable_cse=False)
+        assert engine.compute(values) == [42, 84, 42]
+        assert counter["calls"] == 2  # the two independently-built calls run twice
+
+
+class TestClusterCostModel:
+    def test_more_workers_is_never_slower(self):
+        model = ClusterCostModel()
+        times = model.sweep(100_000_000, [1, 2, 4, 8])
+        assert times == sorted(times, reverse=True)
+
+    def test_overhead_bounds_the_speedup(self):
+        model = ClusterCostModel(coordination_overhead_s=100.0)
+        assert model.estimate_seconds(1_000_000, 1000) >= 100.0
+
+    def test_invalid_arguments(self):
+        model = ClusterCostModel()
+        with pytest.raises(GraphError):
+            model.estimate_seconds(10, 0)
+        with pytest.raises(GraphError):
+            model.estimate_seconds(-1, 1)
+
+    def test_calibration_matches_measurement(self):
+        model = ClusterCostModel().calibrate_from_single_node(
+            n_rows=1_000_000, measured_seconds=20.0, io_fraction=0.4)
+        assert model.estimate_seconds(1_000_000, 1) == pytest.approx(20.0)
+        assert model.estimate_seconds(1_000_000, 4) < 20.0
+
+    def test_calibration_validation(self):
+        with pytest.raises(GraphError):
+            ClusterCostModel().calibrate_from_single_node(10, 0.0)
+        with pytest.raises(GraphError):
+            ClusterCostModel().calibrate_from_single_node(10, 5.0, io_fraction=1.5)
+
+
+class TestSimulatedCluster:
+    def test_results_preserve_order(self):
+        cluster = SimulatedCluster(n_workers=2, read_bandwidth_bytes_per_s=1e9)
+        results = cluster.run([1, 2, 3, 4], [10, 10, 10, 10], lambda x: x * 10)
+        assert results == [10, 20, 30, 40]
+
+    def test_more_workers_reduce_wall_time(self):
+        partitions = list(range(8))
+        sizes = [200_000] * 8  # 1ms of simulated I/O each at 200 MB/s
+        slow_cluster = SimulatedCluster(n_workers=1, read_bandwidth_bytes_per_s=2e8)
+        fast_cluster = SimulatedCluster(n_workers=8, read_bandwidth_bytes_per_s=2e8)
+        _, slow = slow_cluster.timed_run(partitions, sizes, lambda x: x)
+        _, fast = fast_cluster.timed_run(partitions, sizes, lambda x: x)
+        assert fast < slow
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            SimulatedCluster(n_workers=0)
+        cluster = SimulatedCluster(n_workers=1)
+        with pytest.raises(GraphError):
+            cluster.run([1], [1, 2], lambda x: x)

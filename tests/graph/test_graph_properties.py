@@ -1,0 +1,57 @@
+"""Property-based tests of the graph layer (hypothesis)."""
+
+import operator
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import DataFrame
+from repro.graph import PartitionedFrame, compute, delayed, precompute_chunk_sizes
+from repro.graph.scheduler import SynchronousScheduler, ThreadedScheduler
+
+
+@given(n_rows=st.integers(min_value=0, max_value=5000),
+       partition_rows=st.integers(min_value=1, max_value=700))
+@settings(max_examples=80, deadline=None)
+def test_chunk_boundaries_partition_the_row_range(n_rows, partition_rows):
+    boundaries = precompute_chunk_sizes(n_rows, partition_rows=partition_rows)
+    assert boundaries[0][0] == 0
+    assert boundaries[-1][1] == n_rows or (n_rows == 0 and boundaries == [(0, 0)])
+    for (start_a, stop_a), (start_b, _) in zip(boundaries, boundaries[1:]):
+        assert stop_a == start_b
+        assert stop_a - start_a <= partition_rows
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=500),
+       partition_rows=st.integers(min_value=1, max_value=100))
+@settings(max_examples=40, deadline=None)
+def test_partitioned_sum_equals_direct_sum(values, partition_rows):
+    frame = DataFrame({"x": values})
+    partitioned = PartitionedFrame.from_frame(frame, partition_rows=partition_rows)
+    total = partitioned.reduction(
+        chunk=lambda part: part.column("x").sum(),
+        combine=lambda parts: float(sum(parts))).compute()
+    assert np.isclose(total, float(np.sum(values)), rtol=1e-9, atol=1e-6)
+
+
+@given(numbers=st.lists(st.integers(min_value=-1000, max_value=1000),
+                        min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_schedulers_agree_on_random_fan_in_graphs(numbers):
+    lazy_values = [delayed(operator.mul)(number, 2) for number in numbers]
+    total = delayed(sum)(lazy_values)
+    synchronous = compute(total, scheduler=SynchronousScheduler())[0]
+    threaded = compute(total, scheduler=ThreadedScheduler(max_workers=4))[0]
+    assert synchronous == threaded == 2 * sum(numbers)
+
+
+@given(numbers=st.lists(st.integers(min_value=0, max_value=50),
+                        min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_cse_never_changes_results(numbers):
+    lazy_values = [delayed(operator.add)(number, 1) for number in numbers]
+    with_cse = compute(*lazy_values, enable_cse=True)
+    without_cse = compute(*lazy_values, enable_cse=False)
+    assert with_cse == without_cse == [number + 1 for number in numbers]

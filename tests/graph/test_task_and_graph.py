@@ -1,0 +1,108 @@
+"""Tests for Task, tokenization and the TaskGraph container."""
+
+import operator
+
+import pytest
+
+from repro.errors import CycleError, GraphError
+from repro.graph import Task, TaskGraph, TaskRef, tokenize
+
+
+def make_task(key, func, *args, **kwargs):
+    return Task(key, func, args, kwargs)
+
+
+class TestTask:
+    def test_dependencies_from_refs(self):
+        task = make_task("c", operator.add, TaskRef("a"), TaskRef("b"))
+        assert set(task.dependencies()) == {"a", "b"}
+
+    def test_nested_refs_are_found(self):
+        task = make_task("c", sum, [TaskRef("a"), TaskRef("b")])
+        assert set(task.dependencies()) == {"a", "b"}
+        task = make_task("c", dict, values={"k": TaskRef("a")})
+        assert task.dependencies() == ["a"]
+
+    def test_execute_resolves_refs(self):
+        task = make_task("c", operator.add, TaskRef("a"), 10)
+        assert task.execute({"a": 5}) == 15
+
+    def test_substitute_rewrites_refs(self):
+        task = make_task("c", operator.add, TaskRef("a"), TaskRef("b"))
+        rewritten = task.substitute({"a": "z"})
+        assert set(rewritten.dependencies()) == {"z", "b"}
+
+    def test_identical_calls_share_tokens(self):
+        first = make_task("k1", operator.add, 1, 2)
+        second = make_task("k2", operator.add, 1, 2)
+        assert first.token == second.token
+
+    def test_different_args_different_tokens(self):
+        assert make_task("k1", operator.add, 1, 2).token != \
+            make_task("k2", operator.add, 1, 3).token
+
+    def test_lambdas_never_share_tokens(self):
+        assert make_task("k1", lambda x: x, 1).token != \
+            make_task("k2", lambda x: x, 1).token
+
+    def test_tokenize_handles_containers(self):
+        token_a = tokenize(sum, ([1, 2, TaskRef("a")],), {})
+        token_b = tokenize(sum, ([1, 2, TaskRef("a")],), {})
+        assert token_a == token_b
+        assert token_a != tokenize(sum, ([1, 2, TaskRef("b")],), {})
+
+
+class TestTaskGraph:
+    def build_chain(self):
+        graph = TaskGraph()
+        graph.add(make_task("a", int, 1))
+        graph.add(make_task("b", operator.add, TaskRef("a"), 1))
+        graph.add(make_task("c", operator.mul, TaskRef("b"), 2))
+        return graph
+
+    def test_toposort_orders_dependencies_first(self):
+        order = self.build_chain().toposort()
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.add(make_task("a", operator.add, TaskRef("b"), 1))
+        graph.add(make_task("b", operator.add, TaskRef("a"), 1))
+        with pytest.raises(CycleError):
+            graph.toposort()
+
+    def test_validate_unknown_dependency(self):
+        graph = TaskGraph([make_task("a", operator.add, TaskRef("ghost"), 1)])
+        with pytest.raises(GraphError):
+            graph.validate()
+
+    def test_ancestors(self):
+        graph = self.build_chain()
+        assert graph.ancestors(["c"]) == {"a", "b", "c"}
+        assert graph.ancestors(["b"]) == {"a", "b"}
+
+    def test_dependents(self):
+        dependents = self.build_chain().dependents()
+        assert dependents["a"] == {"b"}
+        assert dependents["c"] == set()
+
+    def test_re_adding_same_key_with_different_contents_raises(self):
+        graph = TaskGraph([make_task("a", int, 1)])
+        with pytest.raises(GraphError):
+            graph.add(make_task("a", int, 2))
+
+    def test_update_merges_graphs(self):
+        first = TaskGraph([make_task("a", int, 1)])
+        second = TaskGraph([make_task("b", int, 2)])
+        first.update(second)
+        assert set(first.keys()) == {"a", "b"}
+
+    def test_getitem_unknown_key(self):
+        with pytest.raises(GraphError):
+            TaskGraph()["missing"]
+
+    def test_copy_is_shallow_but_independent(self):
+        graph = self.build_chain()
+        copy = graph.copy()
+        copy.add(make_task("d", int, 4))
+        assert "d" not in graph

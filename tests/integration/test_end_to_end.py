@@ -1,0 +1,84 @@
+"""End-to-end integration tests exercising the full pipeline on realistic data."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines import eager_profile_report
+from repro.datasets import bitcoin_dataset, load_kaggle_like
+from repro.eda import plot, plot_correlation, plot_missing
+
+
+@pytest.fixture(scope="module")
+def kaggle_frame():
+    """A Table 2-shaped dataset large enough to exercise the graph stage."""
+    return load_kaggle_like("titanic")
+
+
+class TestCsvToReportPipeline:
+    def test_csv_round_trip_then_report(self, tmp_path, kaggle_frame):
+        path = tmp_path / "dataset.csv"
+        repro.write_csv(kaggle_frame, str(path))
+        loaded = repro.read_csv(str(path))
+        report = repro.create_report(loaded, title="Integration Report")
+        html_path = report.save(str(tmp_path / "report.html"))
+        content = open(html_path).read()
+        assert "Integration Report" in content
+        assert content.count("<svg") > 5
+
+    def test_all_nine_call_forms_run_on_one_dataset(self, kaggle_frame):
+        numeric = [name for name in kaggle_frame.columns if name.startswith("num_")]
+        categorical = [name for name in kaggle_frame.columns
+                       if name.startswith("cat_")]
+        containers = [
+            plot(kaggle_frame),
+            plot(kaggle_frame, numeric[0]),
+            plot(kaggle_frame, numeric[0], numeric[1]),
+            plot(kaggle_frame, categorical[0], numeric[0]),
+            plot(kaggle_frame, categorical[0], categorical[1]),
+            plot_correlation(kaggle_frame),
+            plot_correlation(kaggle_frame, numeric[0]),
+            plot_correlation(kaggle_frame, numeric[0], numeric[1]),
+            plot_missing(kaggle_frame),
+            plot_missing(kaggle_frame, numeric[0]),
+            plot_missing(kaggle_frame, numeric[0], numeric[1]),
+        ]
+        for container in containers:
+            assert container.tab_names
+            assert "<div" in container.to_html()
+
+
+class TestLargeDataGraphMode:
+    def test_bitcoin_overview_matches_between_engines(self):
+        frame = bitcoin_dataset(n_rows=60_000, seed=3)
+        lazy = plot(frame, "close", mode="intermediates",
+                    config={"compute.use_graph": "always",
+                            "compute.partition_rows": 10_000})
+        local = plot(frame, "close", mode="intermediates",
+                     config={"compute.use_graph": "never"})
+        assert lazy.stats["mean"] == pytest.approx(local.stats["mean"])
+        assert lazy.stats["missing"] == local.stats["missing"]
+        assert lazy["histogram"]["counts"] == local["histogram"]["counts"]
+
+    def test_report_on_partitioned_data(self):
+        frame = bitcoin_dataset(n_rows=60_000, seed=4)
+        report = repro.create_report(
+            frame, config={"compute.use_graph": "always",
+                           "compute.partition_rows": 20_000})
+        overview = report.sections["Overview"]
+        assert overview.stats["n_rows"] == 60_000
+
+
+class TestToolComparison:
+    def test_both_tools_agree_on_basic_facts(self, kaggle_frame):
+        dataprep = repro.create_report(kaggle_frame)
+        baseline = eager_profile_report(kaggle_frame)
+        dataprep_overview = dataprep.sections["Overview"].stats
+        assert dataprep_overview["n_rows"] == baseline.overview["n_rows"]
+        assert dataprep_overview["missing_cells"] == baseline.overview["missing_cells"]
+        ours = np.asarray(
+            dataprep.sections["Correlations"]["correlation_pearson"]["matrix"])
+        theirs = np.asarray(baseline.correlations["pearson"])
+        shared = min(ours.shape[0], theirs.shape[0])
+        assert np.allclose(ours[:shared, :shared], theirs[:shared, :shared],
+                           equal_nan=True, atol=1e-6)

@@ -1,0 +1,97 @@
+"""Tests for the simulated user study (Section 6.3 / Figure 7)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.userstudy import (
+    STUDY_TASKS,
+    ToolLatencies,
+    recruit_participants,
+    run_user_study,
+    summarize_by_skill,
+)
+
+
+class TestParticipants:
+    def test_pool_composition(self):
+        pool = recruit_participants(32, skilled_fraction=0.5, seed=1)
+        assert len(pool) == 32
+        assert sum(1 for person in pool if person.is_skilled) == 16
+
+    def test_novices_are_slower_on_average(self):
+        pool = recruit_participants(200, seed=2)
+        skilled = [person.speed for person in pool if person.is_skilled]
+        novice = [person.speed for person in pool if not person.is_skilled]
+        assert sum(novice) / len(novice) > sum(skilled) / len(skilled)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            recruit_participants(0)
+        with pytest.raises(DatasetError):
+            recruit_participants(10, skilled_fraction=2.0)
+
+
+class TestTasks:
+    def test_five_sequential_tasks(self):
+        assert len(STUDY_TASKS) == 5
+        assert [task.task_id for task in STUDY_TASKS] == [1, 2, 3, 4, 5]
+        for task in STUDY_TASKS:
+            assert 0.0 <= task.report_coverage <= 1.0
+            assert task.interactions >= 1
+
+
+class TestStudyOutcomes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_user_study(n_participants=32, seed=7)
+
+    def test_every_participant_attempts_all_tasks(self, result):
+        assert len(result.outcomes) == 32 * 2 * len(STUDY_TASKS)
+
+    def test_dataprep_improves_completion(self, result):
+        # Paper: participants completed 2.05x more tasks with DataPrep.EDA.
+        assert 1.5 <= result.completion_ratio() <= 3.0
+
+    def test_dataprep_improves_correctness(self, result):
+        # Paper: 2.2x more correct answers with DataPrep.EDA.
+        assert result.correctness_ratio() >= 1.8
+
+    def test_relative_accuracy_levels(self, result):
+        # Paper: relative accuracy 0.82 (DataPrep.EDA) vs 0.53 (baseline).
+        assert result.relative_accuracy("dataprep") >= 0.75
+        assert result.relative_accuracy("pandas_profiling") <= 0.65
+
+    def test_baseline_degrades_on_the_complex_dataset(self, result):
+        simple = result.completed_per_participant("pandas_profiling", "BirdStrike")
+        complex_dataset = result.completed_per_participant("pandas_profiling",
+                                                           "DelayedFlights")
+        assert simple > complex_dataset
+
+    def test_dataprep_levels_skill_differences(self, result):
+        by_skill = summarize_by_skill(result)
+        dataprep_gap = abs(
+            by_skill["dataprep/DelayedFlights/skilled"]["relative_accuracy"] -
+            by_skill["dataprep/DelayedFlights/novice"]["relative_accuracy"])
+        baseline_gap = abs(
+            by_skill["pandas_profiling/BirdStrike/skilled"]["relative_accuracy"] -
+            by_skill["pandas_profiling/BirdStrike/novice"]["relative_accuracy"])
+        assert dataprep_gap < baseline_gap + 0.25
+
+    def test_reproducibility(self):
+        first = run_user_study(n_participants=8, seed=3).summary()
+        second = run_user_study(n_participants=8, seed=3).summary()
+        assert first == second
+
+    def test_faster_baseline_reports_help_the_baseline(self):
+        slow = ToolLatencies(profile_report_seconds={"BirdStrike": 600.0,
+                                                     "DelayedFlights": 3000.0})
+        fast = ToolLatencies(profile_report_seconds={"BirdStrike": 5.0,
+                                                     "DelayedFlights": 10.0})
+        slow_result = run_user_study(16, latencies=slow, seed=5)
+        fast_result = run_user_study(16, latencies=fast, seed=5)
+        assert fast_result.completed_per_participant("pandas_profiling") >= \
+            slow_result.completed_per_participant("pandas_profiling")
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            run_user_study(0)
