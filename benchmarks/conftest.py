@@ -11,6 +11,26 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_intermediate_cache():
+    """Isolate the process-wide intermediate cache per benchmark test.
+
+    The figure benchmarks reproduce a system without a cross-call cache, so
+    a cache warmed by an earlier test (or an earlier dataset sweep) must
+    never leak into their measurements.  bench_interactive_session, which
+    measures the cache itself, installs its own instance on top of this.
+    """
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield
+    set_global_cache(previous)
+
+
 #: Scale factor applied to the Table 2 dataset row counts.  Override with the
 #: REPRO_BENCH_SCALE environment variable (1.0 = the published row counts).
 TABLE2_ROW_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))

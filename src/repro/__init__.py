@@ -11,28 +11,55 @@ Public API
   — the task-centric EDA functions (Figure 2 of the paper).
 * :func:`repro.create_report` — the full profile report (Table 2 workload).
 * :func:`repro.read_csv` / :class:`repro.DataFrame` — data ingestion.
+* :func:`repro.cache_stats` / :func:`repro.clear_cache` — the cross-call
+  intermediate cache that makes repeated calls on the same frame fast.
 
 Quickstart
 ----------
 >>> import repro
 >>> df = repro.read_csv("houses.csv")
 >>> repro.plot(df, "price")            # univariate analysis
->>> repro.plot_correlation(df)          # correlation matrices
+>>> repro.plot_correlation(df)          # correlation matrices (warm: reuses
+...                                     # the partition scans of the plot call)
 >>> repro.plot_missing(df, "price")     # missing-value impact
 >>> repro.create_report(df).save("report.html")
+>>> repro.cache_stats()["hits"]         # work avoided across those calls
 """
+
+from typing import Any, Dict
 
 from repro.frame import Column, DataFrame, read_csv, write_csv
 from repro.eda import Config, plot, plot_correlation, plot_missing
+from repro.graph import clear_global_cache, get_global_cache
 from repro.report import Report, create_report
 
 __version__ = "0.1.0"
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Counters of the process-wide intermediate cache (hits, misses, bytes)."""
+    return get_global_cache().stats.as_dict()
+
+
+def clear_cache() -> None:
+    """Empty the process-wide intermediate cache.
+
+    Note this is *not* a substitute for
+    :meth:`DataFrame.invalidate_fingerprint` after mutating numpy buffers
+    in place: the stale fingerprint is cached on the frame object itself,
+    so plotting the mutated frame would repopulate the cache under the old
+    key. Always invalidate the frame's fingerprint; clear the cache to
+    reclaim memory."""
+    clear_global_cache()
+
 
 __all__ = [
     "Column",
     "Config",
     "DataFrame",
     "Report",
+    "cache_stats",
+    "clear_cache",
     "create_report",
     "plot",
     "plot_correlation",

@@ -6,8 +6,38 @@ columns means overview analysis, one or two columns mean detailed analysis.
 
 Every call returns a :class:`~repro.render.container.Container` — the tabbed
 layout of charts, statistics, insights and how-to guides — unless
-``mode="intermediates"`` is passed, in which case the raw computed
-intermediates are returned for use with any other plotting library.
+``mode="intermediates"`` is passed.
+
+The ``mode="intermediates"`` escape hatch
+-----------------------------------------
+With ``mode="intermediates"`` the call skips rendering and returns the raw
+:class:`~repro.eda.intermediates.Intermediates` — every computed value the
+charts would be drawn from (histogram counts and edges, summary statistics,
+correlation matrices, ...) — for use with any other plotting library.  The
+returned object also carries ``timings`` (seconds per pipeline stage) and
+``meta["execution_reports"]`` (one
+:class:`~repro.graph.engines.ExecutionReport` per graph stage, including
+cache hits), which is how the benchmarks observe the pipeline.
+
+Interactive sessions and the ``cache.*`` config keys
+----------------------------------------------------
+Repeated calls on the same frame — the paper's interactive usage pattern,
+``plot(df)`` then ``plot(df, "x")`` then ``plot_correlation(df)`` — share a
+process-wide content-addressed cache of intermediates
+(:mod:`repro.graph.cache`), so later calls skip the partition slices,
+summaries and histograms earlier calls already computed.  Two dotted config
+keys control it:
+
+* ``cache.enabled`` (default ``True``) — attach the cross-call cache; set
+  to ``False`` to recompute everything from scratch on every call.
+* ``cache.max_bytes`` (default 256 MiB) — LRU byte budget.  The cache is
+  process-wide, so explicitly passing this key resizes the shared budget
+  (pass the default value to restore it); calls that omit it never
+  resize, and it has no effect in a call that also sets
+  ``cache.enabled`` to ``False``.
+
+Example: ``plot(df, "x", config={"cache.enabled": False})``.  Inspect or
+reset the cache with :func:`repro.cache_stats` / :func:`repro.clear_cache`.
 """
 
 from __future__ import annotations
@@ -67,12 +97,16 @@ def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
     col1, col2:
         Optional column names selecting the finer-grained task.
     config:
-        Dotted-key overrides, e.g. ``{"hist.bins": 200}``.
+        Dotted-key overrides, e.g. ``{"hist.bins": 200}`` or
+        ``{"cache.enabled": False}`` (see the module docstring for the
+        cache keys; :func:`repro.eda.config.available_config_keys` lists
+        everything).
     display:
         Restrict the produced visualizations, e.g. ``["histogram"]``.
     mode:
         ``"container"`` (default) returns the rendered tabbed layout;
-        ``"intermediates"`` returns the raw computed values.
+        ``"intermediates"`` returns the raw computed values plus stage
+        timings and execution reports (see the module docstring).
     """
     cfg = _prepare(df, config, display, mode)
     if col1 is None and col2 is not None:

@@ -11,13 +11,17 @@ computed once.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.eda.intermediates import Intermediates
 
 from repro.eda.config import Config
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
+from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
 from repro.graph.engines import Engine, ExecutionReport, get_engine
 from repro.graph.partition import PartitionedFrame
@@ -149,6 +153,7 @@ class ComputeContext:
         self.reports: List[ExecutionReport] = []
         self._partitioned: Optional[PartitionedFrame] = None
         self.use_graph = self._decide_graph_mode()
+        self.cache = self._decide_cache()
         if engine is not None:
             self.engine = engine
         else:
@@ -156,15 +161,38 @@ class ComputeContext:
                 config.get("compute.engine"),
                 **self._engine_kwargs(config.get("compute.engine")))
 
+    def _decide_cache(self) -> Optional[TaskCache]:
+        """The process-wide intermediate cache, or None when disabled.
+
+        ``cache.enabled`` (default True) attaches the shared cross-call
+        cache so repeated EDA calls on the same frame reuse partition
+        slices, summaries and histograms.  The budget is process-global
+        state: only a call that explicitly passes ``cache.max_bytes``
+        (even the default value, to restore it) resizes the shared cache;
+        default-config calls never shrink — and thereby evict — a cache
+        another call configured.  A call that disables the cache detaches
+        entirely and never resizes, even if it also passes a budget.
+        """
+        if not self.config.get("cache.enabled"):
+            return None
+        cache = get_global_cache()
+        if "cache.max_bytes" in self.config.provided:
+            cache.resize(self.config.get("cache.max_bytes"))
+        return cache
+
     def _engine_kwargs(self, engine_name: str) -> Dict[str, Any]:
         if engine_name == "lazy":
             return {
                 "max_workers": self.config.get("compute.max_workers"),
                 "enable_cse": self.config.get("compute.enable_cse"),
                 "enable_fusion": self.config.get("compute.enable_fusion"),
+                "cache": self.cache,
             }
         if engine_name == "eager":
-            return {"max_workers": self.config.get("compute.max_workers")}
+            return {"max_workers": self.config.get("compute.max_workers"),
+                    "cache": self.cache}
+        if engine_name == "cluster-rpc":
+            return {"cache": self.cache}
         return {}
 
     def _decide_graph_mode(self) -> bool:
@@ -282,6 +310,18 @@ class ComputeContext:
     def record_local_stage(self, seconds: float) -> None:
         """Record time spent in the local ("Pandas computation") stage."""
         self.timings["local"] = self.timings.get("local", 0.0) + seconds
+
+    def finish(self, intermediates: "Intermediates") -> "Intermediates":
+        """Attach this context's timings and execution reports to a result.
+
+        Every compute function calls this last, so callers (and the
+        interactive-session benchmark) can read per-stage timings and the
+        engine's :class:`~repro.graph.engines.ExecutionReport` list —
+        including cache hits — from ``intermediates.meta``.
+        """
+        intermediates.timings = dict(self.timings)
+        intermediates.meta["execution_reports"] = list(self.reports)
+        return intermediates
 
     def column(self, name: str) -> Column:
         """Access a column of the underlying frame (validates the name)."""

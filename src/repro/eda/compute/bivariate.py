@@ -100,8 +100,7 @@ def _numerical_numerical(context: ComputeContext, col1: str, col2: str,
             message=f"{col1} and {col2} are highly correlated "
                     f"(pearson = {correlation:.2f})")])
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _hexbin(x: np.ndarray, y: np.ndarray, gridsize: int) -> Dict[str, Any]:
@@ -202,8 +201,7 @@ def _categorical_numerical(context: ComputeContext, categorical: str, numerical:
         task="bivariate", columns=requested_order, items=items, stats=stats,
         meta={"combination": "CN", "categorical": categorical, "numerical": numerical})
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _multi_line(grouped: Dict[str, List[float]], categories: List[str],
@@ -272,8 +270,7 @@ def _categorical_categorical(context: ComputeContext, col1: str, col2: str,
         task="bivariate", columns=[col1, col2], items=items, stats=stats,
         meta={"combination": "CC"})
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _nested_counts(pair_counts: Dict[Tuple[str, str], int], top1: List[str],

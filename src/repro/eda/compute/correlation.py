@@ -97,8 +97,7 @@ def compute_correlation_overview(frame: DataFrame, config: Config,
         meta={"numerical_columns": columns})
     intermediates.add_insights(insights)
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def compute_correlation_single(frame: DataFrame, column: str, config: Config,
@@ -152,8 +151,7 @@ def compute_correlation_single(frame: DataFrame, column: str, config: Config,
         meta={"numerical_columns": columns})
     intermediates.add_insights(overview.insights)
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def compute_correlation_pair(frame: DataFrame, col1: str, col2: str, config: Config,
@@ -206,8 +204,7 @@ def compute_correlation_pair(frame: DataFrame, col1: str, col2: str, config: Con
         [col1, col2], np.array([[1.0, correlation], [correlation, 1.0]]),
         "pearson", config))
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _dense_matrix(sample: DataFrame, columns: List[str]) -> np.ndarray:

@@ -106,8 +106,7 @@ def compute_missing_overview(frame: DataFrame, config: Config,
                 message=f"{name} has {rate:.1%} missing values"))
     intermediates.add_insights(insights)
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def compute_missing_single(frame: DataFrame, column: str, config: Config,
@@ -180,8 +179,7 @@ def compute_missing_single(frame: DataFrame, column: str, config: Config,
         meta={"semantic_types": {name: semantic.value for name, semantic in types.items()}})
     intermediates.add_insights(insights)
     context.record_local_stage(time.perf_counter() - started_total)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def compute_missing_pair(frame: DataFrame, col1: str, col2: str, config: Config,
@@ -275,5 +273,4 @@ def compute_missing_pair(frame: DataFrame, col1: str, col2: str, config: Config,
         meta={"impacted_type": semantic.value})
     intermediates.add_insights(insights)
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)

@@ -123,5 +123,4 @@ def compute_overview(frame: DataFrame, config: Config,
     intermediates.add_insights(dataset_insights(
         n_rows, duplicate_rows or 0, missing_rates, config))
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)

@@ -136,8 +136,7 @@ def _numerical_univariate(context: ComputeContext, column: str,
     intermediates.add_insights(outlier_insight(
         column, box.outlier_count, summary.count, config))
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _display_bins(summary: NumericSummary, config: Config) -> int:
@@ -197,8 +196,7 @@ def _categorical_univariate(context: ComputeContext, column: str, config: Config
         meta={"semantic_type": semantic.value, "n_rows": len(context.frame)})
     intermediates.add_insights(categorical_column_insights(column, summary, config))
     context.record_local_stage(time.perf_counter() - started)
-    intermediates.timings = dict(context.timings)
-    return intermediates
+    return context.finish(intermediates)
 
 
 def _pie_slices(summary: CategoricalSummary, slices: int) -> List[Tuple[str, int]]:

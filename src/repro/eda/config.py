@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigError, _closest
+from repro.graph.cache import DEFAULT_MAX_BYTES as _CACHE_DEFAULT_MAX_BYTES
 
 #: Default values for every configurable parameter, grouped by component.
 #: The how-to guide surfaces these keys to the user (Section 4.1).
@@ -83,6 +84,11 @@ DEFAULTS: Dict[str, Any] = {
     "compute.histogram_bins_internal": 512,
     "compute.enable_cse": True,
     "compute.enable_fusion": False,
+    # Cross-call intermediate cache (see repro.graph.cache).  When enabled,
+    # repeated EDA calls on the same frame reuse partition slices, summaries
+    # and histograms computed by earlier calls in this process.
+    "cache.enabled": True,
+    "cache.max_bytes": _CACHE_DEFAULT_MAX_BYTES,
     # Rendering
     "render.width": 640,
     "render.height": 360,
@@ -102,8 +108,16 @@ _POSITIVE_INT_KEYS = {
     "correlation.top_k", "missing.spectrum_bins", "missing.bins",
     "missing.quantiles", "insight.high_cardinality.threshold",
     "compute.partition_rows", "compute.small_data_rows",
-    "compute.histogram_bins_internal", "render.width", "render.height",
-    "render.max_tabs", "report.sample_rows", "report.interactions_max_columns",
+    "compute.histogram_bins_internal", "cache.max_bytes", "render.width",
+    "render.height", "render.max_tabs", "report.sample_rows",
+    "report.interactions_max_columns",
+}
+
+#: Keys whose value must be a plain boolean.
+_BOOL_KEYS = {
+    "cache.enabled", "hist.auto_bins", "bar.sort_descending",
+    "wordfreq.lowercase", "insight.constant.enabled", "insight.enabled",
+    "compute.enable_cse", "compute.enable_fusion",
 }
 
 #: Keys whose value must be a float in [0, 1].
@@ -121,10 +135,17 @@ _VALID_CORRELATION_METHODS = ("pearson", "spearman", "kendall")
 
 @dataclass
 class Config:
-    """Validated configuration passed through the Compute and Render modules."""
+    """Validated configuration passed through the Compute and Render modules.
+
+    ``provided`` records which keys the user passed explicitly — even when
+    the passed value equals the default — so consumers of process-global
+    settings (the intermediate cache budget) can distinguish "the user set
+    this" from "this is just the default".
+    """
 
     values: Dict[str, Any] = field(default_factory=dict)
     display: Optional[List[str]] = None
+    provided: frozenset = frozenset()
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -142,7 +163,8 @@ class Config:
                                       suggestion=suggestion)
                 values[key] = _validate(key, value)
         return cls(values=values,
-                   display=list(display) if display is not None else None)
+                   display=list(display) if display is not None else None,
+                   provided=frozenset(user_config or ()))
 
     # ------------------------------------------------------------------ #
     # Access
@@ -184,7 +206,8 @@ class Config:
                 raise ConfigError(f"unknown config key {key!r}", key=key,
                                   suggestion=suggestion)
             merged[key] = _validate(key, value)
-        return Config(values=merged, display=self.display)
+        return Config(values=merged, display=self.display,
+                      provided=self.provided | frozenset(overrides))
 
     def user_overrides(self) -> Dict[str, Any]:
         """The keys whose values differ from the library defaults."""
@@ -198,6 +221,11 @@ class Config:
 
 def _validate(key: str, value: Any) -> Any:
     """Validate a single override, raising :class:`ConfigError` on bad values."""
+    if key in _BOOL_KEYS:
+        if not isinstance(value, bool):
+            raise ConfigError(f"config key {key!r} expects a boolean, "
+                              f"got {value!r}", key=key)
+        return value
     if key in _POSITIVE_INT_KEYS:
         if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
             raise ConfigError(f"config key {key!r} expects a positive integer, "

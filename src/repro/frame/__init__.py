@@ -8,6 +8,10 @@ package provides a small, self-contained columnar DataFrame built on numpy:
   length columns with selection, filtering and summary operations.
 * :func:`~repro.frame.io.read_csv` / :func:`~repro.frame.io.write_csv` — CSV
   input/output with dtype inference.
+* :mod:`~repro.frame.fingerprint` — structural content fingerprints
+  (shape, column names/dtypes, sampled content hash) that let the
+  cross-call intermediate cache (:mod:`repro.graph.cache`) recognise "the
+  same data" across separate EDA calls.
 
 The EDA layer (``repro.eda``) and the lazy execution engine (``repro.graph``)
 are written against this substrate only.
@@ -15,6 +19,7 @@ are written against this substrate only.
 
 from repro.frame.dtypes import DType, infer_dtype
 from repro.frame.column import Column
+from repro.frame.fingerprint import fingerprint_array, fingerprint_column, fingerprint_frame
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import read_csv, write_csv
 from repro.frame.ops import crosstab, groupby_aggregate, value_counts
@@ -25,6 +30,9 @@ __all__ = [
     "DType",
     "concat_rows",
     "crosstab",
+    "fingerprint_array",
+    "fingerprint_column",
+    "fingerprint_frame",
     "groupby_aggregate",
     "infer_dtype",
     "read_csv",

@@ -22,7 +22,7 @@ class Column:
     returns a new :class:`Column` and never mutates ``data`` in place.
     """
 
-    __slots__ = ("name", "data", "mask", "dtype")
+    __slots__ = ("name", "data", "mask", "dtype", "_fingerprint")
 
     def __init__(self, name: str, values: Union[Sequence[Any], np.ndarray],
                  dtype: Optional[DType] = None,
@@ -51,6 +51,7 @@ class Column:
         if self.dtype is DType.FLOAT:
             # NaN and the mask must agree so float reductions stay consistent.
             self.mask = self.mask | np.isnan(self.data)
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Basic container protocol
@@ -95,6 +96,26 @@ class Column:
         if self.dtype is DType.FLOAT:
             return bool(np.allclose(self.data[valid], other.data[valid], equal_nan=True))
         return bool(np.array_equal(self.data[valid], other.data[valid]))
+
+    # ------------------------------------------------------------------ #
+    # Fingerprinting (cross-call cache support)
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Structural content fingerprint used by the intermediate cache.
+
+        Computed lazily and cached on the object.  Operations always return
+        new Columns, so the cache never goes stale through the public API;
+        call :meth:`invalidate_fingerprint` after mutating ``data`` or
+        ``mask`` in place.
+        """
+        if self._fingerprint is None:
+            from repro.frame.fingerprint import fingerprint_column
+            self._fingerprint = fingerprint_column(self)
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop the cached fingerprint after an in-place buffer mutation."""
+        self._fingerprint = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -27,6 +27,7 @@ class DataFrame:
     def __init__(self, data: Union[Mapping[str, Any], Sequence[Column], None] = None):
         self._columns: Dict[str, Column] = {}
         self._length = 0
+        self._fingerprint: Optional[str] = None
         if data is None:
             return
         if isinstance(data, Mapping):
@@ -49,6 +50,7 @@ class DataFrame:
         if column.name in self._columns:
             raise FrameError(f"duplicate column name {column.name!r}")
         self._columns[column.name] = column
+        self._fingerprint = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -99,6 +101,28 @@ class DataFrame:
 
     def __hash__(self) -> int:
         raise TypeError("DataFrame objects are unhashable")
+
+    def fingerprint(self) -> str:
+        """Structural content fingerprint used by the intermediate cache.
+
+        Combines the frame's shape with every column's fingerprint (name,
+        dtype, sampled content hash — see :mod:`repro.frame.fingerprint`).
+        The value is cached; any frame-building operation returns a new
+        DataFrame with a fresh fingerprint, so two frames with equal content
+        share a fingerprint while any visible mutation changes it.  After
+        mutating a column's numpy buffers in place, call
+        :meth:`invalidate_fingerprint` to bump it.
+        """
+        if self._fingerprint is None:
+            from repro.frame.fingerprint import fingerprint_frame
+            self._fingerprint = fingerprint_frame(self)
+        return self._fingerprint
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop cached fingerprints after an in-place buffer mutation."""
+        self._fingerprint = None
+        for column in self._columns.values():
+            column.invalidate_fingerprint()
 
     # ------------------------------------------------------------------ #
     # Selection

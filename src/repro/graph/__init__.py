@@ -23,8 +23,20 @@ does not ship Dask, so this package implements the required subset:
   cluster-RPC with scheduling overhead (Koalas / PySpark-like).
 * :mod:`~repro.graph.cluster` — the simulated multi-worker cluster + HDFS
   model used to reproduce Figure 6(c).
+* :mod:`~repro.graph.cache` — the cross-call intermediate cache: stable,
+  content-addressed task keys plus a bounded LRU store the schedulers
+  consult before executing, so interactive sessions that iterate over the
+  same frame skip work already done by earlier calls.
 """
 
+from repro.graph.cache import (
+    CacheStats,
+    TaskCache,
+    assign_cache_keys,
+    clear_global_cache,
+    get_global_cache,
+    set_global_cache,
+)
 from repro.graph.task import Task, TaskRef, tokenize
 from repro.graph.graph import TaskGraph
 from repro.graph.delayed import Delayed, compute, delayed
@@ -46,6 +58,7 @@ from repro.graph.engines import (
 from repro.graph.cluster import ClusterCostModel, SimulatedCluster
 
 __all__ = [
+    "CacheStats",
     "ClusterCostModel",
     "ClusterRPCEngine",
     "Delayed",
@@ -56,19 +69,24 @@ __all__ = [
     "SimulatedCluster",
     "SynchronousScheduler",
     "Task",
+    "TaskCache",
     "TaskGraph",
     "TaskRef",
     "ThreadedScheduler",
+    "assign_cache_keys",
     "available_engines",
+    "clear_global_cache",
     "common_subexpression_elimination",
     "compute",
     "cull",
     "delayed",
     "fuse_linear_chains",
     "get_engine",
+    "get_global_cache",
     "get_scheduler",
     "optimize",
     "precompute_chunk_sizes",
     "precompute_csv_chunks",
+    "set_global_cache",
     "tokenize",
 ]

@@ -62,6 +62,7 @@ class DelayedCallable:
         if not self.pure:
             # Impure tasks must never be merged by CSE; make the token unique.
             task.token = f"{task.token}:{key}"
+            task.token_customized = True
         graph.add(task)
         return Delayed(key, graph)
 

@@ -25,14 +25,23 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import GraphError
+from repro.graph.cache import TaskCache
 from repro.graph.delayed import Delayed, compute
 from repro.graph.optimize import OptimizeStats
-from repro.graph.scheduler import SynchronousScheduler, ThreadedScheduler
+from repro.graph.scheduler import RunStats, SynchronousScheduler, ThreadedScheduler
 
 
 @dataclass
 class ExecutionReport:
-    """What an engine did for one batch of requested values."""
+    """What an engine did for one batch of requested values.
+
+    ``tasks_executed`` counts tasks that actually ran; the three avoidance
+    mechanisms each have their own counter: culling and CSE are folded into
+    the gap between ``tasks_before_optimization`` and the optimized graph,
+    while ``cache_hits`` / ``tasks_skipped_by_cache`` report the cross-call
+    intermediate cache (tasks served from cache, and their exclusive
+    ancestors that never ran because of it).
+    """
 
     engine: str
     requested: int
@@ -40,6 +49,8 @@ class ExecutionReport:
     tasks_executed: int
     tasks_before_optimization: int
     shared_tasks: int = 0
+    cache_hits: int = 0
+    tasks_skipped_by_cache: int = 0
 
     @property
     def sharing_ratio(self) -> float:
@@ -47,6 +58,13 @@ class ExecutionReport:
         if self.tasks_before_optimization == 0:
             return 0.0
         return self.shared_tasks / self.tasks_before_optimization
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of post-optimization tasks avoided via the cache."""
+        avoided = self.cache_hits + self.tasks_skipped_by_cache
+        planned = self.tasks_executed + avoided
+        return avoided / planned if planned else 0.0
 
 
 class Engine:
@@ -63,6 +81,28 @@ class Engine:
         """Compute all values and also report how much work was done."""
         raise NotImplementedError
 
+    def _run_single_graph(self, values: Sequence[Delayed], **compute_kwargs: Any
+                          ) -> tuple[List[Any], ExecutionReport]:
+        """One merged-graph compute + report, shared by the lazy engines.
+
+        Requires ``self.scheduler``; reads its per-run cache statistics and
+        folds them into the report so every engine accounts for the
+        cross-call cache identically.
+        """
+        self.scheduler.last_run = None
+        results, stats = compute(*values, scheduler=self.scheduler,
+                                 return_stats=True, **compute_kwargs)
+        run = self.scheduler.last_run or RunStats(
+            planned=stats.output_tasks, executed=stats.output_tasks)
+        report = ExecutionReport(
+            engine=self.name, requested=len(values), graphs_built=1,
+            tasks_executed=run.executed,
+            tasks_before_optimization=stats.input_tasks,
+            shared_tasks=stats.merged_by_cse,
+            cache_hits=run.cache_hits,
+            tasks_skipped_by_cache=run.skipped)
+        return results, report
+
 
 class LazyEngine(Engine):
     """Single shared graph + optimization + threaded execution (Dask-like)."""
@@ -70,8 +110,8 @@ class LazyEngine(Engine):
     name = "lazy"
 
     def __init__(self, max_workers: Optional[int] = None, enable_cse: bool = True,
-                 enable_fusion: bool = False):
-        self.scheduler = ThreadedScheduler(max_workers=max_workers)
+                 enable_fusion: bool = False, cache: Optional[TaskCache] = None):
+        self.scheduler = ThreadedScheduler(max_workers=max_workers, cache=cache)
         self.enable_cse = enable_cse
         self.enable_fusion = enable_fusion
 
@@ -82,16 +122,8 @@ class LazyEngine(Engine):
 
     def compute_with_report(self, values: Sequence[Delayed]
                             ) -> tuple[List[Any], ExecutionReport]:
-        results, stats = compute(*values, scheduler=self.scheduler,
-                                 enable_cse=self.enable_cse,
-                                 enable_fusion=self.enable_fusion,
-                                 return_stats=True)
-        report = ExecutionReport(
-            engine=self.name, requested=len(values), graphs_built=1,
-            tasks_executed=stats.output_tasks,
-            tasks_before_optimization=stats.input_tasks,
-            shared_tasks=stats.merged_by_cse)
-        return results, report
+        return self._run_single_graph(values, enable_cse=self.enable_cse,
+                                      enable_fusion=self.enable_fusion)
 
 
 class EagerEngine(Engine):
@@ -99,10 +131,11 @@ class EagerEngine(Engine):
 
     name = "eager"
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[TaskCache] = None):
         # Modin parallelizes inside one operation but cannot co-schedule
         # separate operations; a threaded scheduler per value models that.
-        self.scheduler = ThreadedScheduler(max_workers=max_workers)
+        self.scheduler = ThreadedScheduler(max_workers=max_workers, cache=cache)
 
     def compute(self, values: Sequence[Delayed]) -> List[Any]:
         return [compute(value, scheduler=self.scheduler, enable_cse=False)[0]
@@ -111,16 +144,28 @@ class EagerEngine(Engine):
     def compute_with_report(self, values: Sequence[Delayed]
                             ) -> tuple[List[Any], ExecutionReport]:
         results = []
-        total_tasks = 0
+        total_executed = 0
+        total_before = 0
+        total_hits = 0
+        total_skipped = 0
         for value in values:
+            self.scheduler.last_run = None
             (result,), stats = compute(value, scheduler=self.scheduler,
                                        enable_cse=False, return_stats=True)
             results.append(result)
-            total_tasks += stats.output_tasks
+            run = self.scheduler.last_run or RunStats(
+                planned=stats.output_tasks, executed=stats.output_tasks)
+            total_executed += run.executed
+            # The true pre-optimization size of this value's graph, so the
+            # report measures sharing instead of defining it away.
+            total_before += stats.input_tasks
+            total_hits += run.cache_hits
+            total_skipped += run.skipped
         report = ExecutionReport(
             engine=self.name, requested=len(values), graphs_built=len(values),
-            tasks_executed=total_tasks, tasks_before_optimization=total_tasks,
-            shared_tasks=0)
+            tasks_executed=total_executed, tasks_before_optimization=total_before,
+            shared_tasks=0, cache_hits=total_hits,
+            tasks_skipped_by_cache=total_skipped)
         return results, report
 
 
@@ -135,8 +180,10 @@ class ClusterRPCEngine(Engine):
 
     name = "cluster-rpc"
 
-    def __init__(self, dispatch_latency: float = 0.01, enable_cse: bool = True):
-        self.scheduler = SynchronousScheduler(dispatch_latency=dispatch_latency)
+    def __init__(self, dispatch_latency: float = 0.01, enable_cse: bool = True,
+                 cache: Optional[TaskCache] = None):
+        self.scheduler = SynchronousScheduler(dispatch_latency=dispatch_latency,
+                                              cache=cache)
         self.enable_cse = enable_cse
         self.dispatch_latency = dispatch_latency
 
@@ -145,14 +192,7 @@ class ClusterRPCEngine(Engine):
 
     def compute_with_report(self, values: Sequence[Delayed]
                             ) -> tuple[List[Any], ExecutionReport]:
-        results, stats = compute(*values, scheduler=self.scheduler,
-                                 enable_cse=self.enable_cse, return_stats=True)
-        report = ExecutionReport(
-            engine=self.name, requested=len(values), graphs_built=1,
-            tasks_executed=stats.output_tasks,
-            tasks_before_optimization=stats.input_tasks,
-            shared_tasks=stats.merged_by_cse)
-        return results, report
+        return self._run_single_graph(values, enable_cse=self.enable_cse)
 
 
 _ENGINES = {

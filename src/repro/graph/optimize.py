@@ -69,12 +69,12 @@ def common_subexpression_elimination(
         # become mergeable once their inputs have been merged.  Tasks with a
         # customized token (impure calls, fused tasks) keep it, so they are
         # only merged with tasks carrying the exact same custom token.
-        default_token = tokenize(original.func, original.args, original.kwargs)
-        if original.token == default_token:
+        if not original.token_customized:
             token = tokenize(task.func, task.args, task.kwargs)
         else:
             token = original.token
-        rewritten = Task(task.key, task.func, task.args, task.kwargs, token=token)
+        rewritten = Task(task.key, task.func, task.args, task.kwargs, token=token,
+                         token_customized=original.token_customized)
         canonical = canonical_by_token.get(rewritten.token)
         if canonical is None:
             canonical_by_token[rewritten.token] = key
@@ -152,7 +152,8 @@ def _inline_dependencies(task: Task, fused_away: Dict[str, Task]) -> Task:
     fused.__name__ = f"fused_{getattr(task.func, '__name__', 'task')}"
     args = tuple(TaskRef(key) for key in outer)
     return Task(task.key, fused, args, {},
-                token=f"fused:{task.token}:{sorted(inline_tasks)!r}")
+                token=f"fused:{task.token}:{sorted(inline_tasks)!r}",
+                token_customized=True)
 
 
 def optimize(graph: TaskGraph, outputs: Sequence[str],

@@ -61,8 +61,14 @@ def _slice_frame(frame: DataFrame, start: int, stop: int) -> DataFrame:
 
 
 def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
-                    column_names: Tuple[str, ...], dtypes: dict) -> DataFrame:
-    """Parse one byte range of a CSV file into a DataFrame partition."""
+                    column_names: Tuple[str, ...], dtypes: dict,
+                    file_stamp: Tuple[int, int] = (0, 0)) -> DataFrame:
+    """Parse one byte range of a CSV file into a DataFrame partition.
+
+    *file_stamp* (size, mtime_ns of the file at graph-build time) is not
+    used here — it exists so the task's cross-call cache key changes when
+    the file is overwritten in place, even with identical byte boundaries.
+    """
     import io as _io
 
     from repro.frame.io import read_csv
@@ -164,13 +170,21 @@ class PartitionedFrame:
         task graph — which is exactly the expensive input stage the paper's
         single-graph optimization shares across visualizations.
         """
+        import os
+
         from repro.frame.io import read_csv
 
         columns, boundaries, byte_ranges = precompute_csv_chunks(path, partition_rows)
         preview = read_csv(path, max_rows=inference_rows)
         dtypes = preview.dtypes
+        # Stamp the file's identity into every task so the cross-call cache
+        # cannot serve a partition of an overwritten file (same path and
+        # byte boundaries, different content).
+        file_stat = os.stat(path)
+        file_stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
         reader = delayed(_read_csv_slice, prefix="read_csv_partition")
-        partitions = [reader(path, byte_start, byte_stop, tuple(columns), dtypes)
+        partitions = [reader(path, byte_start, byte_stop, tuple(columns), dtypes,
+                             file_stamp)
                       for byte_start, byte_stop in byte_ranges]
         return cls(partitions, columns, boundaries)
 

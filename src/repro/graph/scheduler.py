@@ -1,4 +1,13 @@
-"""Schedulers that execute a TaskGraph and return requested outputs."""
+"""Schedulers that execute a TaskGraph and return requested outputs.
+
+Both schedulers can carry a :class:`~repro.graph.cache.TaskCache`.  When one
+is attached, execution starts with a cache-planning pass: every task gets a
+stable cache key, tasks whose results are already cached are served without
+running, and their exclusive ancestors are skipped entirely — the cross-call
+analogue of the cull optimization.  Freshly computed results are stored back
+so the next call (possibly a different EDA function on the same frame) can
+reuse them.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +15,31 @@ import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from repro.errors import SchedulerError
+from repro.graph.cache import TaskCache, assign_cache_keys
 from repro.graph.graph import TaskGraph
+
+
+@dataclass
+class RunStats:
+    """What one ``execute`` call did, including cache-based work avoidance."""
+
+    planned: int = 0       # tasks in the (already optimized) graph
+    executed: int = 0      # tasks actually run
+    cache_hits: int = 0    # tasks served straight from the cache
+    skipped: int = 0       # ancestors never visited because a hit covered them
+
+
+@dataclass
+class CachePlan:
+    """Result of the cache-planning pass: what to run, what is prefilled."""
+
+    results: Dict[str, Any] = field(default_factory=dict)
+    needed: Set[str] = field(default_factory=set)
+    keys: Dict[str, Optional[str]] = field(default_factory=dict)
 
 
 class Scheduler:
@@ -17,6 +47,12 @@ class Scheduler:
 
     #: Human-readable name used by the engine registry and benchmarks.
     name = "base"
+
+    #: Optional cross-call intermediate cache consulted before execution.
+    cache: Optional[TaskCache] = None
+
+    #: Statistics of the most recent ``execute`` call (None before the first).
+    last_run: Optional[RunStats] = None
 
     def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
         """Execute *graph* and return ``{output key: value}``."""
@@ -26,6 +62,53 @@ class Scheduler:
         """Execute and return output values in request order."""
         results = self.execute(graph, outputs)
         return [results[key] for key in outputs]
+
+    # ------------------------------------------------------------------ #
+    # Cache planning (shared by both schedulers)
+    # ------------------------------------------------------------------ #
+    def plan_with_cache(self, graph: TaskGraph,
+                        outputs: Sequence[str]) -> Optional[CachePlan]:
+        """Consult the cache and decide which tasks still need to run.
+
+        Walks the graph top-down from *outputs*: a task whose stable cache
+        key hits is prefilled into the plan's results and its dependencies
+        are not visited, so the whole subtree feeding only that task is
+        skipped.  Returns None when no cache is attached (run everything);
+        always records :attr:`last_run`.
+        """
+        total = len(graph)
+        if self.cache is None:
+            self.last_run = RunStats(planned=total, executed=total)
+            return None
+        plan = CachePlan(keys=assign_cache_keys(graph))
+        pending = list(outputs)
+        seen: Set[str] = set()
+        while pending:
+            key = pending.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            cache_key = plan.keys.get(key)
+            if cache_key is not None:
+                hit, value = self.cache.lookup(cache_key)
+                if hit:
+                    plan.results[key] = value
+                    continue
+            plan.needed.add(key)
+            pending.extend(graph.dependencies(key))
+        self.last_run = RunStats(
+            planned=total, executed=len(plan.needed),
+            cache_hits=len(plan.results),
+            skipped=total - len(plan.needed) - len(plan.results))
+        return plan
+
+    def store_result(self, plan: Optional[CachePlan], key: str, value: Any) -> None:
+        """Store a freshly computed result under its stable cache key."""
+        if plan is None or self.cache is None:
+            return
+        cache_key = plan.keys.get(key)
+        if cache_key is not None:
+            self.cache.put(cache_key, value)
 
 
 class SynchronousScheduler(Scheduler):
@@ -38,13 +121,18 @@ class SynchronousScheduler(Scheduler):
 
     name = "synchronous"
 
-    def __init__(self, dispatch_latency: float = 0.0):
+    def __init__(self, dispatch_latency: float = 0.0,
+                 cache: Optional[TaskCache] = None):
         self.dispatch_latency = float(dispatch_latency)
+        self.cache = cache
 
     def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
         order = graph.toposort()
-        results: Dict[str, Any] = {}
+        plan = self.plan_with_cache(graph, outputs)
+        results: Dict[str, Any] = dict(plan.results) if plan else {}
         for key in order:
+            if plan is not None and key not in plan.needed:
+                continue
             if self.dispatch_latency:
                 time.sleep(self.dispatch_latency)
             task = graph[key]
@@ -52,6 +140,7 @@ class SynchronousScheduler(Scheduler):
                 results[key] = task.execute(results)
             except Exception as error:  # noqa: BLE001 - rewrapped with task context
                 raise SchedulerError(key, error) from error
+            self.store_result(plan, key, results[key])
         missing = [key for key in outputs if key not in results]
         if missing:
             raise SchedulerError(missing[0], KeyError("output not produced"))
@@ -69,18 +158,28 @@ class ThreadedScheduler(Scheduler):
     name = "threaded"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 dispatch_latency: float = 0.0):
+                 dispatch_latency: float = 0.0,
+                 cache: Optional[TaskCache] = None):
         if max_workers is None:
             max_workers = min(8, os.cpu_count() or 4)
         self.max_workers = int(max_workers)
         self.dispatch_latency = float(dispatch_latency)
+        self.cache = cache
 
     def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
         graph.validate()
+        plan = self.plan_with_cache(graph, outputs)
+        if plan is None:
+            needed = set(graph.keys())
+            results: Dict[str, Any] = {}
+        else:
+            needed = plan.needed
+            results = dict(plan.results)
         dependents = graph.dependents()
+        prefilled = set(results)
         remaining: Dict[str, int] = {
-            key: len(set(graph.dependencies(key))) for key in graph.keys()}
-        results: Dict[str, Any] = {}
+            key: len(set(graph.dependencies(key)) - prefilled)
+            for key in needed}
         lock = threading.Lock()
 
         ready = [key for key, count in remaining.items() if count == 0]
@@ -106,7 +205,10 @@ class ThreadedScheduler(Scheduler):
                         raise SchedulerError(key, error) from error
                     with lock:
                         results[key] = future.result()
+                    self.store_result(plan, key, results[key])
                     for consumer in dependents.get(key, ()):
+                        if consumer not in remaining:
+                            continue
                         remaining[consumer] -= 1
                         if remaining[consumer] == 0:
                             ready.append(consumer)

@@ -39,6 +39,10 @@ class Task:
         A structural fingerprint of ``(func, args, kwargs)``; two tasks with
         the same token compute the same value and can be merged by the CSE
         optimization pass.
+    token_customized:
+        True when the token was deliberately made non-structural (impure
+        calls, fused tasks).  Such tasks are excluded from the cross-call
+        cache without re-tokenizing their arguments to find out.
     """
 
     key: str
@@ -46,6 +50,7 @@ class Task:
     args: Tuple[Any, ...] = ()
     kwargs: Dict[str, Any] = field(default_factory=dict)
     token: str = ""
+    token_customized: bool = False
 
     def __post_init__(self) -> None:
         if not self.token:
@@ -65,7 +70,8 @@ class Task:
         new_args = tuple(_rewrite_refs(value, mapping) for value in self.args)
         new_kwargs = {name: _rewrite_refs(value, mapping)
                       for name, value in self.kwargs.items()}
-        return Task(self.key, self.func, new_args, new_kwargs, token=self.token)
+        return Task(self.key, self.func, new_args, new_kwargs, token=self.token,
+                    token_customized=self.token_customized)
 
     def execute(self, results: Dict[str, Any]) -> Any:
         """Run the task, resolving TaskRef arguments from *results*."""
@@ -113,24 +119,54 @@ def _callable_name(func: Callable[..., Any]) -> str:
     return f"{module}.{qualname}"
 
 
-def _token_of(value: Any) -> str:
+def walk_token(value: Any, ref: Callable[["TaskRef"], Any],
+               leaf: Callable[[Any], Any]) -> Any:
+    """Shared container recursion behind structural tokens.
+
+    Handles TaskRefs (via *ref*), scalar literals and the standard argument
+    containers; anything else is delegated to *leaf*.  Both the CSE
+    tokenizer and the cross-call cache key builder use this walker, so a
+    newly supported container type can never make the two disagree.  A
+    handler returning None marks the value untokenizable and the None
+    propagates outward (used by the cache; the CSE handlers never do).
+    """
     if isinstance(value, TaskRef):
-        return f"ref:{value.key}"
+        return ref(value)
     if value is None or isinstance(value, (bool, int, float, str)):
         return f"lit:{type(value).__name__}:{value!r}"
     if isinstance(value, (tuple, list)):
-        inner = ",".join(_token_of(item) for item in value)
-        return f"{type(value).__name__}:({inner})"
+        inner = [walk_token(item, ref, leaf) for item in value]
+        if any(token is None for token in inner):
+            return None
+        return f"{type(value).__name__}:({','.join(inner)})"
     if isinstance(value, frozenset):
-        inner = ",".join(sorted(_token_of(item) for item in value))
-        return f"frozenset:({inner})"
+        inner = [walk_token(item, ref, leaf) for item in value]
+        if any(token is None for token in inner):
+            return None
+        return f"frozenset:({','.join(sorted(inner))})"
     if isinstance(value, dict):
-        inner = ",".join(f"{name!r}={_token_of(item)}"
-                         for name, item in sorted(value.items(), key=lambda kv: repr(kv[0])))
-        return f"dict:({inner})"
+        parts = []
+        for name, item in sorted(value.items(), key=lambda kv: repr(kv[0])):
+            token = walk_token(item, ref, leaf)
+            if token is None:
+                return None
+            parts.append(f"{name!r}={token}")
+        return f"dict:({','.join(parts)})"
+    return leaf(value)
+
+
+def _cse_ref(value: TaskRef) -> str:
+    return f"ref:{value.key}"
+
+
+def _cse_leaf(value: Any) -> str:
     if isinstance(value, np.ndarray):
         return f"ndarray:{id(value)}"
     return f"obj:{type(value).__name__}:{id(value)}"
+
+
+def _token_of(value: Any) -> str:
+    return walk_token(value, _cse_ref, _cse_leaf)
 
 
 def _collect_refs(value: Any) -> List[str]:

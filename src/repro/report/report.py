@@ -37,13 +37,21 @@ from repro.render.charts import render_scatter, render_stats_table
 
 @dataclass
 class Report:
-    """A generated profile report."""
+    """A generated profile report.
+
+    Besides the rendered sections, the report keeps the per-section
+    wall-clock ``timings`` and the engine's ``execution_reports`` — one
+    :class:`~repro.graph.engines.ExecutionReport` per resolved graph stage,
+    whose ``cache_hits`` field shows how much work the cross-call
+    intermediate cache (``cache.enabled``) avoided on repeated runs.
+    """
 
     title: str
     sections: Dict[str, Intermediates]
     interactions: Dict[str, Any] = field(default_factory=dict)
     timings: Dict[str, float] = field(default_factory=dict)
     config: Optional[Config] = None
+    execution_reports: List[Any] = field(default_factory=list)
 
     @property
     def section_names(self) -> List[str]:
@@ -99,7 +107,21 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
 
     The report contains the Overview, Variables, Interactions, Correlations
     and Missing Values sections of the baseline profiler, computed through
-    the shared lazy pipeline.
+    the shared lazy pipeline: one :class:`ComputeContext` feeds every
+    section, so partition scans are shared across sections, and — because
+    ``cache.enabled`` defaults to True — with the intermediates computed by
+    any earlier ``plot*`` call on the same frame in this process.
+
+    Parameters
+    ----------
+    df:
+        The DataFrame to profile.
+    config:
+        Dotted-key overrides, e.g. ``{"hist.bins": 25, "cache.enabled":
+        False, "cache.max_bytes": 64 * 1024 * 1024}``.  See
+        :func:`repro.eda.config.available_config_keys`.
+    title:
+        Report title (defaults to the ``report.title`` config value).
     """
     if not isinstance(df, DataFrame):
         raise EDAError("create_report expects a repro.frame.DataFrame")
@@ -108,8 +130,16 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     timings: Dict[str, float] = {}
     context = ComputeContext(df, cfg)
 
+    # The context is shared across sections, so each finish() would attach
+    # the cumulative report list; re-slice per section so summing over
+    # sections never counts a graph stage twice.
+    def section_reports(start: int, intermediates: Intermediates) -> Intermediates:
+        intermediates.meta["execution_reports"] = list(context.reports[start:])
+        return intermediates
+
     started = time.perf_counter()
-    overview = compute_overview(df, cfg, context=context)
+    mark = len(context.reports)
+    overview = section_reports(mark, compute_overview(df, cfg, context=context))
     timings["overview_and_variables"] = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -123,16 +153,20 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
                  if semantic is SemanticType.NUMERICAL and
                  df.column(name).dtype.is_numeric]
     if len(numerical) >= 2:
-        sections["Correlations"] = compute_correlation_overview(df, cfg,
-                                                                context=context)
+        mark = len(context.reports)
+        sections["Correlations"] = section_reports(
+            mark, compute_correlation_overview(df, cfg, context=context))
     timings["correlations"] = time.perf_counter() - started
 
     started = time.perf_counter()
-    sections["Missing Values"] = compute_missing_overview(df, cfg, context=context)
+    mark = len(context.reports)
+    sections["Missing Values"] = section_reports(
+        mark, compute_missing_overview(df, cfg, context=context))
     timings["missing_values"] = time.perf_counter() - started
 
     return Report(title=title, sections=sections, interactions=interactions,
-                  timings=timings, config=cfg)
+                  timings=timings, config=cfg,
+                  execution_reports=list(context.reports))
 
 
 def _interactions(df: DataFrame, config: Config,

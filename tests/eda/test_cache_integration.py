@@ -1,0 +1,174 @@
+"""End-to-end tests of the cross-call cache through the EDA API.
+
+These tests exercise the interactive-session promise of the paper: repeated
+``plot*`` calls on the same frame reuse intermediates computed by earlier
+calls, while a mutated frame never sees stale results and disabling the
+cache reproduces identical output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eda import plot, plot_correlation, plot_missing
+from repro.frame import Column, DataFrame
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+#: Force the graph stage on tiny test data, with several partitions.
+GRAPH_CONFIG = {
+    "compute.use_graph": "always",
+    "compute.partition_rows": 100,
+}
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Give every test its own global cache and restore the old one after."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield
+    set_global_cache(previous)
+
+
+def _session_frame(n: int = 400) -> DataFrame:
+    rng = np.random.default_rng(7)
+    price = rng.normal(100.0, 20.0, n)
+    price[rng.random(n) < 0.1] = np.nan
+    return DataFrame({
+        "price": price,
+        "size": rng.normal(2000.0, 300.0, n),
+        "city": list(rng.choice(["a", "b", "c"], n)),
+    })
+
+
+def _report_totals(intermediates):
+    reports = intermediates.meta["execution_reports"]
+    executed = sum(report.tasks_executed for report in reports)
+    hits = sum(report.cache_hits for report in reports)
+    return executed, hits
+
+
+class TestWarmCalls:
+    def test_repeated_plot_hits_cache(self):
+        frame = _session_frame()
+        cold = plot(frame, config=GRAPH_CONFIG, mode="intermediates")
+        warm = plot(frame, config=GRAPH_CONFIG, mode="intermediates")
+
+        cold_executed, cold_hits = _report_totals(cold)
+        warm_executed, warm_hits = _report_totals(warm)
+        assert cold_executed > 0
+        assert warm_hits > 0
+        assert warm_executed < cold_executed
+        assert warm.items == cold.items
+
+    def test_cache_spans_different_eda_functions(self):
+        frame = _session_frame()
+        plot(frame, config=GRAPH_CONFIG, mode="intermediates")
+        # plot_correlation shares the partition slices built by plot().
+        correlation = plot_correlation(frame, config=GRAPH_CONFIG,
+                                       mode="intermediates")
+        _, hits = _report_totals(correlation)
+        assert hits > 0
+
+    def test_equal_content_new_object_still_hits(self):
+        frame = _session_frame()
+        clone = frame.copy()
+        cold = plot(frame, "price", config=GRAPH_CONFIG, mode="intermediates")
+        warm = plot(clone, "price", config=GRAPH_CONFIG, mode="intermediates")
+        _, hits = _report_totals(warm)
+        assert hits > 0
+        assert warm.items == cold.items
+
+
+class TestInvalidation:
+    def test_mutated_frame_is_recomputed(self):
+        frame = _session_frame()
+        before = plot(frame, "price", config=GRAPH_CONFIG, mode="intermediates")
+
+        shifted = frame.with_column(
+            Column("price", frame.column("price").to_numpy() + 1000.0))
+        after = plot(shifted, "price", config=GRAPH_CONFIG, mode="intermediates")
+
+        assert after["stats"]["mean"] == pytest.approx(
+            before["stats"]["mean"] + 1000.0, rel=1e-6)
+
+    def test_missing_analysis_not_poisoned_by_other_frame(self):
+        first = _session_frame()
+        plot_missing(first, config=GRAPH_CONFIG, mode="intermediates")
+        second = _session_frame(300)
+        result = plot_missing(second, config=GRAPH_CONFIG, mode="intermediates")
+        assert result["stats"]["n_rows"] == 300
+
+
+class TestReportAttribution:
+    def test_report_sections_do_not_duplicate_execution_reports(self):
+        from repro.report import create_report
+        frame = _session_frame()
+        report = create_report(frame, config=GRAPH_CONFIG)
+        per_section = sum(len(s.meta["execution_reports"])
+                          for s in report.sections.values())
+        # Sections partition the context's reports (interactions may own a
+        # few attributed to no section), so the sum never exceeds the
+        # canonical top-level list.
+        assert per_section <= len(report.execution_reports)
+        section_lists = [s.meta["execution_reports"]
+                         for s in report.sections.values()]
+        for index, first in enumerate(section_lists):
+            for second in section_lists[index + 1:]:
+                assert not (set(map(id, first)) & set(map(id, second)))
+
+
+class TestDisabledCache:
+    def test_disabled_cache_matches_enabled_results(self):
+        frame = _session_frame()
+        enabled_config = dict(GRAPH_CONFIG)
+        disabled_config = dict(GRAPH_CONFIG, **{"cache.enabled": False})
+
+        plot(frame, config=enabled_config, mode="intermediates")  # warm the cache
+        warm = plot(frame, config=enabled_config, mode="intermediates")
+        fresh = plot(frame, config=disabled_config, mode="intermediates")
+
+        assert fresh.items == warm.items
+        assert fresh.stats == warm.stats
+
+    def test_disabled_cache_never_hits(self):
+        frame = _session_frame()
+        config = dict(GRAPH_CONFIG, **{"cache.enabled": False})
+        plot(frame, config=config, mode="intermediates")
+        second = plot(frame, config=config, mode="intermediates")
+        executed, hits = _report_totals(second)
+        assert hits == 0
+        assert executed > 0
+        assert len(get_global_cache()) == 0
+
+    def test_max_bytes_is_respected_end_to_end(self):
+        frame = _session_frame()
+        config = dict(GRAPH_CONFIG, **{"cache.max_bytes": 50_000})
+        plot(frame, config=config, mode="intermediates")
+        cache = get_global_cache()
+        assert cache.max_bytes == 50_000
+        assert cache.stats.current_bytes <= 50_000
+
+    def test_default_config_does_not_resize_shared_cache(self):
+        frame = _session_frame()
+        cache = get_global_cache()
+        cache.resize(50_000)
+        # A call without an explicit cache.max_bytes override must leave
+        # the shared budget alone rather than snapping it back to default.
+        plot(frame, config=GRAPH_CONFIG, mode="intermediates")
+        assert cache.max_bytes == 50_000
+
+    def test_explicit_default_value_restores_budget(self):
+        from repro.eda.config import DEFAULTS
+        frame = _session_frame()
+        cache = get_global_cache()
+        plot(frame, config=dict(GRAPH_CONFIG, **{"cache.max_bytes": 50_000}),
+             mode="intermediates")
+        assert cache.max_bytes == 50_000
+        # Explicitly passing the default value must undo the shrink.
+        default_bytes = DEFAULTS["cache.max_bytes"]
+        plot(frame, config=dict(GRAPH_CONFIG,
+                                **{"cache.max_bytes": default_bytes}),
+             mode="intermediates")
+        assert cache.max_bytes == default_bytes

@@ -1,0 +1,123 @@
+"""Tests for the structural content fingerprints (repro.frame.fingerprint)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import Column, DataFrame
+from repro.frame.fingerprint import FULL_HASH_BYTES, fingerprint_array
+
+
+class TestArrayFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        first = np.arange(100, dtype=np.int64)
+        second = np.arange(100, dtype=np.int64)
+        assert fingerprint_array(first) == fingerprint_array(second)
+
+    def test_content_change_changes_fingerprint(self):
+        array = np.arange(100, dtype=np.int64)
+        changed = array.copy()
+        changed[50] = -1
+        assert fingerprint_array(array) != fingerprint_array(changed)
+
+    def test_dtype_is_part_of_fingerprint(self):
+        ints = np.arange(10, dtype=np.int64)
+        floats = ints.astype(np.float64)
+        assert fingerprint_array(ints) != fingerprint_array(floats)
+
+    def test_shape_is_part_of_fingerprint(self):
+        flat = np.zeros(16)
+        square = np.zeros((4, 4))
+        assert fingerprint_array(flat) != fingerprint_array(square)
+
+    def test_object_arrays_supported(self):
+        first = np.array(["a", "b", None], dtype=object)
+        second = np.array(["a", "b", None], dtype=object)
+        third = np.array(["a", "b", "c"], dtype=object)
+        assert fingerprint_array(first) == fingerprint_array(second)
+        assert fingerprint_array(first) != fingerprint_array(third)
+
+    def test_large_object_array_interior_edit_detected(self):
+        array = np.array([f"value-{i % 97}" for i in range(60_000)], dtype=object)
+        edited = array.copy()
+        edited[10_001] = "TAMPERED"  # off the head/tail blocks and stride grid
+        assert fingerprint_array(array) != fingerprint_array(edited)
+
+    def test_large_array_sampling_detects_edge_and_interior_edits(self):
+        n = (FULL_HASH_BYTES // 8) * 2  # twice the full-hash threshold
+        array = np.zeros(n, dtype=np.float64)
+        baseline = fingerprint_array(array)
+
+        head_edit = array.copy()
+        head_edit[0] = 1.0
+        assert fingerprint_array(head_edit) != baseline
+
+        tail_edit = array.copy()
+        tail_edit[-1] = 1.0
+        assert fingerprint_array(tail_edit) != baseline
+
+        # A single-cell edit deep in the interior, deliberately off the
+        # head/tail blocks and the stride grid, must still be detected
+        # (the full-buffer CRC32 guarantees it).
+        interior_edit = array.copy()
+        interior_edit[n // 2 + 13] = 1.0
+        assert fingerprint_array(interior_edit) != baseline
+
+    def test_non_contiguous_array(self):
+        base = np.arange(100, dtype=np.int64)
+        strided = base[::2]
+        assert fingerprint_array(strided) == fingerprint_array(strided.copy())
+
+
+class TestColumnFingerprint:
+    def test_cached_and_stable(self):
+        column = Column("x", [1, 2, 3])
+        assert column.fingerprint() == column.fingerprint()
+
+    def test_name_and_content_matter(self):
+        assert Column("x", [1, 2, 3]).fingerprint() == \
+            Column("x", [1, 2, 3]).fingerprint()
+        assert Column("x", [1, 2, 3]).fingerprint() != \
+            Column("y", [1, 2, 3]).fingerprint()
+        assert Column("x", [1, 2, 3]).fingerprint() != \
+            Column("x", [1, 2, 4]).fingerprint()
+
+    def test_missing_mask_matters(self):
+        assert Column("x", [1.0, None, 3.0]).fingerprint() != \
+            Column("x", [1.0, 2.0, 3.0]).fingerprint()
+
+    def test_invalidate_after_inplace_mutation(self):
+        column = Column("x", [1, 2, 3])
+        before = column.fingerprint()
+        column.data[0] = 99
+        assert column.fingerprint() == before  # stale by design until bumped
+        column.invalidate_fingerprint()
+        assert column.fingerprint() != before
+
+
+class TestFrameFingerprint:
+    def test_equal_frames_share_fingerprint(self, mixed_frame):
+        clone = mixed_frame.copy()
+        assert clone.fingerprint() == mixed_frame.fingerprint()
+
+    def test_mutation_changes_fingerprint(self, mixed_frame):
+        before = mixed_frame.fingerprint()
+        mutated = mixed_frame.with_column(Column("ints", [9, 9, 9, 9, 9]))
+        assert mutated.fingerprint() != before
+        # The original is untouched.
+        assert mixed_frame.fingerprint() == before
+
+    def test_column_order_matters(self):
+        first = DataFrame({"a": [1], "b": [2]})
+        second = DataFrame({"b": [2], "a": [1]})
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_selection_changes_fingerprint(self, mixed_frame):
+        subset = mixed_frame.select(["ints", "floats"])
+        assert subset.fingerprint() != mixed_frame.fingerprint()
+
+    def test_invalidate_propagates_to_columns(self, mixed_frame):
+        before = mixed_frame.fingerprint()
+        mixed_frame.column("ints").data[0] = 42
+        mixed_frame.invalidate_fingerprint()
+        assert mixed_frame.fingerprint() != before
