@@ -28,7 +28,7 @@ Quickstart
 
 from typing import Any, Dict
 
-from repro.frame import Column, DataFrame, read_csv, write_csv
+from repro.frame import Column, DataFrame, ScannedFrame, read_csv, scan_csv, write_csv
 from repro.eda import Config, plot, plot_correlation, plot_missing
 from repro.graph import clear_global_cache, get_global_cache
 from repro.report import Report, create_report
@@ -58,6 +58,7 @@ __all__ = [
     "Config",
     "DataFrame",
     "Report",
+    "ScannedFrame",
     "cache_stats",
     "clear_cache",
     "create_report",
@@ -65,6 +66,7 @@ __all__ = [
     "plot_correlation",
     "plot_missing",
     "read_csv",
+    "scan_csv",
     "write_csv",
     "__version__",
 ]

@@ -59,14 +59,16 @@ from repro.eda.config import Config
 from repro.eda.intermediates import Intermediates
 from repro.errors import EDAError
 from repro.frame.frame import DataFrame
+from repro.frame.io import ScannedFrame
 
 _VALID_MODES = ("container", "intermediates")
 
 
 def _prepare(df: DataFrame, config: Optional[Mapping[str, Any]],
              display: Optional[Sequence[str]], mode: str) -> Config:
-    if not isinstance(df, DataFrame):
-        raise EDAError("the first argument must be a repro.frame.DataFrame")
+    if not isinstance(df, (DataFrame, ScannedFrame)):
+        raise EDAError("the first argument must be a repro.frame.DataFrame "
+                       "or a repro.frame.io.ScannedFrame (from scan_csv)")
     if mode not in _VALID_MODES:
         raise EDAError(f"mode must be one of {_VALID_MODES}, got {mode!r}")
     return Config.from_user(config, display=display)
@@ -93,7 +95,11 @@ def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
     Parameters
     ----------
     df:
-        The DataFrame to analyse.
+        The DataFrame to analyse — or a :class:`~repro.frame.io.ScannedFrame`
+        from :func:`repro.scan_csv`, in which case the computation streams
+        over the file chunk by chunk with peak memory bounded by the
+        ``memory.chunk_rows`` / ``memory.budget_bytes`` config keys instead
+        of the file size.
     col1, col2:
         Optional column names selecting the finer-grained task.
     config:

@@ -6,6 +6,14 @@ in-memory frame ("local stage", the paper's Pandas computation), builds the
 lazy reductions, and resolves many of them together against one merged,
 optimized graph so shared work (partition slices, summaries, histograms) is
 computed once.
+
+The context also owns the out-of-core streaming mode: when the input is a
+:class:`~repro.frame.io.ScannedFrame` (from :func:`repro.scan_csv`), every
+intermediate is produced by per-partition sketch + tree-merge reductions over
+lazily parsed CSV chunks, schema questions are answered from the scan's
+bounded preview, and the schedulers release each chunk as soon as its
+sketches have consumed it — so peak memory tracks ``memory.chunk_rows`` /
+``memory.budget_bytes``, not the file size.
 """
 
 from __future__ import annotations
@@ -19,8 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.eda.intermediates import Intermediates
 
 from repro.eda.config import Config
+from repro.errors import EDAError
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
+from repro.frame.io import ScannedFrame, default_worker_count
 from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
 from repro.graph.engines import Engine, ExecutionReport, get_engine
@@ -28,6 +38,17 @@ from repro.graph.partition import PartitionedFrame
 from repro.stats.correlation import PearsonPartial
 from repro.stats.descriptive import CategoricalSummary, NumericSummary
 from repro.stats.histogram import Histogram, compute_histogram
+from repro.stats.sketches import (
+    NullitySketch,
+    ReservoirSketch,
+    StreamingHistogram,
+    merge_all,
+)
+
+#: Bound on the per-chunk categorical value-count table in streaming mode; a
+#: high-cardinality column cannot grow a chunk's state past this many
+#: entries (the distinct sketch keeps the cardinality estimate honest).
+STREAMING_CATEGORY_CAPACITY = 50_000
 
 
 # --------------------------------------------------------------------------- #
@@ -55,7 +76,7 @@ def _combine_categorical_summaries(partials: List[CategoricalSummary]) -> Catego
 def _chunk_histogram(partition: DataFrame, column: str, bins: int,
                      low: float, high: float) -> Histogram:
     values = partition.column(column).to_numpy(drop_missing=True).astype(np.float64)
-    return compute_histogram(values, bins, (low, high))
+    return StreamingHistogram.from_values(values, bins, low, high)
 
 
 def _combine_histograms(partials: List[Histogram]) -> Histogram:
@@ -136,6 +157,63 @@ def _combine_pair_counts(partials: List[Dict[Tuple[str, str], int]]
     return merged
 
 
+# --------------------------------------------------------------------------- #
+# Streaming-mode chunk/combine functions (sketch-based).
+# --------------------------------------------------------------------------- #
+def _chunk_categorical_summary_bounded(partition: DataFrame, column: str,
+                                       capacity: int) -> CategoricalSummary:
+    return CategoricalSummary.from_column(partition.column(column),
+                                          capacity=capacity)
+
+
+def _prune_pair_counts(counts: Dict[Tuple[str, str], int],
+                       capacity: int) -> Dict[Tuple[str, str], int]:
+    """Keep the *capacity* most frequent pairs (deterministic tie-break)."""
+    if len(counts) <= capacity:
+        return counts
+    ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+    return dict(ordered[:capacity])
+
+
+def _chunk_pair_counts_bounded(partition: DataFrame, col1: str, col2: str,
+                               capacity: int) -> Dict[Tuple[str, str], int]:
+    return _prune_pair_counts(_chunk_pair_counts(partition, col1, col2),
+                              capacity)
+
+
+def _combine_pair_counts_bounded(partials: List[Dict[Tuple[str, str], int]]
+                                 ) -> Dict[Tuple[str, str], int]:
+    # Combine functions receive only the partial list, so the bound is the
+    # module-level streaming capacity rather than a parameter.
+    return _prune_pair_counts(_combine_pair_counts(partials),
+                              STREAMING_CATEGORY_CAPACITY)
+
+
+def _chunk_reservoir(partition: DataFrame, columns: Tuple[str, ...],
+                     capacity: int, seed: int) -> ReservoirSketch:
+    return ReservoirSketch.from_frame(partition.select(list(columns)),
+                                      capacity, seed=seed)
+
+
+def _combine_reservoirs(partials: List[ReservoirSketch]) -> ReservoirSketch:
+    return merge_all(partials)
+
+
+def _finalize_reservoir(sketch: ReservoirSketch) -> DataFrame:
+    return sketch.frame
+
+
+def _chunk_nullity(partition: DataFrame, start: int, stop: int,
+                   columns: Tuple[str, ...], n_rows_total: int,
+                   n_bins: int) -> NullitySketch:
+    return NullitySketch.from_mask(partition.select(list(columns)).missing_mask(),
+                                   columns, start, n_rows_total, n_bins)
+
+
+def _combine_nullity(partials: List[NullitySketch]) -> NullitySketch:
+    return merge_all(partials)
+
+
 class ComputeContext:
     """Execution context for one EDA task.
 
@@ -145,9 +223,14 @@ class ComputeContext:
     every requested value lands in the same optimized graph.
     """
 
-    def __init__(self, frame: DataFrame, config: Config,
+    def __init__(self, frame: Union[DataFrame, ScannedFrame], config: Config,
                  engine: Optional[Engine] = None):
-        self.frame = frame
+        if isinstance(frame, ScannedFrame):
+            self.scan: Optional[ScannedFrame] = frame
+            self._frame: Optional[DataFrame] = None
+        else:
+            self.scan = None
+            self._frame = frame
         self.config = config
         self.timings: Dict[str, float] = {}
         self.reports: List[ExecutionReport] = []
@@ -160,6 +243,71 @@ class ComputeContext:
             self.engine = get_engine(
                 config.get("compute.engine"),
                 **self._engine_kwargs(config.get("compute.engine")))
+
+    # ------------------------------------------------------------------ #
+    # Input access (in-memory frame vs. out-of-core scan)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_streaming(self) -> bool:
+        """True when the input is a :class:`ScannedFrame` (out-of-core)."""
+        return self.scan is not None
+
+    @property
+    def frame(self) -> DataFrame:
+        """The full in-memory frame.
+
+        Streaming-capable compute paths never touch this.  For the few
+        fine-grained tasks that genuinely need all rows at once (bivariate
+        row alignment, missing-value drop comparisons), a scanned input is
+        materialized here once — losing the bounded-memory guarantee for
+        that call, which is documented on the corresponding ``plot`` kinds.
+        """
+        if self._frame is None:
+            self._frame = self.scan.to_frame()
+        return self._frame
+
+    @property
+    def schema_frame(self) -> DataFrame:
+        """A bounded frame for schema questions (dtypes, semantic types).
+
+        The in-memory frame itself, or the scan's preview rows; semantic
+        type detection samples a row prefix in both cases, so the two modes
+        agree whenever the preview is representative.
+        """
+        if self.scan is not None:
+            return self.scan.preview
+        return self._frame
+
+    @property
+    def known_n_rows(self) -> int:
+        """Total row count, known without materializing a scan."""
+        if self.scan is not None:
+            return self.scan.n_rows
+        return len(self._frame)
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names of the input."""
+        if self.scan is not None:
+            return self.scan.columns
+        return self._frame.columns
+
+    @property
+    def n_columns(self) -> int:
+        """Number of columns of the input."""
+        return len(self.column_names)
+
+    def total_memory_bytes(self) -> int:
+        """In-memory footprint of a frame, or on-disk size of a scan."""
+        if self.scan is not None:
+            return self.scan.file_size
+        return self._frame.memory_bytes()
+
+    def duplicate_row_count(self, max_rows: int) -> Optional[int]:
+        """Exact duplicate rows, or None when the scan would need full data."""
+        if self.scan is not None or self.known_n_rows > max_rows:
+            return None
+        return self._frame.duplicate_row_count()
 
     def _decide_cache(self) -> Optional[TaskCache]:
         """The process-wide intermediate cache, or None when disabled.
@@ -196,23 +344,63 @@ class ComputeContext:
         return {}
 
     def _decide_graph_mode(self) -> bool:
+        if self.is_streaming:
+            # A scan must never be materialized wholesale; the graph (chunked)
+            # path is the only one with a bounded footprint.
+            return True
         mode = self.config.get("compute.use_graph")
         if mode == "always":
             return True
         if mode == "never":
             return False
-        return len(self.frame) >= self.config.get("compute.small_data_rows")
+        return self.known_n_rows >= self.config.get("compute.small_data_rows")
+
+    def _effective_workers(self) -> int:
+        workers = self.config.get("compute.max_workers")
+        if workers is None:
+            workers = default_worker_count()
+        return int(workers)
 
     # ------------------------------------------------------------------ #
     # Partitioning (the chunk-size precompute stage)
     # ------------------------------------------------------------------ #
     @property
     def partitioned(self) -> PartitionedFrame:
-        """The partitioned frame, built on first use with precomputed chunks."""
+        """The partitioned frame, built on first use with precomputed chunks.
+
+        For a scanned input the partitions are lazy byte-range parse tasks;
+        the chunk granularity honours ``memory.chunk_rows`` and shrinks
+        further if ``memory.budget_bytes`` cannot hold one chunk per
+        scheduler worker concurrently.
+        """
         if self._partitioned is None:
             started = time.perf_counter()
-            self._partitioned = PartitionedFrame.from_frame(
-                self.frame, partition_rows=self.config.get("compute.partition_rows"))
+            if self.scan is not None:
+                scan = self.scan
+                target = scan.chunk_rows
+                # The scan's own chunking already satisfies the budget it was
+                # created with; only constrain further for settings the user
+                # explicitly overrides (or a worker count the scan did not
+                # assume).  Anything else would silently override an explicit
+                # scan_csv(chunk_rows=...) choice with the config default and
+                # pay a needless full-file layout rescan.
+                if "memory.chunk_rows" in self.config.provided:
+                    target = min(target, self.config.get("memory.chunk_rows"))
+                budget = scan.budget_bytes
+                if "memory.budget_bytes" in self.config.provided:
+                    budget = self.config.get("memory.budget_bytes")
+                workers = self._effective_workers()
+                if budget != scan.budget_bytes or \
+                        workers != scan.budget_concurrency:
+                    target = min(target, scan.chunk_rows_for_budget(
+                        budget, concurrency=workers))
+                if target < scan.chunk_rows:
+                    scan = scan.rechunk(target)
+                self._partitioned = PartitionedFrame.from_scan(scan)
+            else:
+                self._partitioned = PartitionedFrame.from_frame(
+                    self.frame,
+                    partition_rows=self.config.get("compute.partition_rows"))
             self.timings["precompute_chunk_sizes"] = time.perf_counter() - started
         return self._partitioned
 
@@ -228,9 +416,19 @@ class ComputeContext:
             chunk_args=(column,))
 
     def categorical_summary(self, column: str) -> Union[Delayed, CategoricalSummary]:
-        """Mergeable categorical summary of one column."""
+        """Mergeable categorical summary of one column.
+
+        In streaming mode the per-chunk value-count table is bounded
+        (:data:`STREAMING_CATEGORY_CAPACITY`) so cardinality cannot defeat
+        the memory budget; counts stay exact below the bound.
+        """
         if not self.use_graph:
             return CategoricalSummary.from_column(self.frame.column(column))
+        if self.is_streaming:
+            return self.partitioned.reduction(
+                _chunk_categorical_summary_bounded,
+                _combine_categorical_summaries,
+                chunk_args=(column, STREAMING_CATEGORY_CAPACITY))
         return self.partitioned.reduction(
             _chunk_categorical_summary, _combine_categorical_summaries,
             chunk_args=(column,))
@@ -254,33 +452,82 @@ class ComputeContext:
             _chunk_pearson, _combine_pearson, chunk_args=(columns,))
 
     def missing_mask(self) -> Union[Delayed, np.ndarray]:
-        """Full boolean missing mask (rows x columns)."""
+        """Full boolean missing mask (rows x columns).
+
+        The mask is O(rows x columns); a scanned input must use
+        :meth:`nullity_sketch` instead, which holds only per-column and
+        per-bin counts.
+        """
+        if self.is_streaming:
+            raise EDAError("a scanned frame has no materialized missing mask; "
+                           "use nullity_sketch() instead")
         if not self.use_graph:
             return self.frame.missing_mask()
         return self.partitioned.reduction(_chunk_missing_mask, _combine_missing_masks)
 
+    def nullity_sketch(self, n_bins: int) -> Union[Delayed, NullitySketch]:
+        """Mergeable missing-value sketch over all columns.
+
+        Carries everything ``plot_missing(df)`` renders — per-column missing
+        counts, pairwise co-missing counts and the row-binned missing
+        spectrum — in a few small arrays per chunk.
+        """
+        columns = tuple(self.column_names)
+        total = self.known_n_rows
+        if not self.use_graph:
+            return NullitySketch.from_mask(self.frame.missing_mask(), columns,
+                                           0, total, n_bins)
+        return self.partitioned.reduction_indexed(
+            _chunk_nullity, _combine_nullity,
+            chunk_args=(columns, total, n_bins))
+
     def row_count(self) -> Union[Delayed, int]:
         """Total number of rows."""
+        if self.is_streaming:
+            return self.known_n_rows      # precomputed by the layout scan
         if not self.use_graph:
             return len(self.frame)
         return self.partitioned.reduction(_chunk_row_count, _combine_counts)
 
     def sample(self, columns: Sequence[str], size: int,
                seed: int = 0) -> Union[Delayed, DataFrame]:
-        """A uniform row sample of the given columns (about *size* rows)."""
+        """A uniform row sample of the given columns (about *size* rows).
+
+        Streaming inputs sample through a mergeable reservoir sketch, so the
+        retained rows never exceed *size* no matter the file length — and
+        while the whole file fits the capacity the "sample" is exact, which
+        is what pins the streaming results to the in-memory ones on small
+        data.
+        """
         columns = tuple(columns)
         if not self.use_graph:
             return self.frame.select(list(columns)).sample(size, seed=seed)
-        total = max(len(self.frame), 1)
+        if self.is_streaming:
+            return self.partitioned.reduction(
+                _chunk_reservoir, _combine_reservoirs,
+                finalize=_finalize_reservoir,
+                chunk_args=(columns, int(size), seed))
+        total = max(self.known_n_rows, 1)
         fraction = min(1.0, size / total)
         return self.partitioned.reduction(
             _chunk_sample, _combine_samples,
             chunk_args=(columns, fraction, seed))
 
     def pair_counts(self, col1: str, col2: str) -> Union[Delayed, Dict[Tuple[str, str], int]]:
-        """Joint value counts of two categorical columns."""
+        """Joint value counts of two categorical columns.
+
+        In streaming mode the pair table is pruned to the
+        :data:`STREAMING_CATEGORY_CAPACITY` most frequent pairs at every
+        chunk and merge step, so two high-cardinality columns cannot defeat
+        the memory budget; exact below the bound (the downstream charts only
+        consume the top few dozen pairs).
+        """
         if not self.use_graph:
             return _chunk_pair_counts(self.frame, col1, col2)
+        if self.is_streaming:
+            return self.partitioned.reduction(
+                _chunk_pair_counts_bounded, _combine_pair_counts_bounded,
+                chunk_args=(col1, col2, STREAMING_CATEGORY_CAPACITY))
         return self.partitioned.reduction(
             _chunk_pair_counts, _combine_pair_counts, chunk_args=(col1, col2))
 
@@ -324,5 +571,12 @@ class ComputeContext:
         return intermediates
 
     def column(self, name: str) -> Column:
-        """Access a column of the underlying frame (validates the name)."""
+        """A column for schema/semantic-type inspection (validates the name).
+
+        For an in-memory frame this is the full column; for a scan it is the
+        preview's column — compute paths must go through the sketch
+        reductions for actual data, so this accessor never parses the file.
+        """
+        if self.scan is not None:
+            return self.scan.preview.column(name)
         return self.frame.column(name)

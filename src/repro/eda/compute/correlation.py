@@ -33,11 +33,11 @@ from repro.stats.correlation import (
 )
 
 
-def _numerical_columns(frame: DataFrame) -> List[str]:
-    types = detect_frame_types(frame)
+def _numerical_columns(context: ComputeContext) -> List[str]:
+    types = detect_frame_types(context.schema_frame)
     return [name for name, semantic in types.items()
             if semantic is SemanticType.NUMERICAL and
-            frame.column(name).dtype.is_numeric]
+            context.column(name).dtype.is_numeric]
 
 
 def compute_correlation_overview(frame: DataFrame, config: Config,
@@ -45,7 +45,7 @@ def compute_correlation_overview(frame: DataFrame, config: Config,
                                  ) -> Intermediates:
     """Intermediates of ``plot_correlation(df)``."""
     context = context or ComputeContext(frame, config)
-    columns = _numerical_columns(frame)
+    columns = _numerical_columns(context)
     if len(columns) < 2:
         raise EDAError("correlation analysis requires at least two numerical columns")
 
@@ -105,7 +105,7 @@ def compute_correlation_single(frame: DataFrame, column: str, config: Config,
                                ) -> Intermediates:
     """Intermediates of ``plot_correlation(df, col1)``."""
     context = context or ComputeContext(frame, config)
-    columns = _numerical_columns(frame)
+    columns = _numerical_columns(context)
     if column not in columns:
         raise EDAError(f"column {column!r} must be numerical for correlation analysis")
     if len(columns) < 2:

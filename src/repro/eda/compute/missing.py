@@ -27,16 +27,25 @@ from repro.stats.association import (
     missing_spectrum,
     nullity_correlation,
     nullity_dendrogram,
+    nullity_dendrogram_from_distances,
 )
 from repro.stats.histogram import compute_histogram
 from repro.stats.qq import box_plot_stats
+from repro.stats.sketches import NullitySketch
 
 
 def compute_missing_overview(frame: DataFrame, config: Config,
                              context: Optional[ComputeContext] = None
                              ) -> Intermediates:
-    """Intermediates of ``plot_missing(df)``."""
+    """Intermediates of ``plot_missing(df)``.
+
+    A scanned (out-of-core) input streams through :class:`NullitySketch`
+    reductions — the O(rows x columns) mask is never materialized; an
+    in-memory frame keeps the original mask-based route.
+    """
     context = context or ComputeContext(frame, config)
+    if context.is_streaming:
+        return _missing_overview_streaming(context, config)
     stage1 = context.resolve({
         "mask": context.missing_mask(),
         "n_rows": context.row_count(),
@@ -50,14 +59,77 @@ def compute_missing_overview(frame: DataFrame, config: Config,
     missing_per_column = {name: int(mask[:, index].sum())
                           for index, name in enumerate(columns)} if mask.size else \
         {name: 0 for name in columns}
-    total_missing = sum(missing_per_column.values())
 
     spectrum = missing_spectrum(mask, columns,
                                 n_bins=config.get("missing.spectrum_bins")) \
         if mask.size else None
+    spectrum_item = None if spectrum is None else {
+        "columns": spectrum.columns,
+        "bin_edges": spectrum.bin_edges.tolist(),
+        "densities": spectrum.densities.tolist(),
+    }
     kept, nullity_matrix = nullity_correlation(mask, columns) if mask.size else ([], np.zeros((0, 0)))
     dendro_labels, dendro_nodes = nullity_dendrogram(mask, columns) if mask.size else (columns, [])
 
+    intermediates = _assemble_missing_overview(
+        config, columns, n_rows, missing_per_column, spectrum_item,
+        kept, nullity_matrix, dendro_labels, dendro_nodes)
+    context.record_local_stage(time.perf_counter() - started)
+    return context.finish(intermediates)
+
+
+def _missing_overview_streaming(context: ComputeContext,
+                                config: Config) -> Intermediates:
+    """Sketch-based ``plot_missing(df)`` with chunk-bounded memory.
+
+    Produces the same four visualizations as the mask route: the bar chart
+    and spectrum come straight from the sketch counts, the nullity
+    correlation from the closed-form Pearson over ``(n, S_i, S_ij)``, and
+    the dendrogram from the count-derived Euclidean distances.
+    """
+    stage1 = context.resolve({
+        "sketch": context.nullity_sketch(config.get("missing.spectrum_bins")),
+    }, stage="graph")
+
+    started = time.perf_counter()
+    sketch: NullitySketch = stage1["sketch"]
+    columns = list(sketch.columns)
+    n_rows = sketch.n_rows_seen
+    has_cells = bool(n_rows and columns)
+
+    missing_per_column = sketch.missing_per_column() if has_cells else \
+        {name: 0 for name in columns}
+    spectrum_item = None if not has_cells else {
+        "columns": columns,
+        "bin_edges": sketch.bin_edges.tolist(),
+        "densities": sketch.spectrum_densities().tolist(),
+    }
+    kept, nullity_matrix = sketch.nullity_correlation() if has_cells \
+        else ([], np.zeros((0, 0)))
+    dendro_labels, dendro_nodes = \
+        nullity_dendrogram_from_distances(sketch.nullity_distances(), columns) \
+        if has_cells else (columns, [])
+
+    intermediates = _assemble_missing_overview(
+        config, columns, n_rows, missing_per_column, spectrum_item,
+        kept, nullity_matrix, dendro_labels, dendro_nodes)
+    context.record_local_stage(time.perf_counter() - started)
+    return context.finish(intermediates)
+
+
+def _assemble_missing_overview(config: Config, columns: List[str], n_rows: int,
+                               missing_per_column: Dict[str, int],
+                               spectrum_item: Optional[Dict[str, Any]],
+                               kept: List[str], nullity_matrix: np.ndarray,
+                               dendro_labels: List[str],
+                               dendro_nodes: List[Any]) -> Intermediates:
+    """Shared stats/items/insights assembly of the missing overview.
+
+    Both the mask route and the sketch (streaming) route feed this, so the
+    payload shapes and insight thresholds cannot drift apart between the two
+    — which is what the streaming-equivalence suite pins.
+    """
+    total_missing = sum(missing_per_column.values())
     stats = {
         "n_rows": n_rows,
         "n_columns": len(columns),
@@ -73,12 +145,8 @@ def compute_missing_overview(frame: DataFrame, config: Config,
             "missing_counts": [missing_per_column[name] for name in columns],
             "present_counts": [n_rows - missing_per_column[name] for name in columns],
         }
-    if spectrum is not None and config.wants("missing_spectrum"):
-        items["missing_spectrum"] = {
-            "columns": spectrum.columns,
-            "bin_edges": spectrum.bin_edges.tolist(),
-            "densities": spectrum.densities.tolist(),
-        }
+    if spectrum_item is not None and config.wants("missing_spectrum"):
+        items["missing_spectrum"] = spectrum_item
     if config.wants("nullity_correlation"):
         items["nullity_correlation"] = {
             "columns": kept,
@@ -105,8 +173,7 @@ def compute_missing_overview(frame: DataFrame, config: Config,
                 severity="warning", value=rate,
                 message=f"{name} has {rate:.1%} missing values"))
     intermediates.add_insights(insights)
-    context.record_local_stage(time.perf_counter() - started)
-    return context.finish(intermediates)
+    return intermediates
 
 
 def compute_missing_single(frame: DataFrame, column: str, config: Config,
@@ -118,12 +185,16 @@ def compute_missing_single(frame: DataFrame, column: str, config: Config,
     on all rows and on the rows that remain after dropping the rows where
     *column* is missing — which is why the paper reports this as the most
     computationally intensive fine-grained task (Figure 5).
+
+    This fine-grained task aligns rows across columns, so a scanned input
+    is materialized here (the overview task streams; this one cannot).
     """
     context = context or ComputeContext(frame, config)
-    if column not in frame.columns:
+    if column not in context.column_names:
         context.column(column)  # raises ColumnNotFoundError with suggestions
     started_total = time.perf_counter()
 
+    frame = context.frame
     target_missing = frame.column(column).isna()
     dropped = frame.filter(~target_missing)
     types = detect_frame_types(frame)
@@ -185,13 +256,18 @@ def compute_missing_single(frame: DataFrame, column: str, config: Config,
 def compute_missing_pair(frame: DataFrame, col1: str, col2: str, config: Config,
                          context: Optional[ComputeContext] = None
                          ) -> Intermediates:
-    """Intermediates of ``plot_missing(df, col1, col2)``."""
+    """Intermediates of ``plot_missing(df, col1, col2)``.
+
+    Like :func:`compute_missing_single`, this aligns rows across columns, so
+    a scanned input is materialized here.
+    """
     context = context or ComputeContext(frame, config)
     for name in (col1, col2):
-        if name not in frame.columns:
+        if name not in context.column_names:
             context.column(name)
     started = time.perf_counter()
 
+    frame = context.frame
     target_missing = frame.column(col1).isna()
     dropped = frame.filter(~target_missing)
     impacted = frame.column(col2)

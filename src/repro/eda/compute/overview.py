@@ -28,14 +28,19 @@ MAX_ROWS_FOR_DUPLICATE_SCAN = 200_000
 
 def compute_overview(frame: DataFrame, config: Config,
                      context: Optional[ComputeContext] = None) -> Intermediates:
-    """Compute the intermediates of ``plot(df)``."""
+    """Compute the intermediates of ``plot(df)``.
+
+    Works unchanged on a :class:`~repro.frame.io.ScannedFrame`: every
+    summary below is a mergeable sketch reduction, so the file streams
+    through chunk by chunk.
+    """
     context = context or ComputeContext(frame, config)
-    semantic_types = detect_frame_types(frame)
+    semantic_types = detect_frame_types(context.schema_frame)
 
     numerical = [name for name, semantic in semantic_types.items()
                  if semantic is SemanticType.NUMERICAL and
-                 frame.column(name).dtype.is_numeric]
-    categorical = [name for name in frame.columns if name not in numerical]
+                 context.column(name).dtype.is_numeric]
+    categorical = [name for name in context.column_names if name not in numerical]
 
     # Stage 1 (graph): every per-column summary in one shared graph.
     requested: Dict[str, Any] = {"n_rows": context.row_count()}
@@ -62,14 +67,14 @@ def compute_overview(frame: DataFrame, config: Config,
     # Local stage: assemble dataset statistics and per-column chart data.
     started = time.perf_counter()
     n_rows = int(stage1["n_rows"])
-    n_columns = frame.n_columns
+    n_columns = context.n_columns
     missing_cells = sum(summary.missing for summary in numeric_summaries.values())
     missing_cells += sum(summary.missing for summary in categorical_summaries.values())
     total_cells = max(n_rows * n_columns, 1)
 
-    duplicate_rows = None
-    if n_rows <= MAX_ROWS_FOR_DUPLICATE_SCAN:
-        duplicate_rows = frame.duplicate_row_count()
+    # The exact duplicate scan needs every row at once; skipped for scanned
+    # (out-of-core) inputs and for frames past the size cutoff.
+    duplicate_rows = context.duplicate_row_count(MAX_ROWS_FOR_DUPLICATE_SCAN)
 
     dataset_stats = {
         "n_rows": n_rows,
@@ -79,12 +84,12 @@ def compute_overview(frame: DataFrame, config: Config,
         "missing_cells": int(missing_cells),
         "missing_cells_rate": missing_cells / total_cells,
         "duplicate_rows": duplicate_rows,
-        "memory_bytes": frame.memory_bytes(),
+        "memory_bytes": context.total_memory_bytes(),
     }
 
     variables: Dict[str, Dict[str, Any]] = {}
     items: Dict[str, Any] = {"overview": dataset_stats}
-    for name in frame.columns:
+    for name in context.column_names:
         if name in numeric_summaries:
             summary = numeric_summaries[name]
             entry: Dict[str, Any] = {

@@ -130,7 +130,7 @@ def _numerical_univariate(context: ComputeContext, column: str,
         task="univariate", columns=[column], items=items, stats=stats,
         timings=dict(context.timings),
         meta={"semantic_type": SemanticType.NUMERICAL.value,
-              "n_rows": len(context.frame)})
+              "n_rows": context.known_n_rows})
     intermediates.add_insights(numeric_column_insights(
         column, summary, histogram, config, sample=sample))
     intermediates.add_insights(outlier_insight(
@@ -193,7 +193,7 @@ def _categorical_univariate(context: ComputeContext, column: str, config: Config
     intermediates = Intermediates(
         task="univariate", columns=[column], items=items, stats=stats,
         timings=dict(context.timings),
-        meta={"semantic_type": semantic.value, "n_rows": len(context.frame)})
+        meta={"semantic_type": semantic.value, "n_rows": context.known_n_rows})
     intermediates.add_insights(categorical_column_insights(column, summary, config))
     context.record_local_stage(time.perf_counter() - started)
     return context.finish(intermediates)

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigError, _closest
+from repro.frame.io import DEFAULT_BUDGET_BYTES as _DEFAULT_BUDGET_BYTES
+from repro.frame.io import DEFAULT_CHUNK_ROWS as _DEFAULT_CHUNK_ROWS
 from repro.graph.cache import DEFAULT_MAX_BYTES as _CACHE_DEFAULT_MAX_BYTES
 
 #: Default values for every configurable parameter, grouped by component.
@@ -84,6 +86,13 @@ DEFAULTS: Dict[str, Any] = {
     "compute.histogram_bins_internal": 512,
     "compute.enable_cse": True,
     "compute.enable_fusion": False,
+    # Out-of-core streaming (inputs opened with repro.scan_csv).  A scanned
+    # frame is processed chunk by chunk: memory.chunk_rows caps the rows per
+    # chunk and memory.budget_bytes caps the estimated peak parse memory
+    # across all concurrently in-flight chunks (the effective chunk size is
+    # the smaller of the two constraints).
+    "memory.chunk_rows": _DEFAULT_CHUNK_ROWS,
+    "memory.budget_bytes": _DEFAULT_BUDGET_BYTES,
     # Cross-call intermediate cache (see repro.graph.cache).  When enabled,
     # repeated EDA calls on the same frame reuse partition slices, summaries
     # and histograms computed by earlier calls in this process.
@@ -108,7 +117,8 @@ _POSITIVE_INT_KEYS = {
     "correlation.top_k", "missing.spectrum_bins", "missing.bins",
     "missing.quantiles", "insight.high_cardinality.threshold",
     "compute.partition_rows", "compute.small_data_rows",
-    "compute.histogram_bins_internal", "cache.max_bytes", "render.width",
+    "compute.histogram_bins_internal", "memory.chunk_rows",
+    "memory.budget_bytes", "cache.max_bytes", "render.width",
     "render.height", "render.max_tabs", "report.sample_rows",
     "report.interactions_max_columns",
 }

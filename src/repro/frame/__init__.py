@@ -21,13 +21,14 @@ from repro.frame.dtypes import DType, infer_dtype
 from repro.frame.column import Column
 from repro.frame.fingerprint import fingerprint_array, fingerprint_column, fingerprint_frame
 from repro.frame.frame import DataFrame, concat_rows
-from repro.frame.io import read_csv, write_csv
+from repro.frame.io import ScannedFrame, read_csv, scan_csv, write_csv
 from repro.frame.ops import crosstab, groupby_aggregate, value_counts
 
 __all__ = [
     "Column",
     "DataFrame",
     "DType",
+    "ScannedFrame",
     "concat_rows",
     "crosstab",
     "fingerprint_array",
@@ -36,6 +37,7 @@ __all__ = [
     "groupby_aggregate",
     "infer_dtype",
     "read_csv",
+    "scan_csv",
     "value_counts",
     "write_csv",
 ]

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import sys
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -373,9 +374,15 @@ class Column:
         return int((values < 0).sum())
 
     def memory_bytes(self) -> int:
-        """Approximate memory footprint of the stored arrays."""
+        """Approximate memory footprint of the stored arrays.
+
+        String columns count the actual python ``str`` objects (header
+        included), not just the pointer array — the intermediate cache uses
+        this to keep its byte budget honest for parsed CSV chunks.
+        """
         if self.dtype is DType.STRING:
-            payload = sum(len(value) for value in self.data[~self.mask].tolist())
+            payload = sum(sys.getsizeof(value)
+                          for value in self.data[~self.mask].tolist())
             return int(self.data.nbytes + self.mask.nbytes + payload)
         return int(self.data.nbytes + self.mask.nbytes)
 

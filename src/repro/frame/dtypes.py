@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import enum
 import math
+import re
 from datetime import datetime
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
@@ -110,6 +111,12 @@ def parse_bool(value: Any) -> Optional[bool]:
     return None
 
 
+#: Cheap prescreen matching every shape DATETIME_FORMATS can parse; strings
+#: that cannot match skip the (expensive) strptime attempts entirely.
+_DATETIME_CANDIDATE = re.compile(
+    r"^\d{1,4}[-/]\d{1,2}[-/]\d{1,4}([ T]\d{1,2}:\d{1,2}:\d{1,2})?$")
+
+
 def parse_datetime(value: Any) -> Optional[np.datetime64]:
     """Parse a scalar as a datetime, returning None when parsing fails."""
     if isinstance(value, np.datetime64):
@@ -118,6 +125,8 @@ def parse_datetime(value: Any) -> Optional[np.datetime64]:
         return np.datetime64(value.replace(tzinfo=None), "s")
     if isinstance(value, str):
         text = value.strip()
+        if not _DATETIME_CANDIDATE.match(text):
+            return None
         for fmt in DATETIME_FORMATS:
             try:
                 return np.datetime64(datetime.strptime(text, fmt), "s")
@@ -161,7 +170,7 @@ def infer_dtype(values: Iterable[Any]) -> DType:
     (ints and floats) infers FLOAT; anything containing non-parsable strings
     infers STRING.  An all-missing column infers FLOAT so it can hold NaN.
     """
-    saw_bool = saw_int = saw_float = saw_datetime = saw_string = False
+    saw_bool = saw_int = saw_float = saw_datetime = False
     saw_any = False
     for value in values:
         if is_missing_scalar(value):
@@ -182,11 +191,12 @@ def infer_dtype(values: Iterable[Any]) -> DType:
         if parse_datetime(value) is not None:
             saw_datetime = True
             continue
-        saw_string = True
+        # A single non-parsable value makes the whole column STRING; no later
+        # value can change that, so stop scanning (large text columns would
+        # otherwise pay number/bool/datetime attempts on every cell).
+        return DType.STRING
     if not saw_any:
         return DType.FLOAT
-    if saw_string:
-        return DType.STRING
     if saw_datetime:
         if saw_bool or saw_int or saw_float:
             return DType.STRING
@@ -202,13 +212,27 @@ def infer_dtype(values: Iterable[Any]) -> DType:
     return DType.STRING
 
 
-def coerce_values(values: Sequence[Any], dtype: DType) -> Tuple[np.ndarray, np.ndarray]:
+def coerce_values(values: Sequence[Any], dtype: DType,
+                  lenient: bool = False) -> Tuple[np.ndarray, np.ndarray]:
     """Coerce raw python values into ``(data, mask)`` arrays for *dtype*.
 
     ``mask`` is True where the value is missing.  Raises
     :class:`repro.errors.DTypeError` when a non-missing value cannot be
-    represented in the requested dtype.
+    represented in the requested dtype — unless *lenient* is true, in which
+    case such values are recorded as missing instead.  The streaming CSV
+    scan parses chunks leniently: its dtypes come from a bounded preview, so
+    a value contradicting the inferred dtype deep in a large file must
+    degrade to a missing cell (as documented on ``scan_csv``), not abort a
+    long-running scan.
+
+    FLOAT, INT and STRING take a vectorized fast path (numpy parses the
+    whole batch in C) and fall back to the exact per-scalar coercion the
+    moment any value resists it, so the accepted inputs are identical either
+    way — this is the hot loop of the chunked CSV scan.
     """
+    fast = _coerce_fast(values, dtype)
+    if fast is not None:
+        return fast
     size = len(values)
     data = np.empty(size, dtype=dtype.numpy_dtype())
     mask = np.zeros(size, dtype=np.bool_)
@@ -218,7 +242,45 @@ def coerce_values(values: Sequence[Any], dtype: DType) -> Tuple[np.ndarray, np.n
             data[index] = null
             mask[index] = True
             continue
-        data[index] = _coerce_scalar(value, dtype)
+        if lenient:
+            try:
+                data[index] = _coerce_scalar(value, dtype)
+            except DTypeError:
+                data[index] = null
+                mask[index] = True
+        else:
+            data[index] = _coerce_scalar(value, dtype)
+    return data, mask
+
+
+def _coerce_fast(values: Sequence[Any],
+                 dtype: DType) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Vectorized coercion for the common dtypes; None = use the slow path."""
+    if dtype not in (DType.FLOAT, DType.INT, DType.STRING) or not len(values):
+        return None
+    mask = np.fromiter((is_missing_scalar(value) for value in values),
+                       dtype=np.bool_, count=len(values))
+    if dtype is DType.STRING:
+        if not all(isinstance(value, str) for value in values):
+            return None
+        data = np.empty(len(values), dtype=object)
+        data[:] = values
+        if mask.any():
+            data[mask] = ""
+        return data, mask
+    null_token = "nan" if dtype is DType.FLOAT else "0"
+    cleaned = [null_token if missing else value
+               for value, missing in zip(values, mask)]
+    if not all(isinstance(value, str) for value in cleaned):
+        return None
+    if dtype is DType.INT and any("_" in value for value in cleaned):
+        return None                    # numpy and int() disagree on "1_0"
+    try:
+        data = np.asarray(cleaned, dtype=dtype.numpy_dtype())
+    except (ValueError, OverflowError):
+        return None
+    if dtype is DType.FLOAT and bool(np.isnan(data[~mask]).any()):
+        return None                    # a non-missing cell parsed to NaN
     return data, mask
 
 

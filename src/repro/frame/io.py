@@ -1,8 +1,17 @@
 """CSV input/output for the columnar frame.
 
-The reader performs two passes over the text: the first collects raw string
-cells per column, the second infers a storage dtype per column and coerces.
-This mirrors how the EDA tools in the paper ingest Kaggle CSV files.
+The eager reader (:func:`read_csv`) performs two passes over the text: the
+first collects raw string cells per column, the second infers a storage dtype
+per column and coerces.  This mirrors how the EDA tools in the paper ingest
+Kaggle CSV files.
+
+The streaming reader (:func:`scan_csv`) never materializes the file: it scans
+the byte layout once (quote-aware, so embedded newlines inside quoted fields
+are handled), infers dtypes from a bounded preview, and returns a
+:class:`ScannedFrame` whose chunks are parsed lazily, one bounded row range
+at a time.  The EDA layer accepts a ``ScannedFrame`` wherever it accepts a
+``DataFrame`` and routes it through per-partition sketch reductions, which is
+what makes ``plot`` / ``create_report`` work on CSVs larger than memory.
 """
 
 from __future__ import annotations
@@ -10,16 +19,44 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import FrameError
 from repro.frame.column import Column
 from repro.frame.dtypes import DType, coerce_values, infer_dtype
-from repro.frame.frame import DataFrame
+from repro.frame.frame import DataFrame, concat_rows
 
 PathOrBuffer = Union[str, os.PathLike, io.TextIOBase]
+
+#: Default number of rows per streamed chunk (mirrors the partition default).
+DEFAULT_CHUNK_ROWS = 100_000
+
+#: Default peak-memory budget for an out-of-core scan (bytes).
+DEFAULT_BUDGET_BYTES = 128 * 1024 * 1024
+
+#: Parsing a CSV chunk transiently holds the raw text plus per-cell python
+#: strings (each with ~50 bytes of object header), which costs several times
+#: the on-disk bytes; the budget-to-rows conversion multiplies the on-disk
+#: row size by this factor.  Calibrated against tracemalloc peaks in
+#: benchmarks/bench_outofcore.py.
+PARSE_OVERHEAD_FACTOR = 12
+
+#: Never shrink chunks below this many rows — per-chunk numpy work must still
+#: dominate the python/scheduler overhead.
+MIN_CHUNK_ROWS = 256
+
+
+def default_worker_count() -> int:
+    """Default execution concurrency: bounded CPU count.
+
+    The single source of truth shared by the threaded scheduler, the
+    compute context and :func:`scan_csv`'s budget math — if these diverged,
+    the context's worker-aware chunk-size re-derivation would disagree with
+    the scan's and every warm EDA call would pay a full-file layout rescan.
+    """
+    return min(8, os.cpu_count() or 4)
 
 
 def read_csv(path_or_buffer: PathOrBuffer,
@@ -27,7 +64,8 @@ def read_csv(path_or_buffer: PathOrBuffer,
              has_header: bool = True,
              column_names: Optional[Sequence[str]] = None,
              dtypes: Optional[Dict[str, DType]] = None,
-             max_rows: Optional[int] = None) -> DataFrame:
+             max_rows: Optional[int] = None,
+             lenient: bool = False) -> DataFrame:
     """Read a CSV file (or open text buffer) into a :class:`DataFrame`.
 
     Parameters
@@ -44,13 +82,16 @@ def read_csv(path_or_buffer: PathOrBuffer,
         Optional per-column dtype overrides; other columns are inferred.
     max_rows:
         Read at most this many data rows (useful for previews).
+    lenient:
+        When true, values that cannot be coerced to their (explicitly
+        passed) dtype become missing instead of raising.
     """
     if isinstance(path_or_buffer, (str, os.PathLike)):
         with open(path_or_buffer, "r", newline="", encoding="utf-8") as handle:
             return _read_csv_stream(handle, delimiter, has_header, column_names,
-                                    dtypes, max_rows)
+                                    dtypes, max_rows, lenient)
     return _read_csv_stream(path_or_buffer, delimiter, has_header, column_names,
-                            dtypes, max_rows)
+                            dtypes, max_rows, lenient)
 
 
 def _read_csv_stream(stream: io.TextIOBase,
@@ -58,7 +99,8 @@ def _read_csv_stream(stream: io.TextIOBase,
                      has_header: bool,
                      column_names: Optional[Sequence[str]],
                      dtypes: Optional[Dict[str, DType]],
-                     max_rows: Optional[int]) -> DataFrame:
+                     max_rows: Optional[int],
+                     lenient: bool = False) -> DataFrame:
     reader = csv.reader(stream, delimiter=delimiter)
     rows = iter(reader)
 
@@ -89,7 +131,7 @@ def _read_csv_stream(stream: io.TextIOBase,
     columns = []
     for name, raw_values in zip(names, cells):
         dtype = overrides.get(name, infer_dtype(raw_values))
-        data, mask = coerce_values(raw_values, dtype)
+        data, mask = coerce_values(raw_values, dtype, lenient=lenient)
         columns.append(Column(name, data, dtype, mask))
     return DataFrame(columns)
 
@@ -142,3 +184,359 @@ def _format_cell(value: Any) -> str:
     if isinstance(value, bool):
         return "true" if value else "false"
     return str(value)
+
+
+# --------------------------------------------------------------------------- #
+# Streaming scan
+# --------------------------------------------------------------------------- #
+def _scan_csv_layout(path: Union[str, os.PathLike], chunk_rows: int,
+                     delimiter: str = ",") -> Tuple[List[str], List[Tuple[int, int]],
+                                                    List[Tuple[int, int]]]:
+    """One quote-aware pass over the file recording chunk byte boundaries.
+
+    A CSV *record* may span several physical lines when a quoted field
+    contains newlines; a record ends only on a line where the cumulative
+    count of quote characters is even (``""`` escapes toggle twice, so
+    parity is preserved).  Records that are completely blank are not counted,
+    matching :func:`read_csv`.  Returns ``(column names, row boundaries,
+    byte ranges)`` where every byte range starts and ends on a record
+    boundary, so each chunk is independently parseable.
+    """
+    if chunk_rows <= 0:
+        raise FrameError("chunk_rows must be positive")
+    byte_offsets: List[int] = []
+    row_counts: List[int] = []
+    with open(path, "rb") as handle:
+        header_lines: List[bytes] = []
+        quotes = 0
+        for line in handle:
+            header_lines.append(line)
+            quotes += line.count(b'"')
+            if quotes % 2 == 0:
+                break
+        header_text = b"".join(header_lines).decode("utf-8")
+        header_rows = list(csv.reader(io.StringIO(header_text),
+                                      delimiter=delimiter))
+        if not header_rows:
+            return [], [(0, 0)], [(handle.tell(), handle.tell())]
+        columns = [name.strip() for name in header_rows[0]]
+
+        byte_offsets.append(handle.tell())
+        rows_in_chunk = 0
+        quotes = 0
+        record_blank = True
+        for line in handle:
+            quotes += line.count(b'"')
+            if line.strip(b"\r\n"):
+                record_blank = False
+            if quotes % 2 == 1:
+                continue                      # still inside a quoted field
+            if not record_blank:
+                rows_in_chunk += 1
+                if rows_in_chunk == chunk_rows:
+                    byte_offsets.append(handle.tell())
+                    row_counts.append(rows_in_chunk)
+                    rows_in_chunk = 0
+            record_blank = True
+        if quotes % 2 == 1 and not record_blank:
+            # A final record whose quoted field is never closed: the csv
+            # parser still yields it as a row, so count it — otherwise
+            # n_rows disagrees with what the chunks actually parse.
+            rows_in_chunk += 1
+        end_of_file = handle.tell()
+    if rows_in_chunk or not row_counts:
+        byte_offsets.append(end_of_file)
+        row_counts.append(rows_in_chunk)
+    byte_ranges = [(byte_offsets[index], byte_offsets[index + 1])
+                   for index in range(len(row_counts))]
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for count in row_counts:
+        boundaries.append((start, start + count))
+        start += count
+    return columns, boundaries, byte_ranges
+
+
+def _estimate_csv_row_bytes(path: Union[str, os.PathLike],
+                            probe_bytes: int = 64 * 1024) -> float:
+    """Rough on-disk bytes per data row from a bounded probe of the file.
+
+    Newlines embedded in quoted fields inflate the apparent record count,
+    which only *under*-estimates the row size; the worker-aware re-check in
+    ``ComputeContext.partitioned`` corrects any resulting over-sized chunks.
+    """
+    with open(path, "rb") as handle:
+        handle.readline()                      # skip (first line of) header
+        probe = handle.read(probe_bytes)
+    records = probe.count(b"\n")
+    if not records:
+        return float(max(len(probe), 64))
+    return len(probe) / records
+
+
+def parse_csv_range(path: Union[str, os.PathLike], byte_start: int,
+                    byte_stop: int, column_names: Sequence[str],
+                    dtypes: Dict[str, DType],
+                    delimiter: str = ",") -> DataFrame:
+    """Parse one record-aligned byte range of a CSV file into a DataFrame.
+
+    Parsing is lenient: the dtypes come from a bounded preview, so a value
+    deep in the file that contradicts them becomes a missing cell rather
+    than aborting the whole scan.
+    """
+    with open(path, "rb") as handle:
+        handle.seek(byte_start)
+        payload = handle.read(byte_stop - byte_start)
+    return read_csv(io.StringIO(payload.decode("utf-8")), delimiter=delimiter,
+                    has_header=False, column_names=list(column_names),
+                    dtypes=dtypes, lenient=True)
+
+
+class ScannedFrame:
+    """A lazy, chunked view of an on-disk CSV file.
+
+    Holds only metadata — column names, inferred dtypes, precomputed chunk
+    boundaries and a bounded preview — never the parsed file.  Chunks are
+    parsed on demand via :meth:`read_chunk` / :meth:`chunks`, and the EDA
+    layer (``plot``, ``plot_correlation``, ``plot_missing``,
+    ``create_report``) accepts a ``ScannedFrame`` directly, streaming it
+    through mergeable sketches with peak memory proportional to the chunk
+    size, not the file.
+    """
+
+    def __init__(self, path: str, columns: Sequence[str],
+                 dtypes: Dict[str, DType],
+                 boundaries: Sequence[Tuple[int, int]],
+                 byte_ranges: Sequence[Tuple[int, int]],
+                 file_stamp: Tuple[int, int], chunk_rows: int,
+                 preview: DataFrame, delimiter: str = ",",
+                 budget_bytes: int = DEFAULT_BUDGET_BYTES,
+                 budget_concurrency: Optional[int] = None):
+        self.path = str(path)
+        self._columns = list(columns)
+        self._dtypes = dict(dtypes)
+        self._boundaries = [tuple(boundary) for boundary in boundaries]
+        self._byte_ranges = [tuple(byte_range) for byte_range in byte_ranges]
+        self.file_stamp = tuple(file_stamp)
+        self.chunk_rows = int(chunk_rows)
+        self._preview = preview
+        self.delimiter = delimiter
+        #: The budget inputs the chunking already accounts for; consumers
+        #: (ComputeContext) re-derive a chunk size only when theirs differ,
+        #: so default-config EDA calls never pay a second layout pass.
+        self.budget_bytes = int(budget_bytes)
+        self.budget_concurrency = int(budget_concurrency
+                                      if budget_concurrency is not None
+                                      else default_worker_count())
+        self._rechunks: Dict[int, "ScannedFrame"] = {}
+
+    # ------------------------------------------------------------------ #
+    # Metadata (no I/O)
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> List[str]:
+        """Column names, known without parsing the file."""
+        return list(self._columns)
+
+    @property
+    def dtypes(self) -> Dict[str, DType]:
+        """Per-column storage dtypes inferred from the preview rows."""
+        return dict(self._dtypes)
+
+    @property
+    def n_rows(self) -> int:
+        """Total data rows, known from the layout scan."""
+        return self._boundaries[-1][1] if self._boundaries else 0
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of precomputed chunks."""
+        return len(self._boundaries)
+
+    @property
+    def boundaries(self) -> List[Tuple[int, int]]:
+        """``(start, stop)`` global row range of each chunk."""
+        return list(self._boundaries)
+
+    @property
+    def byte_ranges(self) -> List[Tuple[int, int]]:
+        """``(start, stop)`` byte range of each chunk (record-aligned)."""
+        return list(self._byte_ranges)
+
+    @property
+    def file_size(self) -> int:
+        """On-disk size recorded at scan time (part of the cache stamp)."""
+        return int(self.file_stamp[0])
+
+    @property
+    def preview(self) -> DataFrame:
+        """The bounded preview frame dtypes and semantic types come from."""
+        return self._preview
+
+    def __repr__(self) -> str:
+        return (f"ScannedFrame(path={self.path!r}, rows={self.n_rows}, "
+                f"chunks={self.n_chunks}, columns={self._columns})")
+
+    # ------------------------------------------------------------------ #
+    # Chunked access
+    # ------------------------------------------------------------------ #
+    def read_chunk(self, index: int) -> DataFrame:
+        """Parse chunk *index* (its rows only) into a DataFrame."""
+        byte_start, byte_stop = self._byte_ranges[index]
+        start, stop = self._boundaries[index]
+        chunk = parse_csv_range(self.path, byte_start, byte_stop,
+                                self._columns, self._dtypes,
+                                delimiter=self.delimiter)
+        if len(chunk) != stop - start:
+            raise FrameError(
+                f"CSV chunk {index} of {self.path!r} parsed {len(chunk)} rows "
+                f"where the layout scan counted {stop - start}; the file's "
+                f"quoting defies record-aligned chunking (e.g. an unpaired "
+                f"quote in an unquoted field) — use read_csv instead")
+        return chunk
+
+    def chunks(self) -> Iterator[DataFrame]:
+        """Yield every chunk in row order, one bounded DataFrame at a time."""
+        for index in range(self.n_chunks):
+            yield self.read_chunk(index)
+
+    def head(self, n: int = 5) -> DataFrame:
+        """The first *n* rows (served from the preview when possible)."""
+        if n <= len(self._preview):
+            return self._preview.head(n)
+        return read_csv(self.path, delimiter=self.delimiter,
+                        dtypes=self._dtypes, max_rows=n, lenient=True)
+
+    def to_frame(self) -> DataFrame:
+        """Materialize the whole file (escape hatch; needs the full memory)."""
+        return concat_rows([chunk for chunk in self.chunks() if len(chunk)]
+                           or [self.read_chunk(0)])
+
+    # ------------------------------------------------------------------ #
+    # Chunk-size control
+    # ------------------------------------------------------------------ #
+    def estimated_row_bytes(self) -> int:
+        """Rough peak parse cost of one row (on-disk and in-memory)."""
+        data_bytes = max(self.file_size - self._byte_ranges[0][0], 0) \
+            if self._byte_ranges else 0
+        csv_row = data_bytes / self.n_rows if self.n_rows else 64.0
+        parsed_row = self._preview.memory_bytes() / len(self._preview) \
+            if len(self._preview) else 64.0
+        return max(1, int(csv_row * PARSE_OVERHEAD_FACTOR + parsed_row))
+
+    def chunk_rows_for_budget(self, budget_bytes: int,
+                              concurrency: int = 1) -> int:
+        """Largest chunk size that keeps *concurrency* in-flight chunks
+        within *budget_bytes* of estimated peak parse memory."""
+        if budget_bytes <= 0:
+            raise FrameError("budget_bytes must be positive")
+        per_chunk = budget_bytes / max(1, concurrency)
+        rows = int(per_chunk // self.estimated_row_bytes())
+        return max(MIN_CHUNK_ROWS, rows)
+
+    def rechunk(self, chunk_rows: int) -> "ScannedFrame":
+        """Re-scan the byte layout with a different chunk granularity.
+
+        The result is memoized per granularity on this handle: repeated EDA
+        calls on the same ``ScannedFrame`` (the interactive-session pattern)
+        must not pay a full-file layout pass each time — a warm-cache call
+        would otherwise still re-read the whole file.
+        """
+        if chunk_rows == self.chunk_rows:
+            return self
+        cached = self._rechunks.get(chunk_rows)
+        if cached is not None:
+            return cached
+        columns, boundaries, byte_ranges = _scan_csv_layout(
+            self.path, chunk_rows, delimiter=self.delimiter)
+        rechunked = ScannedFrame(self.path, columns, self._dtypes, boundaries,
+                                 byte_ranges, self.file_stamp, chunk_rows,
+                                 self._preview, delimiter=self.delimiter,
+                                 budget_bytes=self.budget_bytes,
+                                 budget_concurrency=self.budget_concurrency)
+        self._rechunks[chunk_rows] = rechunked
+        return rechunked
+
+
+def scan_csv(path: Union[str, os.PathLike],
+             chunk_rows: Optional[int] = None,
+             budget_bytes: Optional[int] = None,
+             dtypes: Optional[Dict[str, DType]] = None,
+             inference_rows: int = 10_000,
+             delimiter: str = ",") -> ScannedFrame:
+    """Open a CSV for out-of-core streaming without materializing it.
+
+    The file is scanned once (I/O only, quote-aware) to precompute chunk
+    boundaries — the paper's "precompute chunk sizes" stage applied to file
+    input — and the first *inference_rows* rows are parsed to infer storage
+    dtypes, which every chunk then shares.  Peak memory of any downstream
+    consumer is bounded by the chunk size.
+
+    Parameters
+    ----------
+    path:
+        CSV file path (a header row is required).
+    chunk_rows:
+        Rows per streamed chunk.  Defaults to :data:`DEFAULT_CHUNK_ROWS`,
+        shrunk if needed so one chunk's estimated parse cost fits
+        *budget_bytes*.
+    budget_bytes:
+        Peak-memory budget used to cap the chunk size
+        (:data:`DEFAULT_BUDGET_BYTES` when omitted).
+    dtypes:
+        Optional per-column dtype overrides; other columns are inferred
+        from the preview.  Values appearing only past the preview that do
+        not fit the inferred dtype are treated as missing, so pass explicit
+        dtypes for columns whose type is not visible early in the file.
+
+        The layout scan assumes RFC 4180 quoting (quote characters appear
+        only in quoted fields, doubled to escape) — what ``csv.writer``
+        produces.  A stray unpaired quote inside an unquoted field desyncs
+        the record counter; chunk parsing detects the mismatch and raises
+        with a pointer to :func:`read_csv` rather than returning skewed
+        statistics.
+    inference_rows:
+        Rows parsed up front for dtype inference and semantic-type
+        detection.
+    delimiter:
+        Field separator.
+    """
+    requested_rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
+    if requested_rows <= 0:
+        raise FrameError("chunk_rows must be positive")
+    budget = budget_bytes if budget_bytes is not None else DEFAULT_BUDGET_BYTES
+    if budget <= 0:
+        raise FrameError("budget_bytes must be positive")
+
+    preview = read_csv(path, delimiter=delimiter, max_rows=inference_rows)
+    inferred = preview.dtypes
+    if dtypes:
+        inferred.update(dtypes)
+        # Lenient like the chunk parser: explicit dtypes are the documented
+        # remedy for late-typed columns, so early values that contradict
+        # them must become missing, not abort the scan.
+        preview = read_csv(path, delimiter=delimiter, dtypes=inferred,
+                           max_rows=inference_rows, lenient=True)
+
+    file_stat = os.stat(path)
+    file_stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
+
+    # Cap the chunk size by the budget using cheap row-size estimates (the
+    # parsed preview plus a 64 KiB on-disk probe), then scan the layout once
+    # at the final granularity.  The formula deliberately mirrors
+    # ScannedFrame.chunk_rows_for_budget with the default worker count, so
+    # the worker-aware re-derivation in ComputeContext usually agrees and no
+    # second layout pass is needed.
+    parsed_row = preview.memory_bytes() / len(preview) if len(preview) else 64.0
+    csv_row = _estimate_csv_row_bytes(path)
+    row_cost = max(1.0, csv_row * PARSE_OVERHEAD_FACTOR + parsed_row)
+    budget_rows = max(MIN_CHUNK_ROWS,
+                      int(budget / default_worker_count() // row_cost))
+    effective_rows = min(requested_rows, budget_rows)
+
+    columns, boundaries, byte_ranges = _scan_csv_layout(
+        path, effective_rows, delimiter=delimiter)
+    column_dtypes = {name: inferred.get(name, DType.STRING) for name in columns}
+    return ScannedFrame(str(path), columns, column_dtypes, boundaries,
+                        byte_ranges, file_stamp, effective_rows, preview,
+                        delimiter=delimiter, budget_bytes=budget)

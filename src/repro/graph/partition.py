@@ -62,23 +62,34 @@ def _slice_frame(frame: DataFrame, start: int, stop: int) -> DataFrame:
 
 def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
                     column_names: Tuple[str, ...], dtypes: dict,
-                    file_stamp: Tuple[int, int] = (0, 0)) -> DataFrame:
+                    file_stamp: Tuple[int, int] = (0, 0),
+                    delimiter: str = ",",
+                    expected_rows: Optional[int] = None) -> DataFrame:
     """Parse one byte range of a CSV file into a DataFrame partition.
 
     *file_stamp* (size, mtime_ns of the file at graph-build time) is not
     used here — it exists so the task's cross-call cache key changes when
     the file is overwritten in place, even with identical byte boundaries.
+
+    When *expected_rows* is given (the layout scan's record count for this
+    range) a mismatch raises instead of letting every downstream statistic
+    silently disagree with the row boundaries: it means the file's quoting
+    defies record-aligned chunking — e.g. a stray unpaired quote inside an
+    unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
     """
-    import io as _io
+    from repro.errors import FrameError
+    from repro.frame.io import parse_csv_range
 
-    from repro.frame.io import read_csv
-
-    with open(path, "rb") as handle:
-        handle.seek(byte_start)
-        payload = handle.read(byte_stop - byte_start)
-    text = payload.decode("utf-8")
-    return read_csv(_io.StringIO(text), has_header=False,
-                    column_names=list(column_names), dtypes=dtypes)
+    frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
+                            dtypes, delimiter=delimiter)
+    if expected_rows is not None and len(frame) != expected_rows:
+        raise FrameError(
+            f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
+            f"parsed {len(frame)} rows where the layout scan counted "
+            f"{expected_rows}; the file's quoting defies record-aligned "
+            f"chunking (e.g. an unpaired quote in an unquoted field) — "
+            f"read it with repro.read_csv instead of scan_csv")
+    return frame
 
 
 def precompute_csv_chunks(path: str,
@@ -87,40 +98,16 @@ def precompute_csv_chunks(path: str,
 
     This is the chunk-size precompute stage of Section 5.2 applied to file
     input: the scan records the byte offset of every *partition_rows*-th data
-    line so the lazy graph can be built with fully known chunk boundaries.
-    Returns ``(column names, row boundaries, byte ranges)``.
+    record so the lazy graph can be built with fully known chunk boundaries.
+    Returns ``(column names, row boundaries, byte ranges)``.  Delegates to
+    the quote-aware layout scanner in :mod:`repro.frame.io`, so records with
+    embedded newlines inside quoted fields are never split.
     """
+    from repro.frame.io import _scan_csv_layout
+
     if partition_rows <= 0:
         raise GraphError("partition_rows must be positive")
-    byte_offsets: List[int] = []
-    row_counts: List[int] = []
-    with open(path, "rb") as handle:
-        header = handle.readline().decode("utf-8").rstrip("\r\n")
-        columns = [name.strip() for name in header.split(",")]
-        rows_in_partition = 0
-        total_rows = 0
-        byte_offsets.append(handle.tell())
-        for line in handle:
-            if not line.strip():
-                continue
-            rows_in_partition += 1
-            total_rows += 1
-            if rows_in_partition == partition_rows:
-                byte_offsets.append(handle.tell())
-                row_counts.append(rows_in_partition)
-                rows_in_partition = 0
-        end_of_file = handle.tell()
-    if rows_in_partition or not row_counts:
-        byte_offsets.append(end_of_file)
-        row_counts.append(rows_in_partition)
-    byte_ranges = [(byte_offsets[index], byte_offsets[index + 1])
-                   for index in range(len(row_counts))]
-    boundaries: List[Tuple[int, int]] = []
-    start = 0
-    for count in row_counts:
-        boundaries.append((start, start + count))
-        start += count
-    return columns, boundaries, byte_ranges
+    return _scan_csv_layout(path, partition_rows)
 
 
 class PartitionedFrame:
@@ -170,22 +157,34 @@ class PartitionedFrame:
         task graph — which is exactly the expensive input stage the paper's
         single-graph optimization shares across visualizations.
         """
-        import os
+        from repro.frame.io import scan_csv
 
-        from repro.frame.io import read_csv
+        # partition_rows is an explicit caller choice; pass an effectively
+        # unbounded budget so scan_csv's memory heuristic never shrinks it
+        # (out-of-core callers go through scan_csv directly instead).
+        scan = scan_csv(path, chunk_rows=partition_rows,
+                        budget_bytes=2 ** 62,
+                        inference_rows=inference_rows)
+        return cls.from_scan(scan)
 
-        columns, boundaries, byte_ranges = precompute_csv_chunks(path, partition_rows)
-        preview = read_csv(path, max_rows=inference_rows)
-        dtypes = preview.dtypes
-        # Stamp the file's identity into every task so the cross-call cache
-        # cannot serve a partition of an overwritten file (same path and
-        # byte boundaries, different content).
-        file_stat = os.stat(path)
-        file_stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
+    @classmethod
+    def from_scan(cls, scan: Any) -> "PartitionedFrame":
+        """Partition a :class:`~repro.frame.io.ScannedFrame` lazily.
+
+        Every partition task parses its own record-aligned byte range, and is
+        stamped with the scan's ``(size, mtime_ns)`` so the cross-call cache
+        cannot serve a partition of a file overwritten in place (same path
+        and byte boundaries, different content).
+        """
+        dtypes = scan.dtypes
+        columns = scan.columns
+        boundaries = scan.boundaries
         reader = delayed(_read_csv_slice, prefix="read_csv_partition")
-        partitions = [reader(path, byte_start, byte_stop, tuple(columns), dtypes,
-                             file_stamp)
-                      for byte_start, byte_stop in byte_ranges]
+        partitions = [reader(scan.path, byte_start, byte_stop, tuple(columns),
+                             dtypes, tuple(scan.file_stamp), scan.delimiter,
+                             stop - start)
+                      for (byte_start, byte_stop), (start, stop)
+                      in zip(scan.byte_ranges, boundaries)]
         return cls(partitions, columns, boundaries)
 
     # ------------------------------------------------------------------ #
@@ -239,6 +238,24 @@ class PartitionedFrame:
         *split_every*), and ``finalize`` post-processes the final merge.
         """
         partials = self.map_partitions(chunk, *chunk_args)
+        return tree_combine(partials, combine, finalize, split_every=split_every)
+
+    def reduction_indexed(self, chunk: Callable[..., Any],
+                          combine: Callable[[List[Any]], Any],
+                          finalize: Optional[Callable[[Any], Any]] = None,
+                          chunk_args: Tuple[Any, ...] = (),
+                          split_every: int = 8) -> Delayed:
+        """Tree reduction whose chunk function also receives its row range.
+
+        ``chunk(partition, start, stop, *chunk_args)`` — the precomputed
+        global row boundaries let position-dependent sketches (e.g. the
+        missing-spectrum row bins) place their partition in the whole
+        dataset without any global pass.
+        """
+        wrapped = delayed(chunk, prefix=getattr(chunk, "__name__", "chunk"))
+        partials = [wrapped(partition, start, stop, *chunk_args)
+                    for partition, (start, stop)
+                    in zip(self._partitions, self._boundaries)]
         return tree_combine(partials, combine, finalize, split_every=split_every)
 
     def column_values(self, column: str) -> List[Delayed]:

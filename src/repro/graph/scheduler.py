@@ -11,7 +11,6 @@ reuse them.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
@@ -31,6 +30,7 @@ class RunStats:
     executed: int = 0      # tasks actually run
     cache_hits: int = 0    # tasks served straight from the cache
     skipped: int = 0       # ancestors never visited because a hit covered them
+    released: int = 0      # intermediate results freed once fully consumed
 
 
 @dataclass
@@ -110,6 +110,42 @@ class Scheduler:
         if cache_key is not None:
             self.cache.put(cache_key, value)
 
+    # ------------------------------------------------------------------ #
+    # Result lifetime (shared by both schedulers)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def consumer_counts(graph: TaskGraph, needed: Set[str]) -> Dict[str, int]:
+        """How many still-to-run tasks consume each result.
+
+        Only tasks in *needed* count as consumers: cache-prefilled tasks
+        never execute, so they never read their dependencies.
+        """
+        counts: Dict[str, int] = {}
+        for key in needed:
+            for dependency in set(graph.dependencies(key)):
+                counts[dependency] = counts.get(dependency, 0) + 1
+        return counts
+
+    def release_consumed(self, finished: str, graph: TaskGraph,
+                         counts: Dict[str, int], results: Dict[str, Any],
+                         outputs: Set[str]) -> None:
+        """Drop dependency results of *finished* once nothing else needs them.
+
+        This is what keeps an out-of-core scan's peak memory proportional to
+        the chunk size: a parsed partition is freed as soon as the sketches
+        consuming it have run, instead of living until the whole graph ends.
+        Requested outputs are always kept.
+        """
+        for dependency in set(graph.dependencies(finished)):
+            remaining = counts.get(dependency)
+            if remaining is None:
+                continue
+            counts[dependency] = remaining - 1
+            if counts[dependency] <= 0 and dependency not in outputs:
+                if results.pop(dependency, None) is not None and \
+                        self.last_run is not None:
+                    self.last_run.released += 1
+
 
 class SynchronousScheduler(Scheduler):
     """Single-threaded scheduler executing tasks in topological order.
@@ -130,6 +166,9 @@ class SynchronousScheduler(Scheduler):
         order = graph.toposort()
         plan = self.plan_with_cache(graph, outputs)
         results: Dict[str, Any] = dict(plan.results) if plan else {}
+        needed = plan.needed if plan is not None else set(graph.keys())
+        output_set = set(outputs)
+        counts = self.consumer_counts(graph, needed)
         for key in order:
             if plan is not None and key not in plan.needed:
                 continue
@@ -141,6 +180,7 @@ class SynchronousScheduler(Scheduler):
             except Exception as error:  # noqa: BLE001 - rewrapped with task context
                 raise SchedulerError(key, error) from error
             self.store_result(plan, key, results[key])
+            self.release_consumed(key, graph, counts, results, output_set)
         missing = [key for key in outputs if key not in results]
         if missing:
             raise SchedulerError(missing[0], KeyError("output not produced"))
@@ -161,7 +201,8 @@ class ThreadedScheduler(Scheduler):
                  dispatch_latency: float = 0.0,
                  cache: Optional[TaskCache] = None):
         if max_workers is None:
-            max_workers = min(8, os.cpu_count() or 4)
+            from repro.frame.io import default_worker_count
+            max_workers = default_worker_count()
         self.max_workers = int(max_workers)
         self.dispatch_latency = float(dispatch_latency)
         self.cache = cache
@@ -180,9 +221,20 @@ class ThreadedScheduler(Scheduler):
         remaining: Dict[str, int] = {
             key: len(set(graph.dependencies(key)) - prefilled)
             for key in needed}
+        counts = self.consumer_counts(graph, needed)
+        output_set = set(outputs)
         lock = threading.Lock()
 
-        ready = [key for key, count in remaining.items() if count == 0]
+        # Seed the ready stack in reverse topological order so pop() serves
+        # sources in graph order.  `needed` is a set; seeding in its (hash)
+        # order would complete e.g. CSV partition parses at random positions,
+        # and every fan-in combine group would then wait on a straggler —
+        # accumulating nearly all chunk results at once.  In graph order,
+        # adjacent partitions finish together, each combine collapses as soon
+        # as its group is done, and the release pass keeps the live set small.
+        position = {key: index for index, key in enumerate(graph.toposort())}
+        ready = sorted((key for key, count in remaining.items() if count == 0),
+                       key=position.get, reverse=True)
         in_flight: Dict[Future, str] = {}
 
         def run_task(key: str) -> Any:
@@ -192,7 +244,14 @@ class ThreadedScheduler(Scheduler):
 
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             while ready or in_flight:
-                while ready:
+                # Submit at most max_workers tasks at a time, popping the most
+                # recently enabled first (depth-first).  Submitting the whole
+                # ready list would run every source task (e.g. CSV chunk
+                # parse) before any consumer, accumulating the entire input in
+                # memory; capping keeps newly enabled sketch tasks ahead of
+                # still-queued parses, so chunks are consumed and released at
+                # the rate they are produced.
+                while ready and len(in_flight) < self.max_workers:
                     key = ready.pop()
                     in_flight[pool.submit(run_task, key)] = key
                 done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
@@ -212,6 +271,13 @@ class ThreadedScheduler(Scheduler):
                         remaining[consumer] -= 1
                         if remaining[consumer] == 0:
                             ready.append(consumer)
+                    # Every consumer of this task's dependencies that will
+                    # ever run has been submitted or finished only when its
+                    # own result is in; dropping fully consumed inputs here
+                    # keeps peak memory at (workers x chunk), not the file.
+                    with lock:
+                        self.release_consumed(key, graph, counts, results,
+                                              output_set)
 
         missing = [key for key in outputs if key not in results]
         if missing:

@@ -31,6 +31,7 @@ from repro.eda.dtypes import SemanticType, detect_frame_types
 from repro.eda.intermediates import Intermediates
 from repro.errors import EDAError
 from repro.frame.frame import DataFrame
+from repro.frame.io import ScannedFrame
 from repro.render import render_intermediates
 from repro.render.charts import render_scatter, render_stats_table
 
@@ -123,8 +124,9 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     title:
         Report title (defaults to the ``report.title`` config value).
     """
-    if not isinstance(df, DataFrame):
-        raise EDAError("create_report expects a repro.frame.DataFrame")
+    if not isinstance(df, (DataFrame, ScannedFrame)):
+        raise EDAError("create_report expects a repro.frame.DataFrame or a "
+                       "repro.frame.io.ScannedFrame (from scan_csv)")
     cfg = Config.from_user(config)
     title = title or cfg.get("report.title")
     timings: Dict[str, float] = {}
@@ -149,9 +151,10 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     sections: Dict[str, Intermediates] = {"Overview": overview}
 
     started = time.perf_counter()
-    numerical = [name for name, semantic in detect_frame_types(df).items()
+    numerical = [name for name, semantic
+                 in detect_frame_types(context.schema_frame).items()
                  if semantic is SemanticType.NUMERICAL and
-                 df.column(name).dtype.is_numeric]
+                 context.column(name).dtype.is_numeric]
     if len(numerical) >= 2:
         mark = len(context.reports)
         sections["Correlations"] = section_reports(
@@ -176,10 +179,10 @@ def _interactions(df: DataFrame, config: Config,
     One shared row sample feeds every pair, mirroring how the real system
     shares the sampling computation across the Interactions section.
     """
-    types = detect_frame_types(df)
+    types = detect_frame_types(context.schema_frame)
     numerical = [name for name, semantic in types.items()
                  if semantic is SemanticType.NUMERICAL and
-                 df.column(name).dtype.is_numeric]
+                 context.column(name).dtype.is_numeric]
     numerical = numerical[:config.get("report.interactions_max_columns")]
     if len(numerical) < 2:
         return {}

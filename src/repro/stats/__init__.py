@@ -32,11 +32,25 @@ from repro.stats.tests import (
     ks_similarity,
     normality_test,
 )
+from repro.stats.sketches import (
+    DistinctSketch,
+    MomentsSketch,
+    NullitySketch,
+    ReservoirSketch,
+    StreamingHistogram,
+    merge_all,
+)
 
 __all__ = [
     "CategoricalSummary",
+    "DistinctSketch",
     "Histogram",
+    "MomentsSketch",
+    "NullitySketch",
     "NumericSummary",
+    "ReservoirSketch",
+    "StreamingHistogram",
+    "merge_all",
     "box_plot_stats",
     "categorical_summary_of",
     "chi_square_uniformity",

@@ -115,6 +115,28 @@ def nullity_dendrogram(mask: np.ndarray, columns: Sequence[str]
     return list(columns), nodes
 
 
+def nullity_dendrogram_from_distances(condensed: np.ndarray,
+                                      columns: Sequence[str]
+                                      ) -> Tuple[List[str], List[DendrogramNode]]:
+    """Dendrogram from precomputed condensed pairwise distances.
+
+    The out-of-core path derives the Euclidean distances between the
+    missingness indicator columns in closed form from mergeable counts
+    (``sqrt(S_i + S_j - 2 S_ij)``, see
+    :class:`repro.stats.sketches.NullitySketch`), then clusters them here —
+    identical to :func:`nullity_dendrogram`, which computes the same
+    distances from the materialized mask.
+    """
+    if len(columns) < 2:
+        return list(columns), []
+    linkage = hierarchy.linkage(np.asarray(condensed, dtype=np.float64),
+                                method="average")
+    nodes = [DendrogramNode(left=int(row[0]), right=int(row[1]),
+                            distance=float(row[2]), size=int(row[3]))
+             for row in linkage]
+    return list(columns), nodes
+
+
 def column_missing_counts(mask: np.ndarray, columns: Sequence[str]) -> Dict[str, int]:
     """Per-column missing cell counts from a boolean mask."""
     mask = np.asarray(mask, dtype=np.bool_)

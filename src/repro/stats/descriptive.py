@@ -1,8 +1,18 @@
 """Mergeable descriptive summaries for numeric and categorical columns.
 
-Both summary types support ``merge`` so per-partition partial summaries can
-be combined in a tree reduction; the derived statistics (mean, variance,
+Both summary types implement the sketch ``merge`` protocol of
+:mod:`repro.stats.sketches` so per-partition partial summaries can be
+combined in a tree reduction; the derived statistics (mean, variance,
 skewness, kurtosis, entropy, ...) are computed only at finalization time.
+
+:class:`NumericSummary` is built on :class:`~repro.stats.sketches.MomentsSketch`
+(streaming central moments with the Welford/Chan pairwise merge), which keeps
+the derived moments numerically stable even when millions of chunk summaries
+are merged during an out-of-core scan.  :class:`CategoricalSummary` is exact
+by default; the streaming path bounds it with a ``capacity`` so a
+high-cardinality column cannot grow the per-chunk state past the memory
+budget — a :class:`~repro.stats.sketches.DistinctSketch` then keeps the
+distinct count honest once pruning starts.
 """
 
 from __future__ import annotations
@@ -14,29 +24,27 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.frame.column import Column
+from repro.stats.sketches import DistinctSketch, MomentsSketch
+from repro.stats.sketches import merge_all as _merge_all_sketches
 
 
 @dataclass
 class NumericSummary:
     """Mergeable moments-based summary of a numeric column.
 
-    The four raw power sums allow mean, variance, skewness and kurtosis to be
-    derived after merging, matching the single-pass statistics the paper's
-    Compute module shares across the stats table, box plot and Q-Q plot.
+    The central-moment sketch allows mean, variance, skewness and kurtosis
+    to be derived after merging, matching the single-pass statistics the
+    paper's Compute module shares across the stats table, box plot and Q-Q
+    plot.  The raw power sums of the previous representation remain
+    available as derived properties (``sum1`` .. ``sum4``).
     """
 
-    count: int = 0
+    moments: MomentsSketch = field(default_factory=MomentsSketch)
     missing: int = 0
     infinite: int = 0
     zeros: int = 0
     negatives: int = 0
     total: int = 0
-    sum1: float = 0.0
-    sum2: float = 0.0
-    sum3: float = 0.0
-    sum4: float = 0.0
-    minimum: float = math.inf
-    maximum: float = -math.inf
 
     # ------------------------------------------------------------------ #
     # Building
@@ -46,20 +54,13 @@ class NumericSummary:
         """Summary of an array of present (non-missing) float values."""
         values = np.asarray(values, dtype=np.float64)
         finite = values[np.isfinite(values)]
-        summary = cls()
+        summary = cls(moments=MomentsSketch.from_values(finite))
         summary.total = int(values.size) + int(missing)
         summary.missing = int(missing)
         summary.infinite = int(np.isinf(values).sum())
-        summary.count = int(finite.size)
         if finite.size:
             summary.zeros = int((finite == 0).sum())
             summary.negatives = int((finite < 0).sum())
-            summary.sum1 = float(finite.sum())
-            summary.sum2 = float(np.square(finite).sum())
-            summary.sum3 = float(np.power(finite, 3).sum())
-            summary.sum4 = float(np.power(finite, 4).sum())
-            summary.minimum = float(finite.min())
-            summary.maximum = float(finite.max())
         return summary
 
     @classmethod
@@ -70,81 +71,88 @@ class NumericSummary:
 
     def merge(self, other: "NumericSummary") -> "NumericSummary":
         """Combine two partial summaries (associative and commutative)."""
-        merged = NumericSummary(
-            count=self.count + other.count,
+        return NumericSummary(
+            moments=self.moments.merge(other.moments),
             missing=self.missing + other.missing,
             infinite=self.infinite + other.infinite,
             zeros=self.zeros + other.zeros,
             negatives=self.negatives + other.negatives,
             total=self.total + other.total,
-            sum1=self.sum1 + other.sum1,
-            sum2=self.sum2 + other.sum2,
-            sum3=self.sum3 + other.sum3,
-            sum4=self.sum4 + other.sum4,
-            minimum=min(self.minimum, other.minimum),
-            maximum=max(self.maximum, other.maximum),
         )
-        return merged
 
     @staticmethod
     def merge_all(summaries: Sequence["NumericSummary"]) -> "NumericSummary":
         """Merge a list of partial summaries."""
-        merged = NumericSummary()
-        for summary in summaries:
-            merged = merged.merge(summary)
-        return merged
+        if not summaries:
+            return NumericSummary()
+        return _merge_all_sketches(list(summaries))
 
     # ------------------------------------------------------------------ #
     # Derived statistics
     # ------------------------------------------------------------------ #
     @property
+    def count(self) -> int:
+        """Number of finite values."""
+        return self.moments.count
+
+    @property
+    def minimum(self) -> float:
+        """Smallest finite value (``inf`` when empty, as merge identity)."""
+        return self.moments.minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest finite value (``-inf`` when empty, as merge identity)."""
+        return self.moments.maximum
+
+    @property
+    def sum1(self) -> float:
+        """Raw power sum ``sum(x)``, derived from the central moments."""
+        return self.moments.mean * self.count
+
+    @property
+    def sum2(self) -> float:
+        """Raw power sum ``sum(x^2)``, derived from the central moments."""
+        mean, n = self.moments.mean, self.count
+        return self.moments.m2 + n * mean * mean
+
+    @property
+    def sum3(self) -> float:
+        """Raw power sum ``sum(x^3)``, derived from the central moments."""
+        mean, n = self.moments.mean, self.count
+        return self.moments.m3 + 3.0 * mean * self.moments.m2 + n * mean ** 3
+
+    @property
+    def sum4(self) -> float:
+        """Raw power sum ``sum(x^4)``, derived from the central moments."""
+        mean, n = self.moments.mean, self.count
+        return (self.moments.m4 + 4.0 * mean * self.moments.m3
+                + 6.0 * mean * mean * self.moments.m2 + n * mean ** 4)
+
+    @property
     def mean(self) -> float:
         """Mean of the finite values (NaN when empty)."""
-        return self.sum1 / self.count if self.count else float("nan")
+        return self.moments.mean if self.count else float("nan")
 
     @property
     def variance(self) -> float:
         """Sample variance (ddof=1) of the finite values."""
-        if self.count < 2:
-            return float("nan")
-        mean = self.mean
-        centered = self.sum2 - self.count * mean * mean
-        return max(centered, 0.0) / (self.count - 1)
+        return self.moments.variance
 
     @property
     def std(self) -> float:
         """Sample standard deviation of the finite values."""
-        variance = self.variance
-        return math.sqrt(variance) if variance == variance else float("nan")
+        return self.moments.std
 
     @property
     def skewness(self) -> float:
-        """Fisher-Pearson skewness derived from the raw power sums."""
-        if self.count < 3:
-            return float("nan")
-        n = self.count
-        mean = self.mean
-        m2 = self.sum2 / n - mean ** 2
-        if m2 <= 0:
-            return 0.0
-        m3 = self.sum3 / n - 3 * mean * self.sum2 / n + 2 * mean ** 3
-        return m3 / m2 ** 1.5
+        """Fisher-Pearson skewness derived from the central moments."""
+        return self.moments.skewness
 
     @property
     def kurtosis(self) -> float:
-        """Excess kurtosis derived from the raw power sums."""
-        if self.count < 4:
-            return float("nan")
-        n = self.count
-        mean = self.mean
-        m2 = self.sum2 / n - mean ** 2
-        if m2 <= 0:
-            return 0.0
-        m4 = (self.sum4 / n
-              - 4 * mean * self.sum3 / n
-              + 6 * mean ** 2 * self.sum2 / n
-              - 3 * mean ** 4)
-        return m4 / m2 ** 2 - 3.0
+        """Excess kurtosis derived from the central moments."""
+        return self.moments.kurtosis
 
     @property
     def coefficient_of_variation(self) -> float:
@@ -190,7 +198,16 @@ class NumericSummary:
 
 @dataclass
 class CategoricalSummary:
-    """Mergeable summary of a categorical (string-like) column."""
+    """Mergeable summary of a categorical (string-like) column.
+
+    Exact and unbounded by default.  When built with a ``capacity`` (the
+    out-of-core streaming path does this), the value-count table is pruned
+    to the ``capacity`` most frequent entries whenever it grows past the
+    bound; ``pruned_count`` keeps the present-value total exact,
+    ``pruned_max`` bounds the count error of any surviving entry, and a
+    :class:`~repro.stats.sketches.DistinctSketch` — fed every distinct value
+    *before* pruning — keeps the distinct count accurate.
+    """
 
     counts: Dict[str, int] = field(default_factory=dict)
     missing: int = 0
@@ -198,11 +215,16 @@ class CategoricalSummary:
     total_length: int = 0
     min_length: Optional[int] = None
     max_length: Optional[int] = None
+    capacity: Optional[int] = None
+    pruned_count: int = 0
+    pruned_max: int = 0
+    distinct_sketch: Optional[DistinctSketch] = None
 
     @classmethod
-    def from_values(cls, values: Iterable[Any], missing: int = 0) -> "CategoricalSummary":
+    def from_values(cls, values: Iterable[Any], missing: int = 0,
+                    capacity: Optional[int] = None) -> "CategoricalSummary":
         """Summary of an iterable of present values (stringified)."""
-        summary = cls(missing=missing)
+        summary = cls(missing=missing, capacity=capacity)
         counts: Dict[str, int] = {}
         for value in values:
             text = str(value)
@@ -216,14 +238,29 @@ class CategoricalSummary:
         summary.counts = counts
         present = sum(counts.values())
         summary.total = present + missing
+        if capacity is not None:
+            summary.distinct_sketch = DistinctSketch.from_values(counts.keys())
+            summary._prune()
         return summary
 
     @classmethod
-    def from_column(cls, column: Column) -> "CategoricalSummary":
+    def from_column(cls, column: Column,
+                    capacity: Optional[int] = None) -> "CategoricalSummary":
         """Summary of a :class:`Column` treated as categorical."""
         present = [value for value, is_missing in zip(column.to_list(), column.isna())
                    if not is_missing]
-        return cls.from_values(present, missing=column.missing_count())
+        return cls.from_values(present, missing=column.missing_count(),
+                               capacity=capacity)
+
+    def _prune(self) -> None:
+        """Drop the least frequent entries beyond ``capacity`` (in place)."""
+        if self.capacity is None or len(self.counts) <= self.capacity:
+            return
+        ordered = sorted(self.counts.items(), key=lambda pair: (-pair[1], pair[0]))
+        kept, dropped = ordered[:self.capacity], ordered[self.capacity:]
+        self.pruned_count += sum(count for _, count in dropped)
+        self.pruned_max = max([self.pruned_max] + [count for _, count in dropped])
+        self.counts = dict(kept)
 
     def merge(self, other: "CategoricalSummary") -> "CategoricalSummary":
         """Combine two partial summaries."""
@@ -234,34 +271,52 @@ class CategoricalSummary:
                    if length is not None]
         max_lengths = [length for length in (self.max_length, other.max_length)
                        if length is not None]
-        return CategoricalSummary(
+        capacities = [cap for cap in (self.capacity, other.capacity)
+                      if cap is not None]
+        merged = CategoricalSummary(
             counts=counts,
             missing=self.missing + other.missing,
             total=self.total + other.total,
             total_length=self.total_length + other.total_length,
             min_length=min(lengths) if lengths else None,
             max_length=max(max_lengths) if max_lengths else None,
+            capacity=min(capacities) if capacities else None,
+            pruned_count=self.pruned_count + other.pruned_count,
+            pruned_max=max(self.pruned_max, other.pruned_max),
+            distinct_sketch=self._merged_sketch(other),
         )
+        merged._prune()
+        return merged
+
+    def _merged_sketch(self, other: "CategoricalSummary"
+                       ) -> Optional[DistinctSketch]:
+        """Union the distinct sketches, covering any unbounded side's keys."""
+        if self.distinct_sketch is None and other.distinct_sketch is None:
+            return None
+        first = self.distinct_sketch or DistinctSketch.from_values(self.counts.keys())
+        second = other.distinct_sketch or DistinctSketch.from_values(other.counts.keys())
+        return first.merge(second)
 
     @staticmethod
     def merge_all(summaries: Sequence["CategoricalSummary"]) -> "CategoricalSummary":
         """Merge a list of partial summaries."""
-        merged = CategoricalSummary()
-        for summary in summaries:
-            merged = merged.merge(summary)
-        return merged
+        if not summaries:
+            return CategoricalSummary()
+        return _merge_all_sketches(list(summaries))
 
     # ------------------------------------------------------------------ #
     # Derived statistics
     # ------------------------------------------------------------------ #
     @property
     def count(self) -> int:
-        """Number of present values."""
-        return sum(self.counts.values())
+        """Number of present values (exact even after pruning)."""
+        return sum(self.counts.values()) + self.pruned_count
 
     @property
     def distinct(self) -> int:
-        """Number of distinct present values."""
+        """Number of distinct present values (estimated once pruned)."""
+        if self.pruned_count and self.distinct_sketch is not None:
+            return max(len(self.counts), self.distinct_sketch.estimate())
         return len(self.counts)
 
     @property
@@ -277,7 +332,7 @@ class CategoricalSummary:
 
     @property
     def entropy(self) -> float:
-        """Shannon entropy (bits) of the category distribution."""
+        """Shannon entropy (bits) of the (retained) category distribution."""
         count = self.count
         if count == 0:
             return 0.0

@@ -1,0 +1,152 @@
+"""Concurrency stress: parallel scanned-frame reports over one shared cache.
+
+Many threads run streaming EDA calls at once — each call builds its own
+ThreadedScheduler (so thread pools nest) while all of them read and write the
+same process-wide TaskCache.  Three things must hold under this hammering:
+
+* no lost updates — every parallel result equals the serial reference;
+* the cache's byte accounting stays consistent with its actual contents;
+* the memory-release pass never drops a result another task still needs
+  (a lost dependency would surface as a SchedulerError / KeyError).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, plot, plot_missing
+from repro.frame.io import scan_csv, write_csv
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+from repro.graph.cache import estimate_size
+
+N_ROWS = 1_200
+CHUNK_ROWS = 128
+THREADS = 8
+CALLS_PER_KIND = 6
+
+
+@pytest.fixture(scope="module")
+def csv_paths(tmp_path_factory):
+    """Two distinct CSVs so cache keys from different files interleave."""
+    base = tmp_path_factory.mktemp("stress")
+    paths = []
+    for seed in (1, 2):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(seed * 10.0, 3.0, N_ROWS)
+        values[rng.random(N_ROWS) < 0.1] = np.nan
+        frame = DataFrame({
+            "metric": values,
+            "count": rng.integers(0, 50, N_ROWS),
+            "label": list(rng.choice(["red", "green", "blue"], N_ROWS)),
+        })
+        path = base / f"stress-{seed}.csv"
+        write_csv(frame, str(path))
+        paths.append(str(path))
+    return paths
+
+
+def _overview(path):
+    return plot(scan_csv(path, chunk_rows=CHUNK_ROWS), mode="intermediates")
+
+
+def _univariate(path):
+    return plot(scan_csv(path, chunk_rows=CHUNK_ROWS), "metric",
+                mode="intermediates")
+
+
+def _missing(path):
+    return plot_missing(scan_csv(path, chunk_rows=CHUNK_ROWS),
+                        mode="intermediates")
+
+
+CALL_KINDS = (_overview, _univariate, _missing)
+
+
+def _flatten(value, prefix=""):
+    """Flatten nested dict/list intermediates into comparable leaves."""
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from _flatten(item, f"{prefix}.{key}")
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from _flatten(item, f"{prefix}[{index}]")
+    else:
+        yield prefix, value
+
+
+def assert_same_result(result, reference, label):
+    flat_result = dict(_flatten(result.items))
+    flat_reference = dict(_flatten(reference.items))
+    assert flat_result.keys() == flat_reference.keys(), label
+    for key, expected in flat_reference.items():
+        actual = flat_result[key]
+        if isinstance(expected, float):
+            if math.isnan(expected):
+                assert isinstance(actual, float) and math.isnan(actual), \
+                    f"{label}{key}"
+            else:
+                assert actual == pytest.approx(expected, rel=1e-9), f"{label}{key}"
+        else:
+            assert actual == expected, f"{label}{key}"
+
+
+def test_parallel_streaming_reports_are_consistent(csv_paths):
+    previous = get_global_cache()
+    cache = TaskCache(max_bytes=32 * 1024 * 1024)
+    set_global_cache(cache)
+    try:
+        # Serial references, computed before any concurrency (cold cache).
+        references = {(call.__name__, path): call(path)
+                      for call in CALL_KINDS for path in csv_paths}
+
+        jobs = [(call, path)
+                for call in CALL_KINDS
+                for path in csv_paths
+                for _ in range(CALLS_PER_KIND)]
+
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [(call.__name__, path, pool.submit(call, path))
+                       for call, path in jobs]
+            for name, path, future in futures:
+                result = future.result(timeout=120)
+                assert_same_result(result, references[(name, path)],
+                                   f"{name}:{path}:")
+
+        # Cache accounting must agree with its actual contents after the storm.
+        stats = cache.stats
+        assert stats.entries == len(cache)
+        with cache._lock:
+            actual_bytes = sum(size for _, size in cache._entries.values())
+        assert stats.current_bytes == actual_bytes
+        assert stats.current_bytes <= cache.max_bytes
+        assert stats.hits + stats.misses > 0
+        # The storm repeated identical calls, so the cache must have served
+        # a meaningful share of them.
+        assert stats.hits > 0
+    finally:
+        set_global_cache(previous)
+
+
+def test_parallel_calls_with_cache_disabled_still_agree(csv_paths):
+    """Without the cache there is no shared mutable state but the scheduler
+    release pass still runs; parallel results must stay correct."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        config = {"cache.enabled": False}
+        path = csv_paths[0]
+        reference = plot(scan_csv(path, chunk_rows=CHUNK_ROWS),
+                         mode="intermediates", config=config)
+        with ThreadPoolExecutor(max_workers=THREADS) as pool:
+            futures = [pool.submit(
+                plot, scan_csv(path, chunk_rows=CHUNK_ROWS),
+                mode="intermediates", config=config) for _ in range(THREADS)]
+            for future in futures:
+                assert_same_result(future.result(timeout=120), reference,
+                                   "cache-off:")
+    finally:
+        set_global_cache(previous)
