@@ -124,3 +124,51 @@ def test_outofcore_report_stays_within_memory_budget(benchmark, big_csv):
         f"{PEAK_BUDGET_BOUND}x budget"
     assert memory_peak > streaming_peak, \
         "materializing the file should cost more than streaming it"
+
+
+@pytest.fixture(scope="module")
+def split_csvs(big_csv, tmp_path_factory) -> Tuple[str, str]:
+    """The big CSV split into two files at a record boundary near the middle."""
+    directory = tmp_path_factory.mktemp("outofcore_multi")
+    first = str(directory / "part-0.csv")
+    second = str(directory / "part-1.csv")
+    with open(big_csv, "rb") as handle:
+        header = handle.readline()
+        payload = handle.read()
+    cut = payload.index(b"\n", len(payload) // 2) + 1
+    with open(first, "wb") as handle:
+        handle.write(header)
+        handle.write(payload[:cut])
+    with open(second, "wb") as handle:
+        handle.write(header)
+        handle.write(payload[cut:])
+    return first, second
+
+
+def test_outofcore_multifile_report_stays_within_memory_budget(split_csvs):
+    """Two files ~10x the budget combined must stream like one file would."""
+    combined_size = sum(os.path.getsize(path) for path in split_csvs)
+    assert combined_size >= FILE_BUDGET_RATIO * BUDGET_BYTES
+
+    def run(_unused_path: str) -> Tuple[float, object]:
+        started = time.perf_counter()
+        source = scan_csv(list(split_csvs), budget_bytes=BUDGET_BYTES,
+                          inference_rows=2_000)
+        report = create_report(source, config=STREAM_CONFIG)
+        return time.perf_counter() - started, report
+
+    seconds, peak, report = _traced(run, "")
+
+    print_header(
+        f"Out-of-core multi-file report — {len(split_csvs)} files, "
+        f"{combined_size / 1e6:.1f} MB combined, "
+        f"budget {BUDGET_BYTES / 1e6:.1f} MB "
+        f"({combined_size / BUDGET_BYTES:.1f}x)")
+    print(f"traced {seconds:.1f} s, peak {peak / 1e6:.2f} MB "
+          f"({peak / BUDGET_BYTES:.2f}x budget)")
+
+    assert report.section_names == ["Overview", "Correlations",
+                                    "Missing Values"]
+    assert peak <= PEAK_BUDGET_BOUND * BUDGET_BYTES, \
+        f"multi-file streaming peak {peak / 1e6:.1f} MB exceeds " \
+        f"{PEAK_BUDGET_BOUND}x budget"

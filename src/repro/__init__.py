@@ -28,7 +28,21 @@ Quickstart
 
 from typing import Any, Dict
 
-from repro.frame import Column, DataFrame, ScannedFrame, read_csv, scan_csv, write_csv
+from repro.frame import (
+    Column,
+    CsvSource,
+    DataFrame,
+    FrameSource,
+    InMemorySource,
+    MultiFileCsvSource,
+    ScannedFrame,
+    SourceCapabilities,
+    SourcePartition,
+    as_source,
+    read_csv,
+    scan_csv,
+    write_csv,
+)
 from repro.eda import Config, plot, plot_correlation, plot_missing
 from repro.graph import clear_global_cache, get_global_cache
 from repro.report import Report, create_report
@@ -56,9 +70,16 @@ def clear_cache() -> None:
 __all__ = [
     "Column",
     "Config",
+    "CsvSource",
     "DataFrame",
+    "FrameSource",
+    "InMemorySource",
+    "MultiFileCsvSource",
     "Report",
     "ScannedFrame",
+    "SourceCapabilities",
+    "SourcePartition",
+    "as_source",
     "cache_stats",
     "clear_cache",
     "create_report",

@@ -57,18 +57,20 @@ from repro.eda.compute import (
 )
 from repro.eda.config import Config
 from repro.eda.intermediates import Intermediates
-from repro.errors import EDAError
+from repro.errors import EDAError, FrameError
 from repro.frame.frame import DataFrame
-from repro.frame.io import ScannedFrame
+from repro.frame.source import as_source
 
 _VALID_MODES = ("container", "intermediates")
 
 
 def _prepare(df: DataFrame, config: Optional[Mapping[str, Any]],
              display: Optional[Sequence[str]], mode: str) -> Config:
-    if not isinstance(df, (DataFrame, ScannedFrame)):
-        raise EDAError("the first argument must be a repro.frame.DataFrame "
-                       "or a repro.frame.io.ScannedFrame (from scan_csv)")
+    try:
+        as_source(df)   # any FrameSource: DataFrame, scan_csv handle, custom
+    except FrameError as error:
+        raise EDAError(f"the first argument must be an EDA input: {error}") \
+            from None
     if mode not in _VALID_MODES:
         raise EDAError(f"mode must be one of {_VALID_MODES}, got {mode!r}")
     return Config.from_user(config, display=display)
@@ -95,11 +97,13 @@ def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
     Parameters
     ----------
     df:
-        The DataFrame to analyse — or a :class:`~repro.frame.io.ScannedFrame`
-        from :func:`repro.scan_csv`, in which case the computation streams
-        over the file chunk by chunk with peak memory bounded by the
+        The DataFrame to analyse — or any
+        :class:`~repro.frame.source.FrameSource`, e.g. a
+        :func:`repro.scan_csv` handle over one file, a list of files or a
+        glob pattern, in which case the computation streams over the
+        file(s) chunk by chunk with peak memory bounded by the
         ``memory.chunk_rows`` / ``memory.budget_bytes`` config keys instead
-        of the file size.
+        of the data size.
     col1, col2:
         Optional column names selecting the finer-grained task.
     config:

@@ -7,18 +7,24 @@ lazy reductions, and resolves many of them together against one merged,
 optimized graph so shared work (partition slices, summaries, histograms) is
 computed once.
 
-The context also owns the out-of-core streaming mode: when the input is a
-:class:`~repro.frame.io.ScannedFrame` (from :func:`repro.scan_csv`), every
-intermediate is produced by per-partition sketch + tree-merge reductions over
-lazily parsed CSV chunks, schema questions are answered from the scan's
-bounded preview, and the schedulers release each chunk as soon as its
-sketches have consumed it — so peak memory tracks ``memory.chunk_rows`` /
+Input is any :class:`~repro.frame.source.FrameSource` (a ``DataFrame`` and a
+``scan_csv`` handle are adapted automatically): the source supplies schema,
+precomputed partitions and :class:`~repro.frame.source.SourceCapabilities`,
+and the **reduction planner** in this module (:data:`REDUCTION_KINDS` +
+:meth:`ComputeContext._reduce`) picks, per compute kind, the exact
+chunk/combine/finalize triple for exact-capable sources or the
+bounded-memory sketch triple for streaming ones.  That single dispatch
+point is the only place the pipeline distinguishes in-memory from
+out-of-core execution — every compute function upstream is source-agnostic,
+and the schedulers release each chunk as soon as its sketches have consumed
+it, so streaming peak memory tracks ``memory.chunk_rows`` /
 ``memory.budget_bytes``, not the file size.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -26,11 +32,14 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.eda.intermediates import Intermediates
 
+from dataclasses import dataclass
+
 from repro.eda.config import Config
 from repro.errors import EDAError
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
-from repro.frame.io import ScannedFrame, default_worker_count
+from repro.frame.io import default_worker_count
+from repro.frame.source import FrameSource, as_source
 from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
 from repro.graph.engines import Engine, ExecutionReport, get_engine
@@ -39,6 +48,8 @@ from repro.stats.correlation import PearsonPartial
 from repro.stats.descriptive import CategoricalSummary, NumericSummary
 from repro.stats.histogram import Histogram, compute_histogram
 from repro.stats.sketches import (
+    DUPLICATE_SKETCH_CAPACITY,
+    DuplicateSketch,
     NullitySketch,
     ReservoirSketch,
     StreamingHistogram,
@@ -214,23 +225,149 @@ def _combine_nullity(partials: List[NullitySketch]) -> NullitySketch:
     return merge_all(partials)
 
 
+def _chunk_duplicates(partition: DataFrame, capacity: int) -> DuplicateSketch:
+    return DuplicateSketch.from_frame(partition, capacity)
+
+
+def _combine_duplicates(partials: List[DuplicateSketch]) -> DuplicateSketch:
+    return merge_all(partials)
+
+
+def _finalize_duplicates(sketch: DuplicateSketch) -> Optional[int]:
+    return sketch.duplicate_count()
+
+
+# --------------------------------------------------------------------------- #
+# The reduction planner.
+#
+# One declarative table maps every compute kind to its exact plan (in-memory
+# sources — unbounded per-value state, results pinned by the equivalence
+# suite) and its sketch plan (streaming sources — bounded state).  Sources
+# select between them through SourceCapabilities.exact; nothing outside this
+# module ever branches on the input flavour.
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReductionPlan:
+    """One chunk/combine/finalize triple plus how to call it.
+
+    ``adapt(context, args)`` turns the caller's kind-level arguments into
+    the chunk function's positional tail (e.g. appending a capacity bound,
+    or converting a target sample size into a per-partition fraction);
+    ``indexed`` selects :meth:`PartitionedFrame.reduction_indexed`, whose
+    chunk functions also receive their global row range.
+    """
+
+    chunk: Callable[..., Any]
+    combine: Callable[[List[Any]], Any]
+    finalize: Optional[Callable[[Any], Any]] = None
+    indexed: bool = False
+    adapt: Optional[Callable[["ComputeContext", Tuple[Any, ...]],
+                             Tuple[Any, ...]]] = None
+
+
+@dataclass(frozen=True)
+class ReductionKind:
+    """Exact and sketch plans of one compute kind.
+
+    ``sketch=None`` means the exact plan is already bounded (pure mergeable
+    partials like numeric summaries) and serves every source;
+    ``exact_only=True`` marks kinds whose state is inherently O(rows) (the
+    full missing mask) — requesting them on a streaming source raises.
+    """
+
+    name: str
+    exact: ReductionPlan
+    sketch: Optional[ReductionPlan] = None
+    exact_only: bool = False
+
+
+def _sample_exact_args(context: "ComputeContext",
+                       args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    columns, size, seed = args
+    total = max(context.known_n_rows, 1)
+    return (columns, min(1.0, size / total), seed)
+
+
+def _append_category_capacity(context: "ComputeContext",
+                              args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    return args + (STREAMING_CATEGORY_CAPACITY,)
+
+
+def _append_duplicate_capacity(context: "ComputeContext",
+                               args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    return args + (DUPLICATE_SKETCH_CAPACITY,)
+
+
+def _nullity_args(context: "ComputeContext",
+                  args: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    (n_bins,) = args
+    return (tuple(context.column_names), context.known_n_rows, n_bins)
+
+
+REDUCTION_KINDS: Dict[str, ReductionKind] = {
+    "numeric_summary": ReductionKind(
+        "numeric_summary",
+        exact=ReductionPlan(_chunk_numeric_summary, _combine_numeric_summaries)),
+    "categorical_summary": ReductionKind(
+        "categorical_summary",
+        exact=ReductionPlan(_chunk_categorical_summary,
+                            _combine_categorical_summaries),
+        sketch=ReductionPlan(_chunk_categorical_summary_bounded,
+                             _combine_categorical_summaries,
+                             adapt=_append_category_capacity)),
+    "histogram": ReductionKind(
+        "histogram",
+        exact=ReductionPlan(_chunk_histogram, _combine_histograms)),
+    "pearson": ReductionKind(
+        "pearson",
+        exact=ReductionPlan(_chunk_pearson, _combine_pearson)),
+    "missing_mask": ReductionKind(
+        "missing_mask",
+        exact=ReductionPlan(_chunk_missing_mask, _combine_missing_masks),
+        exact_only=True),
+    "nullity": ReductionKind(
+        "nullity",
+        exact=ReductionPlan(_chunk_nullity, _combine_nullity, indexed=True,
+                            adapt=_nullity_args)),
+    "row_count": ReductionKind(
+        "row_count",
+        exact=ReductionPlan(_chunk_row_count, _combine_counts)),
+    "sample": ReductionKind(
+        "sample",
+        exact=ReductionPlan(_chunk_sample, _combine_samples,
+                            adapt=_sample_exact_args),
+        sketch=ReductionPlan(_chunk_reservoir, _combine_reservoirs,
+                             finalize=_finalize_reservoir)),
+    "pair_counts": ReductionKind(
+        "pair_counts",
+        exact=ReductionPlan(_chunk_pair_counts, _combine_pair_counts),
+        sketch=ReductionPlan(_chunk_pair_counts_bounded,
+                             _combine_pair_counts_bounded,
+                             adapt=_append_category_capacity)),
+    "duplicates": ReductionKind(
+        "duplicates",
+        exact=ReductionPlan(_chunk_duplicates, _combine_duplicates,
+                            finalize=_finalize_duplicates,
+                            adapt=_append_duplicate_capacity)),
+}
+
+
 class ComputeContext:
     """Execution context for one EDA task.
 
-    The context owns the partitioned frame, the engine and the timing
-    bookkeeping.  Compute functions ask it for lazy (or, on tiny data, eager)
-    intermediates and then call :meth:`resolve` once per pipeline stage so
-    every requested value lands in the same optimized graph.
+    The context owns the frame source, the partitioned frame, the engine
+    and the timing bookkeeping.  Compute functions ask it for lazy (or, on
+    tiny data, eager) intermediates and then call :meth:`resolve` once per
+    pipeline stage so every requested value lands in the same optimized
+    graph.
     """
 
-    def __init__(self, frame: Union[DataFrame, ScannedFrame], config: Config,
+    def __init__(self, frame: Union[DataFrame, FrameSource, Any], config: Config,
                  engine: Optional[Engine] = None):
-        if isinstance(frame, ScannedFrame):
-            self.scan: Optional[ScannedFrame] = frame
-            self._frame: Optional[DataFrame] = None
-        else:
-            self.scan = None
-            self._frame = frame
+        self.source: FrameSource = as_source(frame)
+        self.exact_results = self.source.capabilities.exact
+        self._frame: Optional[DataFrame] = \
+            self.source.to_frame() if self.exact_results else None
         self.config = config
         self.timings: Dict[str, float] = {}
         self.reports: List[ExecutionReport] = []
@@ -245,12 +382,12 @@ class ComputeContext:
                 **self._engine_kwargs(config.get("compute.engine")))
 
     # ------------------------------------------------------------------ #
-    # Input access (in-memory frame vs. out-of-core scan)
+    # Input access (source-mediated)
     # ------------------------------------------------------------------ #
     @property
     def is_streaming(self) -> bool:
-        """True when the input is a :class:`ScannedFrame` (out-of-core)."""
-        return self.scan is not None
+        """True when the source streams from storage (sketch reductions)."""
+        return not self.exact_results
 
     @property
     def frame(self) -> DataFrame:
@@ -258,12 +395,21 @@ class ComputeContext:
 
         Streaming-capable compute paths never touch this.  For the few
         fine-grained tasks that genuinely need all rows at once (bivariate
-        row alignment, missing-value drop comparisons), a scanned input is
-        materialized here once — losing the bounded-memory guarantee for
-        that call, which is documented on the corresponding ``plot`` kinds.
+        row alignment, missing-value drop comparisons), a streaming source
+        is materialized here once — losing the bounded-memory guarantee for
+        that call, which is documented on the corresponding ``plot`` kinds
+        and announced with a :class:`UserWarning` carrying the estimated
+        materialization size.
         """
         if self._frame is None:
-            self._frame = self.scan.to_frame()
+            estimated = self.source.materialization_bytes()
+            warnings.warn(
+                f"this fine-grained task aligns rows across columns and "
+                f"cannot stream: materializing the scanned input "
+                f"(~{estimated / 1e6:.1f} MB estimated) — peak memory is no "
+                f"longer bounded by memory.budget_bytes for this call",
+                UserWarning, stacklevel=3)
+            self._frame = self.source.to_frame()
         return self._frame
 
     @property
@@ -274,23 +420,17 @@ class ComputeContext:
         type detection samples a row prefix in both cases, so the two modes
         agree whenever the preview is representative.
         """
-        if self.scan is not None:
-            return self.scan.preview
-        return self._frame
+        return self.source.schema_preview()
 
     @property
     def known_n_rows(self) -> int:
-        """Total row count, known without materializing a scan."""
-        if self.scan is not None:
-            return self.scan.n_rows
-        return len(self._frame)
+        """Total row count, known from the source without materializing."""
+        return self.source.n_rows
 
     @property
     def column_names(self) -> List[str]:
         """Column names of the input."""
-        if self.scan is not None:
-            return self.scan.columns
-        return self._frame.columns
+        return self.source.columns
 
     @property
     def n_columns(self) -> int:
@@ -299,15 +439,22 @@ class ComputeContext:
 
     def total_memory_bytes(self) -> int:
         """In-memory footprint of a frame, or on-disk size of a scan."""
-        if self.scan is not None:
-            return self.scan.file_size
-        return self._frame.memory_bytes()
+        return self.source.footprint_bytes()
 
-    def duplicate_row_count(self, max_rows: int) -> Optional[int]:
-        """Exact duplicate rows, or None when the scan would need full data."""
-        if self.scan is not None or self.known_n_rows > max_rows:
-            return None
-        return self._frame.duplicate_row_count()
+    def duplicate_rows(self, max_rows: int) -> Union[Delayed, Optional[int]]:
+        """Duplicate-row count, or None when it would be unbounded.
+
+        Exact sources below *max_rows* run the vectorised exact scan;
+        larger ones skip (the python-level pass is not worth it, matching
+        the seed behaviour).  Streaming sources count through a
+        :class:`~repro.stats.sketches.DuplicateSketch` reduction — exact
+        while the distinct rows fit the sketch capacity, None beyond.
+        """
+        if self.exact_results:
+            if self.known_n_rows > max_rows:
+                return None
+            return self.frame.duplicate_row_count()
+        return self._reduce("duplicates")
 
     def _decide_cache(self) -> Optional[TaskCache]:
         """The process-wide intermediate cache, or None when disabled.
@@ -344,9 +491,9 @@ class ComputeContext:
         return {}
 
     def _decide_graph_mode(self) -> bool:
-        if self.is_streaming:
-            # A scan must never be materialized wholesale; the graph (chunked)
-            # path is the only one with a bounded footprint.
+        if not self.exact_results:
+            # A streaming source must never be materialized wholesale; the
+            # graph (chunked) path is the only one with a bounded footprint.
             return True
         mode = self.config.get("compute.use_graph")
         if mode == "always":
@@ -368,41 +515,60 @@ class ComputeContext:
     def partitioned(self) -> PartitionedFrame:
         """The partitioned frame, built on first use with precomputed chunks.
 
-        For a scanned input the partitions are lazy byte-range parse tasks;
-        the chunk granularity honours ``memory.chunk_rows`` and shrinks
-        further if ``memory.budget_bytes`` cannot hold one chunk per
-        scheduler worker concurrently.
+        The source plans its own partitions: in-memory sources honour
+        ``compute.partition_rows``; streaming sources honour
+        ``memory.chunk_rows`` / ``memory.budget_bytes`` and shrink further
+        if the budget cannot hold one chunk per scheduler worker
+        concurrently (only for settings the user explicitly overrides, so
+        default-config calls never pay a second layout pass).
         """
         if self._partitioned is None:
             started = time.perf_counter()
-            if self.scan is not None:
-                scan = self.scan
-                target = scan.chunk_rows
-                # The scan's own chunking already satisfies the budget it was
-                # created with; only constrain further for settings the user
-                # explicitly overrides (or a worker count the scan did not
-                # assume).  Anything else would silently override an explicit
-                # scan_csv(chunk_rows=...) choice with the config default and
-                # pay a needless full-file layout rescan.
-                if "memory.chunk_rows" in self.config.provided:
-                    target = min(target, self.config.get("memory.chunk_rows"))
-                budget = scan.budget_bytes
-                if "memory.budget_bytes" in self.config.provided:
-                    budget = self.config.get("memory.budget_bytes")
-                workers = self._effective_workers()
-                if budget != scan.budget_bytes or \
-                        workers != scan.budget_concurrency:
-                    target = min(target, scan.chunk_rows_for_budget(
-                        budget, concurrency=workers))
-                if target < scan.chunk_rows:
-                    scan = scan.rechunk(target)
-                self._partitioned = PartitionedFrame.from_scan(scan)
+            provided = self.config.provided
+            if self.exact_results:
+                # Pass the config granularity only when the user set it; a
+                # source constructed with an explicit partition_rows must
+                # not be silently overridden by the config default.
+                planned = self.source.with_partitioning(
+                    chunk_rows=self.config.get("compute.partition_rows")
+                    if "compute.partition_rows" in provided else None)
             else:
-                self._partitioned = PartitionedFrame.from_frame(
-                    self.frame,
-                    partition_rows=self.config.get("compute.partition_rows"))
+                planned = self.source.with_partitioning(
+                    chunk_rows=self.config.get("memory.chunk_rows")
+                    if "memory.chunk_rows" in provided else None,
+                    budget_bytes=self.config.get("memory.budget_bytes")
+                    if "memory.budget_bytes" in provided else None,
+                    concurrency=self._effective_workers())
+            self._partitioned = PartitionedFrame.from_source(planned)
             self.timings["precompute_chunk_sizes"] = time.perf_counter() - started
         return self._partitioned
+
+    # ------------------------------------------------------------------ #
+    # The planner dispatch
+    # ------------------------------------------------------------------ #
+    def _plan(self, kind: str) -> ReductionPlan:
+        """Pick the exact or sketch plan of *kind* from the capabilities."""
+        spec = REDUCTION_KINDS[kind]
+        if self.exact_results:
+            return spec.exact
+        if spec.exact_only:
+            raise EDAError(
+                f"the {spec.name!r} reduction holds O(rows) state and is "
+                f"not available on a streaming source; use its sketch "
+                f"counterpart instead")
+        return spec.sketch or spec.exact
+
+    def _reduce(self, kind: str, args: Tuple[Any, ...] = ()) -> Delayed:
+        """Build the lazy reduction of *kind* for this context's source."""
+        plan = self._plan(kind)
+        chunk_args = plan.adapt(self, args) if plan.adapt is not None else args
+        if plan.indexed:
+            return self.partitioned.reduction_indexed(
+                plan.chunk, plan.combine, finalize=plan.finalize,
+                chunk_args=chunk_args)
+        return self.partitioned.reduction(
+            plan.chunk, plan.combine, finalize=plan.finalize,
+            chunk_args=chunk_args)
 
     # ------------------------------------------------------------------ #
     # Intermediate builders (lazy in graph mode, eager otherwise)
@@ -411,27 +577,18 @@ class ComputeContext:
         """Mergeable numeric summary of one column."""
         if not self.use_graph:
             return NumericSummary.from_column(self.frame.column(column))
-        return self.partitioned.reduction(
-            _chunk_numeric_summary, _combine_numeric_summaries,
-            chunk_args=(column,))
+        return self._reduce("numeric_summary", (column,))
 
     def categorical_summary(self, column: str) -> Union[Delayed, CategoricalSummary]:
         """Mergeable categorical summary of one column.
 
-        In streaming mode the per-chunk value-count table is bounded
+        On streaming sources the per-chunk value-count table is bounded
         (:data:`STREAMING_CATEGORY_CAPACITY`) so cardinality cannot defeat
         the memory budget; counts stay exact below the bound.
         """
         if not self.use_graph:
             return CategoricalSummary.from_column(self.frame.column(column))
-        if self.is_streaming:
-            return self.partitioned.reduction(
-                _chunk_categorical_summary_bounded,
-                _combine_categorical_summaries,
-                chunk_args=(column, STREAMING_CATEGORY_CAPACITY))
-        return self.partitioned.reduction(
-            _chunk_categorical_summary, _combine_categorical_summaries,
-            chunk_args=(column,))
+        return self._reduce("categorical_summary", (column,))
 
     def histogram(self, column: str, bins: int, low: float,
                   high: float) -> Union[Delayed, Histogram]:
@@ -439,84 +596,66 @@ class ComputeContext:
         if not self.use_graph:
             values = self.frame.column(column).to_numpy(drop_missing=True)
             return compute_histogram(values.astype(np.float64), bins, (low, high))
-        return self.partitioned.reduction(
-            _chunk_histogram, _combine_histograms,
-            chunk_args=(column, bins, float(low), float(high)))
+        return self._reduce("histogram", (column, bins, float(low), float(high)))
 
     def pearson_partial(self, columns: Sequence[str]) -> Union[Delayed, PearsonPartial]:
         """Mergeable Pearson partial sums over the given numeric columns."""
         columns = tuple(columns)
         if not self.use_graph:
             return _chunk_pearson(self.frame, columns)
-        return self.partitioned.reduction(
-            _chunk_pearson, _combine_pearson, chunk_args=(columns,))
+        return self._reduce("pearson", (columns,))
 
     def missing_mask(self) -> Union[Delayed, np.ndarray]:
         """Full boolean missing mask (rows x columns).
 
-        The mask is O(rows x columns); a scanned input must use
+        The mask is O(rows x columns); a streaming source must use
         :meth:`nullity_sketch` instead, which holds only per-column and
         per-bin counts.
         """
-        if self.is_streaming:
-            raise EDAError("a scanned frame has no materialized missing mask; "
-                           "use nullity_sketch() instead")
         if not self.use_graph:
             return self.frame.missing_mask()
-        return self.partitioned.reduction(_chunk_missing_mask, _combine_missing_masks)
+        return self._reduce("missing_mask")
 
     def nullity_sketch(self, n_bins: int) -> Union[Delayed, NullitySketch]:
         """Mergeable missing-value sketch over all columns.
 
         Carries everything ``plot_missing(df)`` renders — per-column missing
         counts, pairwise co-missing counts and the row-binned missing
-        spectrum — in a few small arrays per chunk.
+        spectrum — in a few small arrays per chunk, for every source kind.
         """
-        columns = tuple(self.column_names)
-        total = self.known_n_rows
         if not self.use_graph:
-            return NullitySketch.from_mask(self.frame.missing_mask(), columns,
-                                           0, total, n_bins)
-        return self.partitioned.reduction_indexed(
-            _chunk_nullity, _combine_nullity,
-            chunk_args=(columns, total, n_bins))
+            return NullitySketch.from_mask(
+                self.frame.missing_mask(), tuple(self.column_names),
+                0, self.known_n_rows, n_bins)
+        return self._reduce("nullity", (n_bins,))
 
     def row_count(self) -> Union[Delayed, int]:
         """Total number of rows."""
-        if self.is_streaming:
+        if not self.exact_results:
             return self.known_n_rows      # precomputed by the layout scan
         if not self.use_graph:
             return len(self.frame)
-        return self.partitioned.reduction(_chunk_row_count, _combine_counts)
+        return self._reduce("row_count")
 
     def sample(self, columns: Sequence[str], size: int,
                seed: int = 0) -> Union[Delayed, DataFrame]:
         """A uniform row sample of the given columns (about *size* rows).
 
-        Streaming inputs sample through a mergeable reservoir sketch, so the
-        retained rows never exceed *size* no matter the file length — and
-        while the whole file fits the capacity the "sample" is exact, which
-        is what pins the streaming results to the in-memory ones on small
-        data.
+        Streaming sources sample through a mergeable reservoir sketch, so
+        the retained rows never exceed *size* no matter the data length —
+        and while the whole input fits the capacity the "sample" is exact,
+        which is what pins the streaming results to the in-memory ones on
+        small data.
         """
         columns = tuple(columns)
         if not self.use_graph:
             return self.frame.select(list(columns)).sample(size, seed=seed)
-        if self.is_streaming:
-            return self.partitioned.reduction(
-                _chunk_reservoir, _combine_reservoirs,
-                finalize=_finalize_reservoir,
-                chunk_args=(columns, int(size), seed))
-        total = max(self.known_n_rows, 1)
-        fraction = min(1.0, size / total)
-        return self.partitioned.reduction(
-            _chunk_sample, _combine_samples,
-            chunk_args=(columns, fraction, seed))
+        return self._reduce("sample", (columns, int(size), seed))
 
     def pair_counts(self, col1: str, col2: str) -> Union[Delayed, Dict[Tuple[str, str], int]]:
         """Joint value counts of two categorical columns.
 
-        In streaming mode the pair table is pruned to the
+        On streaming sources the pair table is pruned to the
         :data:`STREAMING_CATEGORY_CAPACITY` most frequent pairs at every
         chunk and merge step, so two high-cardinality columns cannot defeat
         the memory budget; exact below the bound (the downstream charts only
@@ -524,12 +663,7 @@ class ComputeContext:
         """
         if not self.use_graph:
             return _chunk_pair_counts(self.frame, col1, col2)
-        if self.is_streaming:
-            return self.partitioned.reduction(
-                _chunk_pair_counts_bounded, _combine_pair_counts_bounded,
-                chunk_args=(col1, col2, STREAMING_CATEGORY_CAPACITY))
-        return self.partitioned.reduction(
-            _chunk_pair_counts, _combine_pair_counts, chunk_args=(col1, col2))
+        return self._reduce("pair_counts", (col1, col2))
 
     # ------------------------------------------------------------------ #
     # Resolution (one merged graph per stage)
@@ -573,10 +707,9 @@ class ComputeContext:
     def column(self, name: str) -> Column:
         """A column for schema/semantic-type inspection (validates the name).
 
-        For an in-memory frame this is the full column; for a scan it is the
-        preview's column — compute paths must go through the sketch
-        reductions for actual data, so this accessor never parses the file.
+        For an in-memory source this is the full column; for a streaming
+        source it is the preview's column — compute paths must go through
+        the sketch reductions for actual data, so this accessor never
+        parses the file.
         """
-        if self.scan is not None:
-            return self.scan.preview.column(name)
-        return self.frame.column(name)
+        return self.source.schema_preview().column(name)

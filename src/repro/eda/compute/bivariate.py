@@ -25,7 +25,13 @@ from repro.stats.qq import box_plot_stats, quantiles_from_histogram
 
 def compute_bivariate(frame: DataFrame, col1: str, col2: str, config: Config,
                       context: Optional[ComputeContext] = None) -> Intermediates:
-    """Compute the intermediates of ``plot(df, col1, col2)``."""
+    """Compute the intermediates of ``plot(df, col1, col2)``.
+
+    Source-agnostic: row alignment happens on the planner-chosen sample
+    (exact fraction sample in memory, reservoir sketch over a streaming
+    source) and the pair-count tables are capacity-bounded on streams, so
+    no combination materializes a scanned input.
+    """
     context = context or ComputeContext(frame, config)
     first = context.column(col1)
     second = context.column(col2)

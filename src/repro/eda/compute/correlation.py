@@ -9,7 +9,11 @@
 Pearson is computed in the graph stage from mergeable partial sums; Spearman
 and Kendall are rank statistics and are computed in the local stage from a
 (possibly sampled) dense matrix — the same Dask-stage / Pandas-stage split
-the paper describes for ``plot_correlation(df)``.
+the paper describes for ``plot_correlation(df)``.  Both stages are
+source-agnostic: the partial sums merge over any
+:class:`~repro.frame.source.FrameSource` partitioning, and the dense matrix
+is built from the planner-chosen sample (reservoir sketch on streams), so
+correlation never materializes a scanned input.
 """
 
 from __future__ import annotations

@@ -23,12 +23,7 @@ from repro.eda.insights import Insight, similarity_insight
 from repro.eda.intermediates import Intermediates
 from repro.errors import EDAError
 from repro.frame.frame import DataFrame
-from repro.stats.association import (
-    missing_spectrum,
-    nullity_correlation,
-    nullity_dendrogram,
-    nullity_dendrogram_from_distances,
-)
+from repro.stats.association import nullity_dendrogram_from_distances
 from repro.stats.histogram import compute_histogram
 from repro.stats.qq import box_plot_stats
 from repro.stats.sketches import NullitySketch
@@ -39,54 +34,16 @@ def compute_missing_overview(frame: DataFrame, config: Config,
                              ) -> Intermediates:
     """Intermediates of ``plot_missing(df)``.
 
-    A scanned (out-of-core) input streams through :class:`NullitySketch`
-    reductions — the O(rows x columns) mask is never materialized; an
-    in-memory frame keeps the original mask-based route.
+    One :class:`NullitySketch` reduction serves every source kind: the
+    sketch's closed-form finalizers reproduce the mask-based statistics
+    exactly (pinned by the streaming-equivalence suite), the O(rows x
+    columns) mask is never materialized, and streaming sources flow through
+    with chunk-bounded memory.  The bar chart and spectrum come straight
+    from the sketch counts, the nullity correlation from the closed-form
+    Pearson over ``(n, S_i, S_ij)``, and the dendrogram from the
+    count-derived Euclidean distances.
     """
     context = context or ComputeContext(frame, config)
-    if context.is_streaming:
-        return _missing_overview_streaming(context, config)
-    stage1 = context.resolve({
-        "mask": context.missing_mask(),
-        "n_rows": context.row_count(),
-    }, stage="graph")
-
-    started = time.perf_counter()
-    mask: np.ndarray = stage1["mask"]
-    n_rows = int(stage1["n_rows"])
-    columns = frame.columns
-
-    missing_per_column = {name: int(mask[:, index].sum())
-                          for index, name in enumerate(columns)} if mask.size else \
-        {name: 0 for name in columns}
-
-    spectrum = missing_spectrum(mask, columns,
-                                n_bins=config.get("missing.spectrum_bins")) \
-        if mask.size else None
-    spectrum_item = None if spectrum is None else {
-        "columns": spectrum.columns,
-        "bin_edges": spectrum.bin_edges.tolist(),
-        "densities": spectrum.densities.tolist(),
-    }
-    kept, nullity_matrix = nullity_correlation(mask, columns) if mask.size else ([], np.zeros((0, 0)))
-    dendro_labels, dendro_nodes = nullity_dendrogram(mask, columns) if mask.size else (columns, [])
-
-    intermediates = _assemble_missing_overview(
-        config, columns, n_rows, missing_per_column, spectrum_item,
-        kept, nullity_matrix, dendro_labels, dendro_nodes)
-    context.record_local_stage(time.perf_counter() - started)
-    return context.finish(intermediates)
-
-
-def _missing_overview_streaming(context: ComputeContext,
-                                config: Config) -> Intermediates:
-    """Sketch-based ``plot_missing(df)`` with chunk-bounded memory.
-
-    Produces the same four visualizations as the mask route: the bar chart
-    and spectrum come straight from the sketch counts, the nullity
-    correlation from the closed-form Pearson over ``(n, S_i, S_ij)``, and
-    the dendrogram from the count-derived Euclidean distances.
-    """
     stage1 = context.resolve({
         "sketch": context.nullity_sketch(config.get("missing.spectrum_bins")),
     }, stage="graph")
@@ -125,9 +82,9 @@ def _assemble_missing_overview(config: Config, columns: List[str], n_rows: int,
                                dendro_nodes: List[Any]) -> Intermediates:
     """Shared stats/items/insights assembly of the missing overview.
 
-    Both the mask route and the sketch (streaming) route feed this, so the
-    payload shapes and insight thresholds cannot drift apart between the two
-    — which is what the streaming-equivalence suite pins.
+    Kept separate from the sketch finalization so the payload shapes and
+    insight thresholds have exactly one home — which is what the
+    streaming-equivalence suite pins across source kinds.
     """
     total_missing = sum(missing_per_column.values())
     stats = {
@@ -186,8 +143,10 @@ def compute_missing_single(frame: DataFrame, column: str, config: Config,
     *column* is missing — which is why the paper reports this as the most
     computationally intensive fine-grained task (Figure 5).
 
-    This fine-grained task aligns rows across columns, so a scanned input
-    is materialized here (the overview task streams; this one cannot).
+    This fine-grained task aligns rows across columns, so a streaming
+    source is materialized here (the overview task streams; this one
+    cannot) — announced with a ``UserWarning`` carrying the estimated
+    materialization size, since it breaks the bounded-memory guarantee.
     """
     context = context or ComputeContext(frame, config)
     if column not in context.column_names:
@@ -258,8 +217,8 @@ def compute_missing_pair(frame: DataFrame, col1: str, col2: str, config: Config,
                          ) -> Intermediates:
     """Intermediates of ``plot_missing(df, col1, col2)``.
 
-    Like :func:`compute_missing_single`, this aligns rows across columns, so
-    a scanned input is materialized here.
+    Like :func:`compute_missing_single`, this aligns rows across columns,
+    so a streaming source is materialized here (with the same warning).
     """
     context = context or ComputeContext(frame, config)
     for name in (col1, col2):

@@ -21,8 +21,10 @@ from repro.eda.intermediates import Intermediates
 from repro.frame.frame import DataFrame
 from repro.stats.descriptive import CategoricalSummary, NumericSummary
 
-#: Above this row count the exact duplicate-row scan is skipped (it is a
-#: python-level pass; the paper's overview does not require it).
+#: Above this row count the exact duplicate-row scan is skipped for
+#: in-memory sources (it is a python-level pass; the paper's overview does
+#: not require it).  Streaming sources count duplicates through a bounded
+#: row-hash sketch regardless of length — see ComputeContext.duplicate_rows.
 MAX_ROWS_FOR_DUPLICATE_SCAN = 200_000
 
 
@@ -30,9 +32,9 @@ def compute_overview(frame: DataFrame, config: Config,
                      context: Optional[ComputeContext] = None) -> Intermediates:
     """Compute the intermediates of ``plot(df)``.
 
-    Works unchanged on a :class:`~repro.frame.io.ScannedFrame`: every
-    summary below is a mergeable sketch reduction, so the file streams
-    through chunk by chunk.
+    Works unchanged on any :class:`~repro.frame.source.FrameSource` (e.g. a
+    ``scan_csv`` handle): every summary below is a mergeable reduction, so
+    streaming sources flow through chunk by chunk.
     """
     context = context or ComputeContext(frame, config)
     semantic_types = detect_frame_types(context.schema_frame)
@@ -42,8 +44,12 @@ def compute_overview(frame: DataFrame, config: Config,
                  context.column(name).dtype.is_numeric]
     categorical = [name for name in context.column_names if name not in numerical]
 
-    # Stage 1 (graph): every per-column summary in one shared graph.
-    requested: Dict[str, Any] = {"n_rows": context.row_count()}
+    # Stage 1 (graph): every per-column summary in one shared graph, plus
+    # the duplicate-row count (exact scan or hash sketch, planner's choice).
+    requested: Dict[str, Any] = {
+        "n_rows": context.row_count(),
+        "duplicates": context.duplicate_rows(MAX_ROWS_FOR_DUPLICATE_SCAN),
+    }
     for name in numerical:
         requested[f"numeric::{name}"] = context.numeric_summary(name)
     for name in categorical:
@@ -72,9 +78,11 @@ def compute_overview(frame: DataFrame, config: Config,
     missing_cells += sum(summary.missing for summary in categorical_summaries.values())
     total_cells = max(n_rows * n_columns, 1)
 
-    # The exact duplicate scan needs every row at once; skipped for scanned
-    # (out-of-core) inputs and for frames past the size cutoff.
-    duplicate_rows = context.duplicate_row_count(MAX_ROWS_FOR_DUPLICATE_SCAN)
+    # Exact scan (in-memory, below the cutoff), sketch count (streaming,
+    # exact while distinct rows fit the sketch capacity), or None.
+    duplicate_rows = stage1["duplicates"]
+    if duplicate_rows is not None:
+        duplicate_rows = int(duplicate_rows)
 
     dataset_stats = {
         "n_rows": n_rows,

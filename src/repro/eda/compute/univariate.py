@@ -34,7 +34,13 @@ _WORD_PATTERN = re.compile(r"[A-Za-z0-9']+")
 
 def compute_univariate(frame: DataFrame, column: str, config: Config,
                        context: Optional[ComputeContext] = None) -> Intermediates:
-    """Compute the intermediates of ``plot(df, col)``."""
+    """Compute the intermediates of ``plot(df, col)``.
+
+    Source-agnostic: every intermediate below is built through the context's
+    reduction planner, so a streaming :class:`~repro.frame.source.FrameSource`
+    flows through bounded sketches (reservoir sample, bounded value counts)
+    while an in-memory frame keeps the exact reductions.
+    """
     context = context or ComputeContext(frame, config)
     target = context.column(column)
     semantic = detect_semantic_type(target)

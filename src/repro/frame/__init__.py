@@ -12,6 +12,9 @@ package provides a small, self-contained columnar DataFrame built on numpy:
   (shape, column names/dtypes, sampled content hash) that let the
   cross-call intermediate cache (:mod:`repro.graph.cache`) recognise "the
   same data" across separate EDA calls.
+* :mod:`~repro.frame.source` — the :class:`~repro.frame.source.FrameSource`
+  protocol unifying in-memory frames, single CSV scans and multi-file CSV
+  datasets behind one partitioned, capability-declaring input contract.
 
 The EDA layer (``repro.eda``) and the lazy execution engine (``repro.graph``)
 are written against this substrate only.
@@ -23,12 +26,28 @@ from repro.frame.fingerprint import fingerprint_array, fingerprint_column, finge
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import ScannedFrame, read_csv, scan_csv, write_csv
 from repro.frame.ops import crosstab, groupby_aggregate, value_counts
+from repro.frame.source import (
+    CsvSource,
+    FrameSource,
+    InMemorySource,
+    MultiFileCsvSource,
+    SourceCapabilities,
+    SourcePartition,
+    as_source,
+)
 
 __all__ = [
     "Column",
+    "CsvSource",
     "DataFrame",
     "DType",
+    "FrameSource",
+    "InMemorySource",
+    "MultiFileCsvSource",
     "ScannedFrame",
+    "SourceCapabilities",
+    "SourcePartition",
+    "as_source",
     "concat_rows",
     "crosstab",
     "fingerprint_array",

@@ -114,7 +114,7 @@ def parse_bool(value: Any) -> Optional[bool]:
 #: Cheap prescreen matching every shape DATETIME_FORMATS can parse; strings
 #: that cannot match skip the (expensive) strptime attempts entirely.
 _DATETIME_CANDIDATE = re.compile(
-    r"^\d{1,4}[-/]\d{1,2}[-/]\d{1,4}([ T]\d{1,2}:\d{1,2}:\d{1,2})?$")
+    r"^\d{1,4}[-/]\d{1,2}[-/]\d{1,4}((\s+|T)\d{1,2}:\d{1,2}:\d{1,2})?$")
 
 
 def parse_datetime(value: Any) -> Optional[np.datetime64]:
@@ -245,7 +245,10 @@ def coerce_values(values: Sequence[Any], dtype: DType,
         if lenient:
             try:
                 data[index] = _coerce_scalar(value, dtype)
-            except DTypeError:
+            except (DTypeError, OverflowError):
+                # OverflowError: a parsed python int too large for the int64
+                # storage raises at numpy assignment, not inside the coercion
+                # — it must still degrade to missing, not abort the scan.
                 data[index] = null
                 mask[index] = True
         else:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 import zlib
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Tuple
 
 import numpy as np
 
@@ -107,6 +107,25 @@ def fingerprint_column(column: "Column") -> str:
     hasher.update(str(len(column)).encode())
     hasher.update(fingerprint_array(column.data).encode())
     hasher.update(fingerprint_array(column.mask).encode())
+    return hasher.hexdigest()
+
+
+def fingerprint_file_stamps(stamps: Iterable[Tuple[str, int, int]]) -> str:
+    """Fingerprint of on-disk inputs from ``(path, size, mtime_ns)`` stamps.
+
+    File-backed frame sources (:mod:`repro.frame.source`) identify their
+    content by stat stamps instead of reading the bytes: the fingerprint is
+    stable across processes and sessions while every file is unchanged —
+    which is what keeps cross-call cache keys warm over re-scans — and any
+    in-place overwrite bumps the mtime (and usually the size) and with it
+    the fingerprint.  The order of *stamps* is significant: the same files
+    concatenated in a different order are a different logical frame.
+    """
+    hasher = hashlib.sha1()
+    for path, size, mtime_ns in stamps:
+        for part in (str(path), str(int(size)), str(int(mtime_ns))):
+            hasher.update(part.encode())
+            hasher.update(b"\x00")
     return hasher.hexdigest()
 
 

@@ -373,6 +373,18 @@ class ScannedFrame:
         """The bounded preview frame dtypes and semantic types come from."""
         return self._preview
 
+    def fingerprint(self) -> str:
+        """Content fingerprint from the ``(path, size, mtime_ns)`` stamp.
+
+        Stable across processes while the file is unchanged, so a scan
+        handle used as a task argument produces cross-call cache keys that
+        survive re-scanning (the same contract
+        :class:`~repro.frame.source.CsvSource` exposes).
+        """
+        from repro.frame.fingerprint import fingerprint_file_stamps
+        return fingerprint_file_stamps(
+            [(self.path, self.file_stamp[0], self.file_stamp[1])])
+
     def __repr__(self) -> str:
         return (f"ScannedFrame(path={self.path!r}, rows={self.n_rows}, "
                 f"chunks={self.n_chunks}, columns={self._columns})")
@@ -381,19 +393,19 @@ class ScannedFrame:
     # Chunked access
     # ------------------------------------------------------------------ #
     def read_chunk(self, index: int) -> DataFrame:
-        """Parse chunk *index* (its rows only) into a DataFrame."""
+        """Parse chunk *index* (its rows only) into a DataFrame.
+
+        Delegates to the same slice parser the lazy partition tasks use
+        (:func:`repro.frame.source._read_csv_slice`), so the
+        parsed-rows-vs-layout-count validation has exactly one home.
+        """
+        from repro.frame.source import _read_csv_slice
         byte_start, byte_stop = self._byte_ranges[index]
         start, stop = self._boundaries[index]
-        chunk = parse_csv_range(self.path, byte_start, byte_stop,
-                                self._columns, self._dtypes,
-                                delimiter=self.delimiter)
-        if len(chunk) != stop - start:
-            raise FrameError(
-                f"CSV chunk {index} of {self.path!r} parsed {len(chunk)} rows "
-                f"where the layout scan counted {stop - start}; the file's "
-                f"quoting defies record-aligned chunking (e.g. an unpaired "
-                f"quote in an unquoted field) — use read_csv instead")
-        return chunk
+        return _read_csv_slice(self.path, byte_start, byte_stop,
+                               tuple(self._columns), self._dtypes,
+                               tuple(self.file_stamp), self.delimiter,
+                               expected_rows=stop - start)
 
     def chunks(self) -> Iterator[DataFrame]:
         """Yield every chunk in row order, one bounded DataFrame at a time."""
@@ -458,24 +470,33 @@ class ScannedFrame:
         return rechunked
 
 
-def scan_csv(path: Union[str, os.PathLike],
+def scan_csv(path: Union[str, os.PathLike, Sequence[Union[str, os.PathLike]]],
              chunk_rows: Optional[int] = None,
              budget_bytes: Optional[int] = None,
              dtypes: Optional[Dict[str, DType]] = None,
              inference_rows: int = 10_000,
-             delimiter: str = ",") -> ScannedFrame:
-    """Open a CSV for out-of-core streaming without materializing it.
+             delimiter: str = ","):
+    """Open one or more CSVs for out-of-core streaming without materializing.
 
-    The file is scanned once (I/O only, quote-aware) to precompute chunk
+    Each file is scanned once (I/O only, quote-aware) to precompute chunk
     boundaries — the paper's "precompute chunk sizes" stage applied to file
     input — and the first *inference_rows* rows are parsed to infer storage
     dtypes, which every chunk then shares.  Peak memory of any downstream
     consumer is bounded by the chunk size.
 
+    A single path returns a :class:`ScannedFrame`.  A list of paths, or a
+    glob pattern (``"data/part-*.csv"``), returns a
+    :class:`~repro.frame.source.MultiFileCsvSource`: one logical frame
+    concatenating the files in list (or sorted glob) order, with dtypes
+    pinned to the first file's inference so every partition agrees.  Both
+    handle types are accepted by every ``plot*`` / ``create_report`` entry
+    point.
+
     Parameters
     ----------
     path:
-        CSV file path (a header row is required).
+        CSV file path (a header row is required), a list of such paths, or
+        a glob pattern matching at least one file.
     chunk_rows:
         Rows per streamed chunk.  Defaults to :data:`DEFAULT_CHUNK_ROWS`,
         shrunk if needed so one chunk's estimated parse cost fits
@@ -501,6 +522,26 @@ def scan_csv(path: Union[str, os.PathLike],
     delimiter:
         Field separator.
     """
+    import glob as glob_module
+
+    if isinstance(path, (list, tuple)) or glob_module.has_magic(os.fspath(path)):
+        from repro.frame.source import MultiFileCsvSource, expand_scan_paths
+        return MultiFileCsvSource.scan(
+            expand_scan_paths(path), chunk_rows=chunk_rows,
+            budget_bytes=budget_bytes, dtypes=dtypes,
+            inference_rows=inference_rows, delimiter=delimiter)
+    return _scan_csv_file(path, chunk_rows=chunk_rows,
+                          budget_bytes=budget_bytes, dtypes=dtypes,
+                          inference_rows=inference_rows, delimiter=delimiter)
+
+
+def _scan_csv_file(path: Union[str, os.PathLike],
+                   chunk_rows: Optional[int] = None,
+                   budget_bytes: Optional[int] = None,
+                   dtypes: Optional[Dict[str, DType]] = None,
+                   inference_rows: int = 10_000,
+                   delimiter: str = ",") -> ScannedFrame:
+    """Layout-scan a single CSV file (the single-path body of *scan_csv*)."""
     requested_rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
     if requested_rows <= 0:
         raise FrameError("chunk_rows must be positive")

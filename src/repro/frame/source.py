@@ -1,0 +1,565 @@
+"""The ``FrameSource`` protocol: source-agnostic input to the EDA pipeline.
+
+The compute layer (Section 5.2 of the paper) is one lazy partitioned
+pipeline — per-partition work, tree merge, finalize — regardless of where
+the bytes come from.  This module defines the contract a data source must
+satisfy to feed that pipeline, plus the three built-in implementations:
+
+* :class:`InMemorySource` — wraps a materialized :class:`DataFrame`;
+  partitions are lazy row slices and every reduction may use the exact
+  (unbounded per-value memory) finalizers.
+* :class:`CsvSource` — wraps one :class:`~repro.frame.io.ScannedFrame`
+  (the quote-aware CSV layout scan); partitions parse record-aligned byte
+  ranges lazily, so reductions must use bounded-memory sketches.
+* :class:`MultiFileCsvSource` — several per-file layout scans concatenated
+  into one logical frame.  ``repro.scan_csv`` returns one for a list or
+  glob of paths.  All files share the first file's inferred dtypes (plus
+  user overrides) so every partition agrees on storage types, and the
+  fingerprint covers every file's ``(path, size, mtime_ns)`` stamp so the
+  cross-call intermediate cache stays warm across sessions as long as the
+  files are unchanged.
+
+A source declares :class:`SourceCapabilities`; the reduction planner in
+:mod:`repro.eda.compute.base` picks exact vs. sketch chunk/combine/finalize
+triples from them, which is what lets a new backend (compressed CSV,
+columnar files, remote objects) land as one source class instead of a new
+fork through every compute module.
+
+Implementing a custom source
+----------------------------
+Provide the :class:`FrameSource` members: schema (``columns`` /``dtypes`` /
+``n_rows`` / ``schema_preview``), a content ``fingerprint`` (stable across
+processes for unchanged data — it feeds cross-call cache keys), and
+``partitions()`` returning :class:`SourcePartition` rows-ranges whose
+``func``/``args`` lazily materialize each chunk.  ``func`` must be a
+module-level function and every argument fingerprintable (paths, numbers,
+tuples, dtype enums), otherwise the partition tasks are excluded from the
+cross-call cache.  Declare ``capabilities.exact=False`` unless the whole
+dataset may safely coexist in memory.  See ``docs/architecture.md`` for a
+worked example.
+"""
+
+from __future__ import annotations
+
+import glob as glob_module
+import os
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.errors import FrameError
+from repro.frame.dtypes import DType
+from repro.frame.fingerprint import fingerprint_file_stamps
+from repro.frame.frame import DataFrame, concat_rows
+from repro.frame.io import ScannedFrame, _scan_csv_file, parse_csv_range
+
+#: Default number of rows per in-memory partition (mirrors the graph layer).
+DEFAULT_PARTITION_ROWS = 100_000
+
+
+# --------------------------------------------------------------------------- #
+# Partition task functions.
+#
+# Module-level (never lambdas) so the optimizer's CSE pass and the cross-call
+# cache can fingerprint them; the graph layer wraps them with ``delayed``.
+# --------------------------------------------------------------------------- #
+def _slice_frame(frame: DataFrame, start: int, stop: int) -> DataFrame:
+    """Materialize one row partition of an in-memory frame."""
+    return frame.slice(start, stop)
+
+
+def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
+                    column_names: Tuple[str, ...], dtypes: dict,
+                    file_stamp: Tuple[int, int] = (0, 0),
+                    delimiter: str = ",",
+                    expected_rows: Optional[int] = None) -> DataFrame:
+    """Parse one byte range of a CSV file into a DataFrame partition.
+
+    *file_stamp* (size, mtime_ns of the file at graph-build time) is not
+    used here — it exists so the task's cross-call cache key changes when
+    the file is overwritten in place, even with identical byte boundaries.
+
+    When *expected_rows* is given (the layout scan's record count for this
+    range) a mismatch raises instead of letting every downstream statistic
+    silently disagree with the row boundaries: it means the file's quoting
+    defies record-aligned chunking — e.g. a stray unpaired quote inside an
+    unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
+    """
+    frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
+                            dtypes, delimiter=delimiter)
+    if expected_rows is not None and len(frame) != expected_rows:
+        raise FrameError(
+            f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
+            f"parsed {len(frame)} rows where the layout scan counted "
+            f"{expected_rows}; the file's quoting defies record-aligned "
+            f"chunking (e.g. an unpaired quote in an unquoted field) — "
+            f"read it with repro.read_csv instead of scan_csv")
+    return frame
+
+
+# --------------------------------------------------------------------------- #
+# The protocol
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SourceCapabilities:
+    """What the reduction planner may assume about a source.
+
+    ``exact``
+        True when the whole dataset may safely coexist in memory, so every
+        reduction may use the exact finalizers (full value-count tables,
+        fraction-based row samples, the exact duplicate scan).  False means
+        the source streams from storage and reductions must use the
+        bounded-memory sketch variants instead.
+    """
+
+    exact: bool = True
+
+
+@dataclass(frozen=True)
+class SourcePartition:
+    """One lazily-materialized row chunk of a source.
+
+    ``start`` / ``stop`` are precomputed global row boundaries (the paper's
+    "precompute chunk sizes" stage), known before any lazy graph is built.
+    ``func(*args)`` materializes the chunk as a :class:`DataFrame`; the
+    graph layer wraps it in a task, so *func* must be module-level and
+    *args* fingerprintable for the partition to be cacheable across calls.
+    """
+
+    start: int
+    stop: int
+    func: Callable[..., DataFrame]
+    args: Tuple[Any, ...]
+    prefix: str = "partition"
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows in this partition (known without materializing)."""
+        return self.stop - self.start
+
+    def materialize(self) -> DataFrame:
+        """Eagerly materialize the chunk (tests and non-graph callers)."""
+        return self.func(*self.args)
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """Anything the EDA pipeline can partition and stream.
+
+    See the module docstring for the contract; :func:`as_source` adapts the
+    user-facing input types (``DataFrame``, ``ScannedFrame``) onto it.
+    """
+
+    @property
+    def columns(self) -> List[str]: ...          # pragma: no cover - protocol
+
+    @property
+    def dtypes(self) -> Dict[str, DType]: ...    # pragma: no cover - protocol
+
+    @property
+    def n_rows(self) -> int: ...                 # pragma: no cover - protocol
+
+    @property
+    def capabilities(self) -> SourceCapabilities: ...  # pragma: no cover
+
+    def schema_preview(self) -> DataFrame: ...   # pragma: no cover - protocol
+
+    def fingerprint(self) -> str: ...            # pragma: no cover - protocol
+
+    def footprint_bytes(self) -> int: ...        # pragma: no cover - protocol
+
+    def materialization_bytes(self) -> int: ...  # pragma: no cover - protocol
+
+    def partitions(self) -> List[SourcePartition]: ...  # pragma: no cover
+
+    def with_partitioning(self, chunk_rows: Optional[int] = None,
+                          budget_bytes: Optional[int] = None,
+                          concurrency: int = 1) -> "FrameSource":
+        ...                                      # pragma: no cover - protocol
+
+    def to_frame(self) -> DataFrame: ...         # pragma: no cover - protocol
+
+
+# --------------------------------------------------------------------------- #
+# In-memory frames
+# --------------------------------------------------------------------------- #
+class InMemorySource:
+    """A :class:`FrameSource` over a materialized :class:`DataFrame`.
+
+    Partitions are lazy row slices over the already-resident arrays, so the
+    source declares ``capabilities.exact=True``: reductions keep today's
+    exact results, pinned by the streaming-equivalence suite.
+    """
+
+    def __init__(self, frame: DataFrame, partition_rows: Optional[int] = None):
+        if not isinstance(frame, DataFrame):
+            raise FrameError("InMemorySource expects a repro.frame.DataFrame")
+        if partition_rows is not None and partition_rows <= 0:
+            raise FrameError("partition_rows must be positive")
+        self._frame = frame
+        self._partition_rows = partition_rows
+
+    @property
+    def frame(self) -> DataFrame:
+        """The wrapped frame (the exact object, not a copy)."""
+        return self._frame
+
+    @property
+    def columns(self) -> List[str]:
+        return self._frame.columns
+
+    @property
+    def dtypes(self) -> Dict[str, DType]:
+        return self._frame.dtypes
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._frame)
+
+    @property
+    def capabilities(self) -> SourceCapabilities:
+        return SourceCapabilities(exact=True)
+
+    def schema_preview(self) -> DataFrame:
+        """Schema questions may read the whole frame — it is already resident."""
+        return self._frame
+
+    def fingerprint(self) -> str:
+        return self._frame.fingerprint()
+
+    def footprint_bytes(self) -> int:
+        return self._frame.memory_bytes()
+
+    def materialization_bytes(self) -> int:
+        return self._frame.memory_bytes()
+
+    def partitions(self) -> List[SourcePartition]:
+        rows = self._partition_rows or DEFAULT_PARTITION_ROWS
+        return [SourcePartition(start, stop, _slice_frame,
+                                (self._frame, start, stop), prefix="partition")
+                for start, stop in _row_boundaries(len(self._frame), rows)]
+
+    def with_partitioning(self, chunk_rows: Optional[int] = None,
+                          budget_bytes: Optional[int] = None,
+                          concurrency: int = 1) -> "InMemorySource":
+        """Re-plan the partition granularity (the budget is irrelevant here)."""
+        if chunk_rows is None or chunk_rows == self._partition_rows:
+            return self
+        return InMemorySource(self._frame, partition_rows=chunk_rows)
+
+    def to_frame(self) -> DataFrame:
+        return self._frame
+
+    def __repr__(self) -> str:
+        return (f"InMemorySource(rows={len(self._frame)}, "
+                f"columns={self._frame.columns})")
+
+
+def _row_boundaries(n_rows: int, partition_rows: int) -> List[Tuple[int, int]]:
+    """Contiguous ``(start, stop)`` ranges covering ``[0, n_rows)``."""
+    if partition_rows <= 0:
+        raise FrameError("partition_rows must be positive")
+    if n_rows == 0:
+        return [(0, 0)]
+    return [(start, min(start + partition_rows, n_rows))
+            for start in range(0, n_rows, partition_rows)]
+
+
+# --------------------------------------------------------------------------- #
+# CSV scans
+# --------------------------------------------------------------------------- #
+def _scan_partitions(scan: ScannedFrame, offset: int) -> List[SourcePartition]:
+    """Partition tasks of one layout scan, shifted to global *offset* rows."""
+    columns = tuple(scan.columns)
+    dtypes = scan.dtypes
+    stamp = tuple(scan.file_stamp)
+    return [SourcePartition(offset + start, offset + stop, _read_csv_slice,
+                            (scan.path, byte_start, byte_stop, columns, dtypes,
+                             stamp, scan.delimiter, stop - start),
+                            prefix="read_csv_partition")
+            for (byte_start, byte_stop), (start, stop)
+            in zip(scan.byte_ranges, scan.boundaries)]
+
+
+def _rechunk_scan(scan: ScannedFrame, chunk_rows: Optional[int],
+                  budget_bytes: Optional[int],
+                  concurrency: int) -> ScannedFrame:
+    """Shrink a scan's chunking for an explicit budget/chunk-rows override.
+
+    The scan's own chunking already satisfies the budget it was created
+    with; only constrain further for settings the caller explicitly
+    overrides (or a worker count the scan did not assume).  Anything else
+    would silently override an explicit ``scan_csv(chunk_rows=...)`` choice
+    and pay a needless full-file layout rescan.
+    """
+    target = scan.chunk_rows
+    if chunk_rows is not None:
+        target = min(target, chunk_rows)
+    budget = budget_bytes if budget_bytes is not None else scan.budget_bytes
+    if budget != scan.budget_bytes or concurrency != scan.budget_concurrency:
+        target = min(target, scan.chunk_rows_for_budget(
+            budget, concurrency=concurrency))
+    if target < scan.chunk_rows:
+        return scan.rechunk(target)
+    return scan
+
+
+class CsvSource:
+    """A :class:`FrameSource` over one scanned CSV file.
+
+    Absorbs the :class:`~repro.frame.io.ScannedFrame` layout scan: schema
+    and row counts come from the scan metadata, partitions are lazy
+    byte-range parse tasks, and ``capabilities.exact=False`` routes every
+    reduction through the bounded-memory sketch finalizers.
+    """
+
+    def __init__(self, scan: ScannedFrame):
+        if not isinstance(scan, ScannedFrame):
+            raise FrameError("CsvSource expects a ScannedFrame (from scan_csv)")
+        self._scan = scan
+
+    @property
+    def scan(self) -> ScannedFrame:
+        """The underlying layout scan handle."""
+        return self._scan
+
+    @property
+    def columns(self) -> List[str]:
+        return self._scan.columns
+
+    @property
+    def dtypes(self) -> Dict[str, DType]:
+        return self._scan.dtypes
+
+    @property
+    def n_rows(self) -> int:
+        return self._scan.n_rows
+
+    @property
+    def capabilities(self) -> SourceCapabilities:
+        return SourceCapabilities(exact=False)
+
+    def schema_preview(self) -> DataFrame:
+        return self._scan.preview
+
+    def fingerprint(self) -> str:
+        return self._scan.fingerprint()
+
+    def footprint_bytes(self) -> int:
+        return self._scan.file_size
+
+    def materialization_bytes(self) -> int:
+        preview = self._scan.preview
+        if not len(preview):
+            return self._scan.file_size
+        per_row = preview.memory_bytes() / len(preview)
+        return int(per_row * self._scan.n_rows)
+
+    def partitions(self) -> List[SourcePartition]:
+        return _scan_partitions(self._scan, 0)
+
+    def with_partitioning(self, chunk_rows: Optional[int] = None,
+                          budget_bytes: Optional[int] = None,
+                          concurrency: int = 1) -> "CsvSource":
+        rechunked = _rechunk_scan(self._scan, chunk_rows, budget_bytes,
+                                  concurrency)
+        return self if rechunked is self._scan else CsvSource(rechunked)
+
+    def to_frame(self) -> DataFrame:
+        return self._scan.to_frame()
+
+    def __repr__(self) -> str:
+        return f"CsvSource({self._scan!r})"
+
+
+class MultiFileCsvSource:
+    """Several scanned CSV files concatenated into one logical frame.
+
+    Built by ``repro.scan_csv`` from a list or glob of paths.  Every file
+    gets its own quote-aware layout scan; the per-file chunk partitions are
+    concatenated with shifted global row offsets, so the downstream pipeline
+    sees one frame and never learns about file boundaries.  Dtypes are
+    pinned to the first file's inference (plus user overrides) so all
+    partitions agree on storage types; files whose header disagrees with
+    the first file's columns are rejected up front.
+    """
+
+    def __init__(self, scans: Sequence[ScannedFrame]):
+        scans = list(scans)
+        if not scans:
+            raise FrameError("MultiFileCsvSource requires at least one file")
+        for scan in scans:
+            if not isinstance(scan, ScannedFrame):
+                raise FrameError("MultiFileCsvSource expects ScannedFrame parts")
+            if scan.columns != scans[0].columns:
+                raise FrameError(
+                    f"CSV files disagree on columns: {scans[0].path!r} has "
+                    f"{scans[0].columns} but {scan.path!r} has {scan.columns}")
+            if scan.delimiter != scans[0].delimiter:
+                raise FrameError("CSV files disagree on the delimiter")
+        self._scans = scans
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def scan(cls, paths: Sequence[Union[str, os.PathLike]],
+             chunk_rows: Optional[int] = None,
+             budget_bytes: Optional[int] = None,
+             dtypes: Optional[Dict[str, DType]] = None,
+             inference_rows: int = 10_000,
+             delimiter: str = ",") -> "MultiFileCsvSource":
+        """Layout-scan every file, sharing the first file's inferred dtypes.
+
+        The first file is scanned with normal preview inference (plus any
+        user *dtypes* overrides); the resulting full dtype map is forced on
+        every later file, so a column whose type is ambiguous in file N
+        cannot silently diverge from file 1 and break partition merges.
+        """
+        if not paths:
+            raise FrameError("scan_csv received an empty list of paths")
+        first = _scan_csv_file(paths[0], chunk_rows=chunk_rows,
+                                 budget_bytes=budget_bytes, dtypes=dtypes,
+                                 inference_rows=inference_rows,
+                                 delimiter=delimiter)
+        shared_dtypes = first.dtypes
+        rest = [_scan_csv_file(path, chunk_rows=chunk_rows,
+                                 budget_bytes=budget_bytes,
+                                 dtypes=shared_dtypes,
+                                 inference_rows=inference_rows,
+                                 delimiter=delimiter)
+                for path in paths[1:]]
+        return cls([first] + rest)
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+    @property
+    def scans(self) -> List[ScannedFrame]:
+        """The per-file layout scans, in concatenation order."""
+        return list(self._scans)
+
+    @property
+    def paths(self) -> List[str]:
+        """The file paths, in concatenation order."""
+        return [scan.path for scan in self._scans]
+
+    @property
+    def columns(self) -> List[str]:
+        return self._scans[0].columns
+
+    @property
+    def dtypes(self) -> Dict[str, DType]:
+        return self._scans[0].dtypes
+
+    @property
+    def n_rows(self) -> int:
+        return sum(scan.n_rows for scan in self._scans)
+
+    @property
+    def capabilities(self) -> SourceCapabilities:
+        return SourceCapabilities(exact=False)
+
+    def schema_preview(self) -> DataFrame:
+        return self._scans[0].preview
+
+    def fingerprint(self) -> str:
+        """Stable across processes while every file's stamp is unchanged."""
+        return fingerprint_file_stamps(
+            [(scan.path, scan.file_stamp[0], scan.file_stamp[1])
+             for scan in self._scans])
+
+    def footprint_bytes(self) -> int:
+        return sum(scan.file_size for scan in self._scans)
+
+    def materialization_bytes(self) -> int:
+        return sum(CsvSource(scan).materialization_bytes()
+                   for scan in self._scans)
+
+    def partitions(self) -> List[SourcePartition]:
+        parts: List[SourcePartition] = []
+        offset = 0
+        for scan in self._scans:
+            parts.extend(_scan_partitions(scan, offset))
+            offset += scan.n_rows
+        return parts
+
+    def with_partitioning(self, chunk_rows: Optional[int] = None,
+                          budget_bytes: Optional[int] = None,
+                          concurrency: int = 1) -> "MultiFileCsvSource":
+        rechunked = [_rechunk_scan(scan, chunk_rows, budget_bytes, concurrency)
+                     for scan in self._scans]
+        if all(new is old for new, old in zip(rechunked, self._scans)):
+            return self
+        return MultiFileCsvSource(rechunked)
+
+    def to_frame(self) -> DataFrame:
+        """Materialize every file (escape hatch; needs the full memory)."""
+        return concat_rows([scan.to_frame() for scan in self._scans])
+
+    def __repr__(self) -> str:
+        return (f"MultiFileCsvSource(files={len(self._scans)}, "
+                f"rows={self.n_rows}, columns={self.columns})")
+
+
+# --------------------------------------------------------------------------- #
+# Adapters
+# --------------------------------------------------------------------------- #
+def expand_scan_paths(path: Union[str, os.PathLike, Sequence]) -> List[str]:
+    """Resolve a ``scan_csv`` path argument into an explicit file list.
+
+    Lists/tuples pass through; a string containing glob magic (``*``,
+    ``?``, ``[``) expands to the sorted matches.  Raises when a glob
+    matches nothing, so a typo cannot silently scan zero files.
+    """
+    if isinstance(path, (list, tuple)):
+        return [str(item) for item in path]
+    text = str(path)
+    if glob_module.has_magic(text):
+        matches = sorted(glob_module.glob(text))
+        if not matches:
+            raise FrameError(f"glob pattern {text!r} matched no files")
+        return matches
+    return [text]
+
+
+def as_source(data: Any) -> FrameSource:
+    """Adapt any supported EDA input onto the :class:`FrameSource` protocol.
+
+    ``DataFrame`` becomes an :class:`InMemorySource`, a ``ScannedFrame``
+    becomes a :class:`CsvSource`, and objects already satisfying the
+    protocol (including custom sources) pass through unchanged.
+    """
+    if isinstance(data, DataFrame):
+        return InMemorySource(data)
+    if isinstance(data, ScannedFrame):
+        return CsvSource(data)
+    if isinstance(data, (InMemorySource, CsvSource, MultiFileCsvSource)):
+        return data
+    if isinstance(data, FrameSource):
+        return data
+    raise FrameError(
+        "expected a repro.frame.DataFrame, a scan_csv handle or a "
+        f"FrameSource implementation, got {type(data).__name__}")
+
+
+__all__ = [
+    "CsvSource",
+    "FrameSource",
+    "InMemorySource",
+    "MultiFileCsvSource",
+    "SourceCapabilities",
+    "SourcePartition",
+    "as_source",
+    "expand_scan_paths",
+]

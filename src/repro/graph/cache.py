@@ -13,11 +13,13 @@ Two pieces make that safe and cheap:
   shared cache.  The cache key of a task is instead derived bottom-up from
   ``(func qualname, argument fingerprints)``: literals hash by value,
   DataFrames/Columns by their content fingerprint
-  (:mod:`repro.frame.fingerprint`), and TaskRef arguments by the *cache key*
-  of the referenced task — a Merkle scheme, so equal subgraphs built in
-  different calls produce equal keys.  Tasks that cannot be keyed stably
-  (closures, impure calls, unrecognised argument types) get ``None`` and are
-  simply never cached.
+  (:mod:`repro.frame.fingerprint`), frame sources and scan handles by
+  their stamp-based ``fingerprint()`` (stable across processes while the
+  files are unchanged — which is what keeps multi-file re-scans warm), and
+  TaskRef arguments by the *cache key* of the referenced task — a Merkle
+  scheme, so equal subgraphs built in different calls produce equal keys.
+  Tasks that cannot be keyed stably (closures, impure calls, unrecognised
+  argument types) get ``None`` and are simply never cached.
 
 * **A bounded LRU store** (:class:`TaskCache`) with a byte-size budget and
   hit/miss/eviction statistics.  The schedulers consult it before executing

@@ -16,6 +16,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import GraphError
 from repro.frame.frame import DataFrame, concat_rows
+from repro.frame.source import _read_csv_slice, _slice_frame
 from repro.graph.delayed import Delayed, delayed
 
 #: Default number of rows per partition; chosen so per-partition numpy work
@@ -55,41 +56,10 @@ def precompute_chunk_sizes(n_rows: int,
     return boundaries
 
 
-def _slice_frame(frame: DataFrame, start: int, stop: int) -> DataFrame:
-    """Materialize one partition of *frame* (module-level so CSE can share it)."""
-    return frame.slice(start, stop)
-
-
-def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
-                    column_names: Tuple[str, ...], dtypes: dict,
-                    file_stamp: Tuple[int, int] = (0, 0),
-                    delimiter: str = ",",
-                    expected_rows: Optional[int] = None) -> DataFrame:
-    """Parse one byte range of a CSV file into a DataFrame partition.
-
-    *file_stamp* (size, mtime_ns of the file at graph-build time) is not
-    used here — it exists so the task's cross-call cache key changes when
-    the file is overwritten in place, even with identical byte boundaries.
-
-    When *expected_rows* is given (the layout scan's record count for this
-    range) a mismatch raises instead of letting every downstream statistic
-    silently disagree with the row boundaries: it means the file's quoting
-    defies record-aligned chunking — e.g. a stray unpaired quote inside an
-    unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
-    """
-    from repro.errors import FrameError
-    from repro.frame.io import parse_csv_range
-
-    frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
-                            dtypes, delimiter=delimiter)
-    if expected_rows is not None and len(frame) != expected_rows:
-        raise FrameError(
-            f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
-            f"parsed {len(frame)} rows where the layout scan counted "
-            f"{expected_rows}; the file's quoting defies record-aligned "
-            f"chunking (e.g. an unpaired quote in an unquoted field) — "
-            f"read it with repro.read_csv instead of scan_csv")
-    return frame
+# The partition task functions (_slice_frame, _read_csv_slice) live in
+# repro.frame.source so every layer — FrameSource implementations, this
+# module's legacy constructors and the compute planner — shares the same
+# function objects, keeping CSE tokens and cross-call cache keys aligned.
 
 
 def precompute_csv_chunks(path: str,
@@ -145,6 +115,24 @@ class PartitionedFrame:
         return cls(partitions, frame.columns, boundaries)
 
     @classmethod
+    def from_source(cls, source: Any) -> "PartitionedFrame":
+        """Partition any :class:`~repro.frame.source.FrameSource`.
+
+        The source's precomputed :class:`~repro.frame.source.SourcePartition`
+        rows-ranges become lazy tasks — ``delayed(part.func)(*part.args)`` —
+        so in-memory slices, single-file CSV byte ranges and multi-file
+        concatenations all land in the same task graph shape, and a custom
+        source needs no graph-layer code at all.
+        """
+        parts = source.partitions()
+        if not parts:
+            raise GraphError("a FrameSource must expose at least one partition")
+        partitions = [delayed(part.func, prefix=part.prefix)(*part.args)
+                      for part in parts]
+        boundaries = [(part.start, part.stop) for part in parts]
+        return cls(partitions, source.columns, boundaries)
+
+    @classmethod
     def from_csv(cls, path: str,
                  partition_rows: int = DEFAULT_PARTITION_ROWS,
                  inference_rows: int = 1000) -> "PartitionedFrame":
@@ -176,16 +164,8 @@ class PartitionedFrame:
         cannot serve a partition of a file overwritten in place (same path
         and byte boundaries, different content).
         """
-        dtypes = scan.dtypes
-        columns = scan.columns
-        boundaries = scan.boundaries
-        reader = delayed(_read_csv_slice, prefix="read_csv_partition")
-        partitions = [reader(scan.path, byte_start, byte_stop, tuple(columns),
-                             dtypes, tuple(scan.file_stamp), scan.delimiter,
-                             stop - start)
-                      for (byte_start, byte_stop), (start, stop)
-                      in zip(scan.byte_ranges, boundaries)]
-        return cls(partitions, columns, boundaries)
+        from repro.frame.source import CsvSource
+        return cls.from_source(CsvSource(scan))
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -29,9 +29,9 @@ from repro.eda.compute import (
 from repro.eda.config import Config
 from repro.eda.dtypes import SemanticType, detect_frame_types
 from repro.eda.intermediates import Intermediates
-from repro.errors import EDAError
+from repro.errors import EDAError, FrameError
 from repro.frame.frame import DataFrame
-from repro.frame.io import ScannedFrame
+from repro.frame.source import as_source
 from repro.render import render_intermediates
 from repro.render.charts import render_scatter, render_stats_table
 
@@ -116,7 +116,10 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     Parameters
     ----------
     df:
-        The DataFrame to profile.
+        The DataFrame to profile — or any
+        :class:`~repro.frame.source.FrameSource`, e.g. a
+        :func:`repro.scan_csv` handle over one file, a list of files or a
+        glob pattern (the report then streams with bounded memory).
     config:
         Dotted-key overrides, e.g. ``{"hist.bins": 25, "cache.enabled":
         False, "cache.max_bytes": 64 * 1024 * 1024}``.  See
@@ -124,9 +127,10 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     title:
         Report title (defaults to the ``report.title`` config value).
     """
-    if not isinstance(df, (DataFrame, ScannedFrame)):
-        raise EDAError("create_report expects a repro.frame.DataFrame or a "
-                       "repro.frame.io.ScannedFrame (from scan_csv)")
+    try:
+        as_source(df)   # any FrameSource: DataFrame, scan_csv handle, custom
+    except FrameError as error:
+        raise EDAError(f"create_report expects an EDA input: {error}") from None
     cfg = Config.from_user(config)
     title = title or cfg.get("report.title")
     timings: Dict[str, float] = {}

@@ -23,6 +23,10 @@ with a bounded footprint:
   counts and row-binned missing densities, sufficient to reconstruct the
   whole ``plot_missing(df)`` overview (bar chart, spectrum, nullity
   correlation and dendrogram) without ever materializing the full mask.
+* :class:`DuplicateSketch` — a bounded multiset of 64-bit row hashes;
+  duplicate-row counts stay exact while the distinct rows fit the
+  capacity, and the sketch degrades to "unknown" (never a wrong number)
+  once they do not.
 """
 
 from __future__ import annotations
@@ -392,6 +396,137 @@ class DistinctSketch:
 
 
 # --------------------------------------------------------------------------- #
+# Bounded duplicate-row counting
+# --------------------------------------------------------------------------- #
+#: Distinct row-hash bound of a DuplicateSketch: 16k entries keep the sketch
+#: (two 8-byte arrays) and its merge transients around a quarter megabyte,
+#: small against the streaming memory budgets, while staying exact for
+#: datasets with up to 16k distinct rows — which covers the "mostly
+#: duplicated log file" shape the count is interesting for.
+DUPLICATE_SKETCH_CAPACITY = 16_384
+
+#: FNV-1a 64-bit parameters for the vectorized row-hash combination.
+_FNV_OFFSET = np.uint64(1469598103934665603)
+_FNV_PRIME = np.uint64(1099511628211)
+
+#: Code standing in for a missing cell; missing cells compare equal to each
+#: other, matching DataFrame.duplicate_row_count.
+_MISSING_CODE = np.uint64(0x9E3779B97F4A7C15)
+
+_EMPTY_U64 = np.zeros(0, dtype=np.uint64)
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+
+
+def _column_hash_codes(column: Any) -> np.ndarray:
+    """Per-row 64-bit codes of one Column; equal values get equal codes."""
+    data = column.data
+    if data.dtype == object:
+        uniques, inverse = np.unique(data.astype(str), return_inverse=True)
+        table = np.fromiter((_hash64(value) for value in uniques),
+                            dtype=np.uint64, count=len(uniques))
+        codes = table[inverse]
+    elif np.issubdtype(data.dtype, np.floating):
+        canonical = data.astype(np.float64) + 0.0       # -0.0 → +0.0
+        canonical[np.isnan(canonical)] = np.nan          # one NaN bit pattern
+        codes = canonical.view(np.uint64)
+    elif np.issubdtype(data.dtype, np.datetime64):
+        codes = data.astype("datetime64[s]").view(np.int64).view(np.uint64)
+    else:                                                # INT / BOOL
+        codes = data.astype(np.int64).view(np.uint64)
+    codes = codes.copy()
+    codes[column.isna()] = _MISSING_CODE
+    return codes
+
+
+def frame_row_hashes(frame: Any) -> np.ndarray:
+    """Vectorized 64-bit hash per row of a DataFrame chunk.
+
+    Rows hash equal iff every cell compares equal column-wise, with missing
+    cells equal to each other — the same equality
+    :meth:`repro.frame.frame.DataFrame.duplicate_row_count` uses, so hash
+    multiset counts reproduce the exact scan up to (negligible) 64-bit
+    collisions.
+    """
+    hashes = np.full(len(frame), _FNV_OFFSET, dtype=np.uint64)
+    for name in frame.columns:
+        codes = _column_hash_codes(frame.column(name))
+        hashes = (hashes ^ codes) * _FNV_PRIME
+    return hashes
+
+
+@dataclass
+class DuplicateSketch:
+    """Mergeable duplicate-row counter with a capacity bound.
+
+    Holds the multiset of row hashes as a sorted unique-hash array plus
+    per-hash multiplicities.  While the distinct hashes fit ``capacity``
+    the duplicate count ``n_rows - distinct`` is exact; the moment a merge
+    (or a single chunk) exceeds the bound the sketch drops its arrays and
+    reports the count as unknown (``None``) rather than a wrong number —
+    memory stays bounded either way.
+    """
+
+    capacity: int = DUPLICATE_SKETCH_CAPACITY
+    hashes: np.ndarray = field(default_factory=lambda: _EMPTY_U64)
+    counts: np.ndarray = field(default_factory=lambda: _EMPTY_I64)
+    n_rows: int = 0
+    saturated: bool = False
+
+    @classmethod
+    def from_frame(cls, frame: Any,
+                   capacity: int = DUPLICATE_SKETCH_CAPACITY) -> "DuplicateSketch":
+        """Sketch of one chunk's rows."""
+        if capacity <= 0:
+            raise EDAError("capacity must be positive")
+        if len(frame) == 0 or not frame.columns:
+            return cls(capacity=capacity, n_rows=len(frame))
+        uniques, counts = np.unique(frame_row_hashes(frame), return_counts=True)
+        sketch = cls(capacity=capacity, hashes=uniques,
+                     counts=counts.astype(np.int64), n_rows=len(frame))
+        return sketch._bounded()
+
+    def _bounded(self) -> "DuplicateSketch":
+        if len(self.hashes) > self.capacity:
+            return DuplicateSketch(capacity=self.capacity, n_rows=self.n_rows,
+                                   saturated=True)
+        return self
+
+    def merge(self, other: "DuplicateSketch") -> "DuplicateSketch":
+        """Add two chunk multisets (union of hashes, summed multiplicities)."""
+        if self.capacity != other.capacity:
+            raise EDAError("cannot merge duplicate sketches with different "
+                           "capacities")
+        total = self.n_rows + other.n_rows
+        if self.saturated or other.saturated:
+            return DuplicateSketch(capacity=self.capacity, n_rows=total,
+                                   saturated=True)
+        # Both sides hold <= capacity hashes, so the concatenation transient
+        # below is bounded by 2 * capacity entries (~0.5 MB at the default);
+        # there is no sound earlier cutoff — overlapping hash sets can make
+        # the union fit capacity even when the lengths sum past it.
+        merged_hashes = np.concatenate([self.hashes, other.hashes])
+        merged_counts = np.concatenate([self.counts, other.counts])
+        uniques, inverse = np.unique(merged_hashes, return_inverse=True)
+        summed = np.zeros(len(uniques), dtype=np.int64)
+        np.add.at(summed, inverse, merged_counts)
+        return DuplicateSketch(capacity=self.capacity, hashes=uniques,
+                               counts=summed, n_rows=total)._bounded()
+
+    @property
+    def distinct(self) -> int:
+        """Distinct row hashes currently held (0 once saturated)."""
+        return len(self.hashes)
+
+    def duplicate_count(self) -> Optional[int]:
+        """Rows that duplicate an earlier row, or None once saturated."""
+        if self.saturated:
+            return None
+        if not len(self.hashes):
+            return 0
+        return int(self.n_rows - len(self.hashes))
+
+
+# --------------------------------------------------------------------------- #
 # Missing-value (nullity) sketch
 # --------------------------------------------------------------------------- #
 @dataclass
@@ -529,11 +664,14 @@ class NullitySketch:
 
 
 __all__ = [
+    "DUPLICATE_SKETCH_CAPACITY",
     "DistinctSketch",
+    "DuplicateSketch",
     "Mergeable",
     "MomentsSketch",
     "NullitySketch",
     "ReservoirSketch",
     "StreamingHistogram",
+    "frame_row_hashes",
     "merge_all",
 ]

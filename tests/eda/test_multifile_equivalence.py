@@ -1,0 +1,189 @@
+"""Multi-file scans must match the single concatenated file.
+
+Every compute kind is run twice over the same logical dataset — once on
+``scan_csv(concatenated.csv)``, once on ``scan_csv([a.csv, b.csv, c.csv])``
+with the rows split across three files at uneven boundaries — and the
+intermediates must agree exactly.  Both runs stream, so there is no
+float-tolerance asymmetry to excuse: the multi-file source concatenates
+per-file chunk partitions into the very same global row ranges the
+single-file scan produces, and every reduction is a deterministic sketch.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, create_report, plot, plot_correlation, plot_missing
+from repro.frame.io import scan_csv, write_csv
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+N_ROWS = 2_100
+CHUNK_ROWS = 250
+#: Uneven split points: files of 900, 700 and 500 rows.
+SPLITS = (900, 1_600)
+
+
+@pytest.fixture(scope="module")
+def csv_paths(tmp_path_factory):
+    """One concatenated CSV plus the same rows split across three files."""
+    rng = np.random.default_rng(123)
+    price = rng.normal(250_000, 60_000, N_ROWS)
+    price[rng.random(N_ROWS) < 0.08] = np.nan
+    size = rng.normal(1_800, 400, N_ROWS)
+    rating = rng.integers(1, 6, N_ROWS).astype(float)
+    rating[rng.random(N_ROWS) < 0.30] = np.nan
+    city = rng.choice(["vancouver", "toronto", "montreal", "calgary"],
+                      N_ROWS, p=[0.4, 0.3, 0.2, 0.1])
+    kind = rng.choice(["detached", "condo", "townhouse"], N_ROWS)
+    frame = DataFrame({
+        "price": price,
+        "size": size,
+        "rating": rating,
+        "city": list(city),
+        "house_type": list(kind),
+    })
+    directory = tmp_path_factory.mktemp("multifile")
+    whole = str(directory / "houses.csv")
+    write_csv(frame, whole)
+    parts = []
+    boundaries = (0,) + SPLITS + (N_ROWS,)
+    for index in range(len(boundaries) - 1):
+        part = str(directory / f"part-{index}.csv")
+        write_csv(frame.slice(boundaries[index], boundaries[index + 1]), part)
+        parts.append(part)
+    return whole, parts
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield
+    set_global_cache(previous)
+
+
+#: Sampling cutoffs lifted above the dataset size so sample-derived items
+#: are bit-comparable (same convention as the streaming-equivalence suite).
+CONFIG = {"scatter.sample_size": N_ROWS + 1,
+          "correlation.scatter_sample_size": N_ROWS + 1}
+
+
+def _single(csv_paths):
+    whole, _ = csv_paths
+    return scan_csv(whole, chunk_rows=CHUNK_ROWS)
+
+
+def _multi(csv_paths):
+    _, parts = csv_paths
+    return scan_csv(parts, chunk_rows=CHUNK_ROWS)
+
+
+#: The on-disk footprint legitimately differs: the split files repeat the
+#: header line, so the summed multi-file size exceeds the single file's.
+EXCLUDED_KEYS = {"memory_bytes"}
+
+
+def assert_equivalent(multi, single, path="items"):
+    """Recursive comparison (same float-tolerant shape as the streaming suite)."""
+    if isinstance(single, dict):
+        assert isinstance(multi, dict), path
+        keys_single = set(single) - EXCLUDED_KEYS
+        keys_multi = set(multi) - EXCLUDED_KEYS
+        assert keys_multi == keys_single, f"{path}: {keys_multi ^ keys_single}"
+        for key in keys_single:
+            assert_equivalent(multi[key], single[key], f"{path}.{key}")
+        return
+    if isinstance(single, (list, tuple)):
+        assert len(multi) == len(single), path
+        for index, (left, right) in enumerate(zip(multi, single)):
+            assert_equivalent(left, right, f"{path}[{index}]")
+        return
+    if isinstance(single, float) or isinstance(multi, float):
+        left, right = float(multi), float(single)
+        if math.isnan(left) and math.isnan(right):
+            return
+        assert left == pytest.approx(right, rel=1e-6, abs=1e-9), path
+        return
+    assert multi == single, path
+
+
+def _compare_call(call, csv_paths):
+    multi = call(_multi(csv_paths), CONFIG)
+    single = call(_single(csv_paths), CONFIG)
+    assert_equivalent(multi.items, single.items)
+    multi_kinds = sorted((i.kind, i.column) for i in multi.insights)
+    single_kinds = sorted((i.kind, i.column) for i in single.insights)
+    assert multi_kinds == single_kinds
+    return multi
+
+
+def test_overview_matches_concatenated(csv_paths):
+    result = _compare_call(
+        lambda df, config: plot(df, config=config, mode="intermediates"),
+        csv_paths)
+    assert result.stats["n_rows"] == N_ROWS
+    # duplicate counting runs through the sketch on both sides
+    assert result.stats["duplicate_rows"] is not None
+
+
+def test_univariate_matches_concatenated(csv_paths):
+    _compare_call(
+        lambda df, config: plot(df, "price", config=config,
+                                mode="intermediates"), csv_paths)
+    _compare_call(
+        lambda df, config: plot(df, "city", config=config,
+                                mode="intermediates"), csv_paths)
+
+
+@pytest.mark.parametrize("pair", [("price", "size"),        # N x N
+                                  ("city", "price"),        # C x N
+                                  ("city", "house_type")])  # C x C
+def test_bivariate_matches_concatenated(csv_paths, pair):
+    _compare_call(
+        lambda df, config: plot(df, pair[0], pair[1], config=config,
+                                mode="intermediates"), csv_paths)
+
+
+def test_correlation_matches_concatenated(csv_paths):
+    _compare_call(
+        lambda df, config: plot_correlation(df, config=config,
+                                            mode="intermediates"), csv_paths)
+    _compare_call(
+        lambda df, config: plot_correlation(df, "price", "size", config=config,
+                                            mode="intermediates"), csv_paths)
+
+
+def test_missing_overview_matches_concatenated(csv_paths):
+    result = _compare_call(
+        lambda df, config: plot_missing(df, config=config,
+                                        mode="intermediates"), csv_paths)
+    for item in ("missing_bar_chart", "missing_spectrum",
+                 "nullity_correlation", "nullity_dendrogram"):
+        assert item in result.items
+
+
+def test_create_report_matches_concatenated(csv_paths):
+    multi = create_report(_multi(csv_paths), config=CONFIG)
+    single = create_report(_single(csv_paths), config=CONFIG)
+    assert multi.section_names == single.section_names
+    for name in single.section_names:
+        assert_equivalent(multi.sections[name].items,
+                          single.sections[name].items, path=name)
+    assert sorted(multi.interactions) == sorted(single.interactions)
+    for key in single.interactions:
+        assert_equivalent(multi.interactions[key], single.interactions[key],
+                          path=f"interactions.{key}")
+
+
+def test_multifile_rescan_hits_the_cross_call_cache(csv_paths):
+    """Fresh scan handles over unchanged files must reuse cached partitions:
+    the task keys depend only on (path, byte ranges, file stamps)."""
+    cold = plot(_multi(csv_paths), mode="intermediates")
+    warm = plot(_multi(csv_paths), mode="intermediates")   # brand-new scans
+    assert_equivalent(warm.items, cold.items)
+    warm_hits = sum(report.cache_hits
+                    for report in warm.meta["execution_reports"])
+    assert warm_hits > 0

@@ -5,11 +5,14 @@ materialized ``read_csv`` frame, once on the out-of-core ``scan_csv`` handle
 split into many small chunks — and the intermediates must agree, with the
 cross-call cache enabled and disabled.
 
-Two documented divergences are excluded from the comparison:
+One documented divergence is excluded from the comparison:
 
-* ``memory_bytes`` (in-memory footprint vs. on-disk size) and
-* ``duplicate_rows`` (the exact duplicate scan needs all rows at once and
-  is skipped for scanned inputs).
+* ``memory_bytes`` (in-memory footprint vs. on-disk size).
+
+``duplicate_rows`` — historically a second divergence — is now compared
+too: the streaming path counts duplicates through the bounded row-hash
+``DuplicateSketch`` and must match the in-memory exact scan while the
+distinct rows fit its capacity (they do here).
 
 The test dataset stays below every sampling cutoff (scatter, kendall,
 reservoir capacities), so even the sample-derived items are bit-comparable.
@@ -31,7 +34,7 @@ N_ROWS = 2_500
 CHUNK_ROWS = 300
 
 #: Dataset-stat keys that legitimately differ between the two modes.
-EXCLUDED_KEYS = {"memory_bytes", "duplicate_rows"}
+EXCLUDED_KEYS = {"memory_bytes"}
 
 
 @pytest.fixture(scope="module")
@@ -225,6 +228,34 @@ def test_streaming_releases_partitions(csv_path):
         assert reports, "streaming run must go through the graph engine"
     finally:
         set_global_cache(previous)
+
+
+def test_streaming_duplicate_rows_match_exact_scan(tmp_path):
+    """A scan with real duplicates must report the exact in-memory count."""
+    rng = np.random.default_rng(7)
+    base = DataFrame({
+        "price": rng.normal(100, 10, 400).round(1),
+        "rating": [None if i % 7 == 0 else float(i % 5) for i in range(400)],
+        "city": list(rng.choice(["x", "y", "z"], 400)),
+    })
+    from repro.frame.frame import concat_rows
+    duplicated = concat_rows([base, base.slice(0, 120)])
+    path = str(tmp_path / "dupes.csv")
+    write_csv(duplicated, path)
+
+    expected = read_csv(path).duplicate_row_count()
+    assert expected >= 120
+    streaming = plot(scan_csv(path, chunk_rows=75), mode="intermediates")
+    assert streaming.stats["duplicate_rows"] == expected
+
+
+def test_missing_single_over_scan_warns_before_materializing(csv_path):
+    """The fine-grained missing tasks break the memory bound: they must say
+    so (with an estimated size) before falling back to materialization."""
+    with pytest.warns(UserWarning, match="materializ"):
+        plot_missing(_scan(csv_path), "rating", mode="intermediates")
+    with pytest.warns(UserWarning, match="MB estimated"):
+        plot_missing(_scan(csv_path), "rating", "price", mode="intermediates")
 
 
 def test_scan_rejects_unknown_column(csv_path):

@@ -131,3 +131,32 @@ class TestFromNumpy:
     def test_2d_array_rejected(self):
         with pytest.raises(DTypeError):
             from_numpy(np.zeros((2, 2)))
+
+
+class TestLenientCoercionDegradesToMissing:
+    """Lenient coercion (the streaming-chunk contract) must never abort."""
+
+    def test_out_of_range_int_becomes_missing(self):
+        huge = "999999999999999999999999999999"
+        data, mask = coerce_values(["1", huge, "3"], DType.INT, lenient=True)
+        assert list(mask) == [False, True, False]
+        assert data[0] == 1 and data[2] == 3
+
+    def test_out_of_range_int_still_raises_when_strict(self):
+        with pytest.raises((DTypeError, OverflowError)):
+            coerce_values(["999999999999999999999999999999"], DType.INT)
+
+
+class TestDatetimePrescreenWhitespace:
+    """The strptime literal space matches any whitespace run; the regex
+    prescreen must not reject values strptime would accept."""
+
+    def test_tab_separated_datetime_parses(self):
+        assert parse_datetime("2021-05-03\t10:00:00") is not None
+
+    def test_multi_space_datetime_parses(self):
+        assert parse_datetime("2021-05-03  10:00:00") is not None
+
+    def test_datetime_column_inference_survives_tabs(self):
+        values = ["2021-05-03\t10:00:00", "2021-05-04 11:30:00"]
+        assert infer_dtype(values) is DType.DATETIME

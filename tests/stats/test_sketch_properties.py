@@ -316,3 +316,70 @@ def test_nullity_sketch_matches_mask_based_statistics(rows):
         np.testing.assert_allclose(sketch.nullity_distances(),
                                    pdist(mask.T.astype(np.float64)), atol=1e-9)
         assert labels_sketch == list(columns)
+
+
+# --------------------------------------------------------------------------- #
+# DuplicateSketch
+# --------------------------------------------------------------------------- #
+small_values = st.integers(min_value=0, max_value=6)
+
+
+def _duplicate_frame(codes, missing_flags):
+    """A two-column frame from small integer codes (forces duplicates)."""
+    return DataFrame({
+        "number": [None if missing else float(code)
+                   for code, missing in zip(codes, missing_flags)],
+        "label": [f"v{code % 3}" for code in codes],
+    })
+
+
+@given(codes=st.lists(small_values, min_size=0, max_size=300),
+       flags=st.lists(st.booleans(), min_size=300, max_size=300),
+       n_chunks=st.integers(min_value=1, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_duplicate_sketch_merge_matches_whole(codes, flags, n_chunks):
+    from repro.stats.sketches import DuplicateSketch
+
+    frame = _duplicate_frame(codes, flags)
+    whole = DuplicateSketch.from_frame(frame)
+    splits = np.array_split(np.arange(len(frame)), n_chunks)
+    merged = merge_all([
+        DuplicateSketch.from_frame(frame.slice(int(part[0]), int(part[-1]) + 1)
+                                   if part.size else frame.slice(0, 0))
+        for part in splits])
+    assert merged.n_rows == whole.n_rows == len(frame)
+    assert merged.saturated == whole.saturated
+    assert merged.duplicate_count() == whole.duplicate_count()
+
+
+@given(codes=st.lists(small_values, min_size=1, max_size=300),
+       flags=st.lists(st.booleans(), min_size=300, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_duplicate_sketch_matches_exact_scan(codes, flags):
+    from repro.stats.sketches import DuplicateSketch
+
+    frame = _duplicate_frame(codes, flags)
+    sketch = DuplicateSketch.from_frame(frame)
+    assert not sketch.saturated
+    assert sketch.duplicate_count() == frame.duplicate_row_count()
+
+
+@given(codes=st.lists(st.integers(min_value=0, max_value=10_000),
+                      min_size=1, max_size=200))
+@settings(max_examples=30, deadline=None)
+def test_duplicate_sketch_saturates_instead_of_lying(codes):
+    from repro.stats.sketches import DuplicateSketch
+
+    frame = DataFrame({"number": [float(code) for code in codes]})
+    bounded = DuplicateSketch.from_frame(frame, capacity=4)
+    distinct = len(set(codes))
+    if distinct <= 4:
+        assert bounded.duplicate_count() == frame.duplicate_row_count()
+    else:
+        assert bounded.saturated
+        assert bounded.duplicate_count() is None
+    # Merging a saturated sketch stays saturated (never resurrects a count).
+    merged = bounded.merge(DuplicateSketch.from_frame(frame, capacity=4))
+    assert merged.n_rows == 2 * len(frame)
+    if distinct > 4:
+        assert merged.duplicate_count() is None
