@@ -1,16 +1,27 @@
-"""Figure 6(b): report generation time while scaling the data size.
+"""Figure 6(b): report generation time while scaling data size and cores.
 
 The paper scales the bitcoin dataset from 10M to 100M rows and shows both
 tools scaling linearly, with DataPrep.EDA about six times faster throughout.
 The sweep here uses smaller row counts (see ``SCALING_ROWS``) but checks the
 same two claims: near-linear growth for both tools and a stable DataPrep.EDA
 advantage.
+
+The second half of the paper's scaling claim is *core-count* scaling: the
+task graph exposes per-chunk parallelism, so the right execution substrate
+turns more workers into proportionally less wall-clock.  The worker-scaling
+benchmarks below run the streaming report path (multi-file ``scan_csv`` →
+``create_report``) under ``compute.scheduler="process"`` at increasing
+worker counts — the chunk parse + sketch bundles are pure Python and
+GIL-bound, so only the multiprocess backend can scale them.  The asserted
+speedups are conservative (hardware-dependence, CI noise); the printed
+table shows the actual curve.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict
+from typing import Dict, Sequence
 
 import numpy as np
 import pytest
@@ -18,6 +29,8 @@ import pytest
 from benchmarks.conftest import SCALING_ROWS, print_header
 from repro.baselines import eager_profile_report
 from repro.datasets import bitcoin_dataset
+from repro.frame.io import scan_csv, write_csv
+from repro.graph import TaskCache, set_global_cache
 from repro.report import create_report
 
 #: (tool, n_rows) -> measured seconds.
@@ -90,3 +103,94 @@ def test_fig6b_summary(benchmark):
         growth = results[tool][largest] / max(results[tool][smallest], 1e-9)
         assert growth <= size_ratio * 2.5, \
             f"{tool} grew super-linearly: {growth:.1f}x for {size_ratio:.1f}x data"
+
+
+# --------------------------------------------------------------------------- #
+# Worker-count scaling on the streaming report path (process scheduler).
+# --------------------------------------------------------------------------- #
+
+#: Rows per file of the three-file worker-scaling dataset (override with
+#: REPRO_BENCH_WORKER_ROWS; three files make the scan itself multi-file).
+WORKER_ROWS_PER_FILE = int(os.environ.get("REPRO_BENCH_WORKER_ROWS", "25000"))
+
+#: Chunk granularity: small enough that every worker always has chunks
+#: queued, large enough that per-chunk numpy work dominates dispatch.
+WORKER_SCALING_CHUNK_ROWS = 6_000
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def worker_scaling_csvs(tmp_path_factory) -> Sequence[str]:
+    """Three bitcoin-shaped CSV files (one logical multi-file dataset)."""
+    directory = tmp_path_factory.mktemp("fig6b_workers")
+    paths = []
+    for index in range(3):
+        frame = bitcoin_dataset(n_rows=WORKER_ROWS_PER_FILE, seed=10 + index)
+        path = str(directory / f"bitcoin-part-{index}.csv")
+        write_csv(frame, path)
+        paths.append(path)
+    return paths
+
+
+def _streaming_report_seconds(paths: Sequence[str], workers: int) -> float:
+    """One cold streaming report under the process scheduler."""
+    set_global_cache(TaskCache())     # no cross-run reuse: measure the engine
+    started = time.perf_counter()
+    scan = scan_csv(list(paths), chunk_rows=WORKER_SCALING_CHUNK_ROWS,
+                    inference_rows=2_000)
+    create_report(scan, config={"compute.scheduler": "process",
+                                "compute.max_workers": workers,
+                                "cache.enabled": False})
+    return time.perf_counter() - started
+
+
+def _print_worker_curve(times: Dict[int, float]) -> None:
+    base = times[min(times)]
+    print(f"{'workers':>8s} {'seconds':>9s} {'speedup':>8s}")
+    for workers in sorted(times):
+        print(f"{workers:>8d} {times[workers]:>9.2f} "
+              f"{base / max(times[workers], 1e-9):>7.2f}x")
+
+
+def test_fig6b_worker_scaling(benchmark, worker_scaling_csvs):
+    """Streaming report speedup at 4 process workers vs 1 (needs >= 4 cores)."""
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"needs >= 4 usable cores to demonstrate scaling, "
+                    f"have {cores}")
+
+    def run():
+        return {workers: _streaming_report_seconds(worker_scaling_csvs, workers)
+                for workers in (1, 2, 4)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_header("Figure 6(b) — streaming report vs process worker count "
+                 f"({3 * WORKER_ROWS_PER_FILE:,d} rows, 3 files)")
+    _print_worker_curve(times)
+    speedup = times[1] / max(times[4], 1e-9)
+    assert speedup > 1.5, \
+        f"4 workers only {speedup:.2f}x faster than 1 (expected > 1.5x)"
+
+
+def test_fig6b_worker_scaling_smoke(benchmark, worker_scaling_csvs):
+    """CI sanity check: 2 process workers beat 1 on the streaming report."""
+    cores = _usable_cores()
+    if cores < 2:
+        pytest.skip(f"needs >= 2 usable cores, have {cores}")
+
+    def run():
+        return {workers: _streaming_report_seconds(worker_scaling_csvs, workers)
+                for workers in (1, 2)}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_header("Figure 6(b) smoke — streaming report, 1 vs 2 process workers")
+    _print_worker_curve(times)
+    speedup = times[1] / max(times[2], 1e-9)
+    assert speedup > 1.15, \
+        f"2 workers only {speedup:.2f}x faster than 1 (expected > 1.15x)"

@@ -38,6 +38,16 @@ keys control it:
 
 Example: ``plot(df, "x", config={"cache.enabled": False})``.  Inspect or
 reset the cache with :func:`repro.cache_stats` / :func:`repro.clear_cache`.
+
+Execution backend: the ``compute.scheduler`` config key
+-------------------------------------------------------
+The graph stage runs on a pluggable scheduler: ``"threaded"`` (default),
+``"process"`` (a true multiprocess pool — the only backend that scales
+GIL-bound chunk work such as streaming CSV parsing across cores; pair it
+with ``scan_csv`` inputs) or ``"synchronous"``.  ``compute.max_workers``
+bounds the worker count for every backend.  Example:
+``plot(df, config={"compute.scheduler": "process"})``.  All three backends
+produce identical results for every compute kind.
 """
 
 from __future__ import annotations

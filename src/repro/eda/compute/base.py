@@ -38,7 +38,6 @@ from repro.eda.config import Config
 from repro.errors import EDAError
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
-from repro.frame.io import default_worker_count
 from repro.frame.source import FrameSource, as_source
 from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
@@ -55,6 +54,7 @@ from repro.stats.sketches import (
     StreamingHistogram,
     merge_all,
 )
+from repro.utils import default_worker_count
 
 #: Bound on the per-chunk categorical value-count table in streaming mode; a
 #: high-cardinality column cannot grow a chunk's state past this many
@@ -482,11 +482,16 @@ class ComputeContext:
                 "enable_cse": self.config.get("compute.enable_cse"),
                 "enable_fusion": self.config.get("compute.enable_fusion"),
                 "cache": self.cache,
+                "scheduler": self.config.get("compute.scheduler"),
             }
         if engine_name == "eager":
             return {"max_workers": self.config.get("compute.max_workers"),
-                    "cache": self.cache}
+                    "cache": self.cache,
+                    "scheduler": self.config.get("compute.scheduler")}
         if engine_name == "cluster-rpc":
+            # The cluster-RPC model is defined by its per-task dispatch
+            # latency on a synchronous scheduler; compute.scheduler does not
+            # apply to it.
             return {"cache": self.cache}
         return {}
 

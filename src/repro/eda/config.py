@@ -11,6 +11,7 @@ keyword arguments.
 from __future__ import annotations
 
 import copy
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -82,7 +83,15 @@ DEFAULTS: Dict[str, Any] = {
     "compute.use_graph": "auto",          # "auto" | "always" | "never"
     "compute.small_data_rows": 50000,      # below this, skip the graph stage
     "compute.engine": "lazy",              # see repro.graph.engines
-    "compute.max_workers": None,
+    # Execution backend for the graph stage: "threaded" (default; GIL-shared
+    # workers, fine for numpy-dominated tasks), "process" (a true
+    # multiprocess pool — scales GIL-bound chunk work such as streaming CSV
+    # parsing across cores) or "synchronous" (in-order, single-threaded).
+    # The REPRO_SCHEDULER environment variable overrides the default at
+    # Config construction time, which is how CI runs the whole suite under
+    # the process backend.
+    "compute.scheduler": "threaded",
+    "compute.max_workers": None,           # respected by all schedulers
     "compute.histogram_bins_internal": 512,
     "compute.enable_cse": True,
     "compute.enable_fusion": False,
@@ -141,6 +150,7 @@ _RATE_KEYS = {
 
 _VALID_GRAPH_MODES = ("auto", "always", "never")
 _VALID_CORRELATION_METHODS = ("pearson", "spearman", "kendall")
+_VALID_SCHEDULERS = ("synchronous", "threaded", "process")
 
 
 @dataclass
@@ -165,6 +175,10 @@ class Config:
                   display: Optional[Sequence[str]] = None) -> "Config":
         """Build a Config from user overrides, validating every key."""
         values = dict(DEFAULTS)
+        env_scheduler = os.environ.get("REPRO_SCHEDULER")
+        if env_scheduler is not None:
+            # Environment default; an explicit user key still wins below.
+            values["compute.scheduler"] = env_scheduler
         if user_config:
             for key, value in user_config.items():
                 if key not in DEFAULTS:
@@ -172,6 +186,11 @@ class Config:
                     raise ConfigError(f"unknown config key {key!r}", key=key,
                                       suggestion=suggestion)
                 values[key] = _validate(key, value)
+        # The scheduler default may come from the REPRO_SCHEDULER environment
+        # variable; validate it even when the user did not pass the key, so a
+        # typo'd environment fails as loudly as a typo'd config dict.
+        values["compute.scheduler"] = _validate("compute.scheduler",
+                                                values["compute.scheduler"])
         return cls(values=values,
                    display=list(display) if display is not None else None,
                    provided=frozenset(user_config or ()))
@@ -251,6 +270,13 @@ def _validate(key: str, value: Any) -> Any:
         if value not in _VALID_GRAPH_MODES:
             raise ConfigError(f"config key {key!r} expects one of "
                               f"{_VALID_GRAPH_MODES}, got {value!r}", key=key)
+        return value
+    if key == "compute.scheduler":
+        if value not in _VALID_SCHEDULERS:
+            suggestion = _closest(str(value), _VALID_SCHEDULERS)
+            raise ConfigError(f"config key {key!r} expects one of "
+                              f"{_VALID_SCHEDULERS}, got {value!r}", key=key,
+                              suggestion=suggestion)
         return value
     if key == "correlation.methods":
         methods = tuple(value) if isinstance(value, (list, tuple)) else (value,)

@@ -27,6 +27,9 @@ from repro.errors import FrameError
 from repro.frame.column import Column
 from repro.frame.dtypes import DType, coerce_values, infer_dtype
 from repro.frame.frame import DataFrame, concat_rows
+from repro.utils import default_worker_count  # noqa: F401 - re-exported; the
+# shared worker-count default lives in repro.utils so the graph and compute
+# layers no longer depend on the I/O layer for it.
 
 PathOrBuffer = Union[str, os.PathLike, io.TextIOBase]
 
@@ -46,17 +49,6 @@ PARSE_OVERHEAD_FACTOR = 12
 #: Never shrink chunks below this many rows — per-chunk numpy work must still
 #: dominate the python/scheduler overhead.
 MIN_CHUNK_ROWS = 256
-
-
-def default_worker_count() -> int:
-    """Default execution concurrency: bounded CPU count.
-
-    The single source of truth shared by the threaded scheduler, the
-    compute context and :func:`scan_csv`'s budget math — if these diverged,
-    the context's worker-aware chunk-size re-derivation would disagree with
-    the scan's and every warm EDA call would pay a full-file layout rescan.
-    """
-    return min(8, os.cpu_count() or 4)
 
 
 def read_csv(path_or_buffer: PathOrBuffer,

@@ -14,7 +14,13 @@ does not ship Dask, so this package implements the required subset:
 * :mod:`~repro.graph.optimize` — graph optimizations: culling, common
   sub-expression elimination (the "share computations" optimization) and
   linear-chain fusion.
-* :mod:`~repro.graph.scheduler` — synchronous and threaded schedulers.
+* :mod:`~repro.graph.scheduler` — the pluggable execution layer: a shared
+  scheduling core (cache planning, readiness, result release) with
+  synchronous, threaded and true-multiprocess backends, selected by the
+  ``compute.scheduler`` config key.
+* :mod:`~repro.graph.executor` — where payloads run (thread pool, process
+  pool), including the picklability contract and chunk-bundle shipping of
+  the process backend.
 * :class:`~repro.graph.partition.PartitionedFrame` — a row-chunked DataFrame
   with lazy per-partition map and tree reductions, plus the chunk-size
   precompute stage described in Section 5.2 of the paper.
@@ -41,7 +47,15 @@ from repro.graph.task import Task, TaskRef, tokenize
 from repro.graph.graph import TaskGraph
 from repro.graph.delayed import Delayed, compute, delayed
 from repro.graph.optimize import common_subexpression_elimination, cull, fuse_linear_chains, optimize
-from repro.graph.scheduler import SynchronousScheduler, ThreadedScheduler, get_scheduler
+from repro.graph.executor import Executor, ProcessExecutor, ThreadExecutor
+from repro.graph.scheduler import (
+    ProcessScheduler,
+    Scheduler,
+    SynchronousScheduler,
+    ThreadedScheduler,
+    available_schedulers,
+    get_scheduler,
+)
 from repro.graph.partition import (
     PartitionedFrame,
     precompute_chunk_sizes,
@@ -64,10 +78,15 @@ __all__ = [
     "Delayed",
     "EagerEngine",
     "Engine",
+    "Executor",
     "LazyEngine",
     "PartitionedFrame",
+    "ProcessExecutor",
+    "ProcessScheduler",
+    "Scheduler",
     "SimulatedCluster",
     "SynchronousScheduler",
+    "ThreadExecutor",
     "Task",
     "TaskCache",
     "TaskGraph",
@@ -75,6 +94,7 @@ __all__ = [
     "ThreadedScheduler",
     "assign_cache_keys",
     "available_engines",
+    "available_schedulers",
     "clear_global_cache",
     "common_subexpression_elimination",
     "compute",

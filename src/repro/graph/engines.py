@@ -28,7 +28,11 @@ from repro.errors import GraphError
 from repro.graph.cache import TaskCache
 from repro.graph.delayed import Delayed, compute
 from repro.graph.optimize import OptimizeStats
-from repro.graph.scheduler import RunStats, SynchronousScheduler, ThreadedScheduler
+from repro.graph.scheduler import (
+    RunStats,
+    SynchronousScheduler,
+    get_scheduler,
+)
 
 
 @dataclass
@@ -105,13 +109,20 @@ class Engine:
 
 
 class LazyEngine(Engine):
-    """Single shared graph + optimization + threaded execution (Dask-like)."""
+    """Single shared graph + optimization + parallel execution (Dask-like).
+
+    *scheduler* selects the execution backend by registry name —
+    ``"threaded"`` (default), ``"process"`` or ``"synchronous"`` — which is
+    how the ``compute.scheduler`` config key reaches the graph layer.
+    """
 
     name = "lazy"
 
     def __init__(self, max_workers: Optional[int] = None, enable_cse: bool = True,
-                 enable_fusion: bool = False, cache: Optional[TaskCache] = None):
-        self.scheduler = ThreadedScheduler(max_workers=max_workers, cache=cache)
+                 enable_fusion: bool = False, cache: Optional[TaskCache] = None,
+                 scheduler: str = "threaded"):
+        self.scheduler = get_scheduler(scheduler, max_workers=max_workers,
+                                       cache=cache)
         self.enable_cse = enable_cse
         self.enable_fusion = enable_fusion
 
@@ -132,10 +143,12 @@ class EagerEngine(Engine):
     name = "eager"
 
     def __init__(self, max_workers: Optional[int] = None,
-                 cache: Optional[TaskCache] = None):
+                 cache: Optional[TaskCache] = None,
+                 scheduler: str = "threaded"):
         # Modin parallelizes inside one operation but cannot co-schedule
-        # separate operations; a threaded scheduler per value models that.
-        self.scheduler = ThreadedScheduler(max_workers=max_workers, cache=cache)
+        # separate operations; a parallel scheduler per value models that.
+        self.scheduler = get_scheduler(scheduler, max_workers=max_workers,
+                                       cache=cache)
 
     def compute(self, values: Sequence[Delayed]) -> List[Any]:
         return [compute(value, scheduler=self.scheduler, enable_cse=False)[0]

@@ -1,6 +1,21 @@
 """Schedulers that execute a TaskGraph and return requested outputs.
 
-Both schedulers can carry a :class:`~repro.graph.cache.TaskCache`.  When one
+The execution layer is split in two:
+
+* a :class:`Scheduler` decides *what* runs and in which order — cache
+  planning, readiness tracking, result release and run statistics live in
+  the shared :class:`Scheduler` base and :class:`_ExecutionState`, so every
+  backend accounts for work identically;
+* an :class:`~repro.graph.executor.Executor` decides *where* payloads run —
+  inline, on a thread pool, or on a process pool.
+
+Three schedulers are registered: :class:`SynchronousScheduler` (in-order,
+single-threaded), :class:`ThreadedScheduler` (the default; GIL-sharing
+workers suit numpy-dominated tasks) and :class:`ProcessScheduler` (true
+multi-core parallelism for pure-Python chunk work such as streaming CSV
+parsing — see the hybrid-dispatch notes on the class).
+
+Every scheduler can carry a :class:`~repro.graph.cache.TaskCache`.  When one
 is attached, execution starts with a cache-planning pass: every task gets a
 stable cache key, tasks whose results are already cached are served without
 running, and their exclusive ancestors are skipped entirely — the cross-call
@@ -13,13 +28,22 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulerError
 from repro.graph.cache import TaskCache, assign_cache_keys
+from repro.graph.executor import (
+    BundleOutcome,
+    Executor,
+    ProcessExecutor,
+    ThreadExecutor,
+    can_run_in_worker,
+    run_task_bundle,
+)
 from repro.graph.graph import TaskGraph
+from repro.utils import default_worker_count
 
 
 @dataclass
@@ -31,6 +55,7 @@ class RunStats:
     cache_hits: int = 0    # tasks served straight from the cache
     skipped: int = 0       # ancestors never visited because a hit covered them
     released: int = 0      # intermediate results freed once fully consumed
+    shipped: int = 0       # tasks dispatched to worker processes (ProcessScheduler)
 
 
 @dataclass
@@ -40,6 +65,87 @@ class CachePlan:
     results: Dict[str, Any] = field(default_factory=dict)
     needed: Set[str] = field(default_factory=set)
     keys: Dict[str, Optional[str]] = field(default_factory=dict)
+
+
+class _ExecutionState:
+    """Bookkeeping of one ``execute`` call, shared by every scheduler.
+
+    Owns the cache plan, the result dict, the readiness counters and the
+    consumer refcounts; :meth:`complete` is the single place a finished
+    task's result is recorded, cached, released and propagated to its
+    dependents — so the three schedulers cannot drift apart on any of it.
+    """
+
+    def __init__(self, scheduler: "Scheduler", graph: TaskGraph,
+                 outputs: Sequence[str]):
+        self.graph = graph
+        self.scheduler = scheduler
+        self.outputs = list(outputs)
+        self.output_set = set(outputs)
+        self.order = graph.toposort()          # validates the graph too
+        self.position = {key: index for index, key in enumerate(self.order)}
+        self.plan = scheduler.plan_with_cache(graph, outputs)
+        if self.plan is None:
+            self.needed: Set[str] = set(graph.keys())
+            self.results: Dict[str, Any] = {}
+        else:
+            self.needed = self.plan.needed
+            self.results = dict(self.plan.results)
+        self.counts = scheduler.consumer_counts(graph, self.needed)
+        self.dependents = graph.dependents()
+        prefilled = set(self.results)
+        self.remaining = {
+            key: len(set(graph.dependencies(key)) - prefilled)
+            for key in self.needed}
+        #: Guards ``results`` mutation when worker threads read it concurrently.
+        self.lock = threading.Lock()
+
+    def initial_ready(self) -> List[str]:
+        """Dependency-free tasks, as a stack popping in graph order.
+
+        Seeded in reverse topological order so ``pop()`` serves sources in
+        graph order.  ``needed`` is a set; seeding in its (hash) order would
+        complete e.g. CSV partition parses at random positions, and every
+        fan-in combine group would then wait on a straggler — accumulating
+        nearly all chunk results at once.  In graph order, adjacent
+        partitions finish together, each combine collapses as soon as its
+        group is done, and the release pass keeps the live set small.
+
+        Bundle members never appear here: a member always has exactly one
+        dependency (its bundle root, which is needed, hence not prefilled),
+        so its remaining count starts at 1.
+        """
+        ready = [key for key, count in self.remaining.items() if count == 0]
+        return sorted(ready, key=self.position.get, reverse=True)
+
+    def complete(self, key: str, value: Any, returned: bool = True) -> List[str]:
+        """Record a finished task and return the keys it made ready.
+
+        ``returned=False`` marks a task whose value deliberately never
+        reached the coordinator (a bundle root consumed entirely inside its
+        worker): dependents are still unblocked and refcounts still drop,
+        but nothing is stored or cached.
+        """
+        if returned:
+            self.results[key] = value
+            self.scheduler.store_result(self.plan, key, value)
+        newly_ready: List[str] = []
+        for consumer in self.dependents.get(key, ()):
+            if consumer not in self.remaining:
+                continue
+            self.remaining[consumer] -= 1
+            if self.remaining[consumer] == 0:
+                newly_ready.append(consumer)
+        self.scheduler.release_consumed(key, self.graph, self.counts,
+                                        self.results, self.output_set)
+        return newly_ready
+
+    def collect(self) -> Dict[str, Any]:
+        """The requested outputs, or a :class:`SchedulerError` if one is missing."""
+        missing = [key for key in self.outputs if key not in self.results]
+        if missing:
+            raise SchedulerError(missing[0], KeyError("output not produced"))
+        return {key: self.results[key] for key in self.outputs}
 
 
 class Scheduler:
@@ -63,8 +169,11 @@ class Scheduler:
         results = self.execute(graph, outputs)
         return [results[key] for key in outputs]
 
+    def close(self) -> None:
+        """Release any worker pool held by this scheduler (idempotent)."""
+
     # ------------------------------------------------------------------ #
-    # Cache planning (shared by both schedulers)
+    # Cache planning (shared by all schedulers)
     # ------------------------------------------------------------------ #
     def plan_with_cache(self, graph: TaskGraph,
                         outputs: Sequence[str]) -> Optional[CachePlan]:
@@ -111,7 +220,7 @@ class Scheduler:
             self.cache.put(cache_key, value)
 
     # ------------------------------------------------------------------ #
-    # Result lifetime (shared by both schedulers)
+    # Result lifetime (shared by all schedulers)
     # ------------------------------------------------------------------ #
     @staticmethod
     def consumer_counts(graph: TaskGraph, needed: Set[str]) -> Dict[str, int]:
@@ -152,42 +261,164 @@ class SynchronousScheduler(Scheduler):
 
     Optionally injects a fixed per-task dispatch latency, which the engine
     comparison benchmark (Figure 6a) uses to model RPC-style scheduling
-    overhead of cluster frameworks running on a single node.
+    overhead of cluster frameworks running on a single node.  Accepts (and
+    ignores) ``max_workers`` so the engine layer can construct any
+    registered scheduler with one uniform signature.
     """
 
     name = "synchronous"
 
     def __init__(self, dispatch_latency: float = 0.0,
-                 cache: Optional[TaskCache] = None):
+                 cache: Optional[TaskCache] = None,
+                 max_workers: Optional[int] = None):
         self.dispatch_latency = float(dispatch_latency)
         self.cache = cache
 
     def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
-        order = graph.toposort()
-        plan = self.plan_with_cache(graph, outputs)
-        results: Dict[str, Any] = dict(plan.results) if plan else {}
-        needed = plan.needed if plan is not None else set(graph.keys())
-        output_set = set(outputs)
-        counts = self.consumer_counts(graph, needed)
-        for key in order:
-            if plan is not None and key not in plan.needed:
+        state = _ExecutionState(self, graph, outputs)
+        for key in state.order:
+            if key not in state.needed:
                 continue
             if self.dispatch_latency:
                 time.sleep(self.dispatch_latency)
-            task = graph[key]
             try:
-                results[key] = task.execute(results)
+                value = graph[key].execute(state.results)
             except Exception as error:  # noqa: BLE001 - rewrapped with task context
                 raise SchedulerError(key, error) from error
-            self.store_result(plan, key, results[key])
-            self.release_consumed(key, graph, counts, results, output_set)
-        missing = [key for key in outputs if key not in results]
-        if missing:
-            raise SchedulerError(missing[0], KeyError("output not produced"))
-        return {key: results[key] for key in outputs}
+            state.complete(key, value)
+        return state.collect()
 
 
-class ThreadedScheduler(Scheduler):
+@dataclass(frozen=True)
+class WorkUnit:
+    """One dispatchable unit: a task, optionally bundled with members.
+
+    ``ship=True`` sends the unit to the scheduler's executor; ``ship=False``
+    runs it inline on the coordinator thread.  ``members`` (process backend
+    only) are single-dependency consumers executed in the same worker
+    against the root's value; ``return_root`` says whether the root's value
+    must travel back to the coordinator at all.
+    """
+
+    root: str
+    members: Tuple[str, ...] = ()
+    ship: bool = True
+    return_root: bool = True
+
+
+class _PoolScheduler(Scheduler):
+    """Shared driver loop for schedulers that dispatch onto an Executor.
+
+    Subclasses provide the unit plan (:meth:`_plan_units`), the submission
+    payload (:meth:`_submit_unit`) and the result absorption
+    (:meth:`_absorb_unit`); the loop itself — bounded in-flight window,
+    depth-first ready stack, failure propagation, release — is written once
+    here instead of once per backend.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 cache: Optional[TaskCache] = None):
+        self.max_workers = int(max_workers) if max_workers is not None \
+            else default_worker_count()
+        self.cache = cache
+        self._executor: Optional[Executor] = None
+
+    # -- hooks ---------------------------------------------------------- #
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def _plan_units(self, state: _ExecutionState) -> Dict[str, WorkUnit]:
+        """Map every needed task to its unit (bundle members excluded)."""
+        return {key: WorkUnit(key) for key in state.needed}
+
+    def _submit_unit(self, unit: WorkUnit, state: _ExecutionState) -> Future:
+        raise NotImplementedError
+
+    def _absorb_unit(self, unit: WorkUnit, payload: Any,
+                     state: _ExecutionState) -> List[str]:
+        """Fold a finished unit's payload into the state; return newly ready."""
+        raise NotImplementedError
+
+    def _run_inline(self, unit: WorkUnit, state: _ExecutionState) -> List[str]:
+        """Run a non-shipped unit on the coordinator thread."""
+        try:
+            value = state.graph[unit.root].execute(state.results)
+        except Exception as error:  # noqa: BLE001 - rewrapped with task context
+            raise SchedulerError(unit.root, error) from error
+        with state.lock:
+            return state.complete(unit.root, value)
+
+    # -- lifecycle ------------------------------------------------------ #
+    def executor(self) -> Executor:
+        """The lazily created executor backing this scheduler."""
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def close(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the driver loop ------------------------------------------------ #
+    def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
+        state = _ExecutionState(self, graph, outputs)
+        units = self._plan_units(state)
+        # Submit at most max_workers units at a time, popping the most
+        # recently enabled first (depth-first).  Submitting the whole ready
+        # list would run every source task (e.g. CSV chunk parse) before any
+        # consumer, accumulating the entire input in memory; capping keeps
+        # newly enabled sketch/combine tasks ahead of still-queued parses,
+        # so chunks are consumed and released at the rate they are produced.
+        ready = state.initial_ready()
+        in_flight: Dict[Future, WorkUnit] = {}
+        try:
+            while ready or in_flight:
+                while ready and len(in_flight) < self.max_workers:
+                    unit = units[ready.pop()]
+                    if unit.ship:
+                        try:
+                            future = self._submit_unit(unit, state)
+                        except Exception as error:  # noqa: BLE001
+                            # submit() itself can raise synchronously — e.g.
+                            # BrokenProcessPool when a worker died between
+                            # waits.  Discard the pool so the next execute
+                            # starts fresh, and report the task like any
+                            # other pool-level failure.
+                            if self._executor is not None:
+                                self._executor.discard()
+                            raise SchedulerError(unit.root, error) from error
+                        in_flight[future] = unit
+                    else:
+                        ready.extend(self._run_inline(unit, state))
+                if not in_flight:
+                    continue
+                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit = in_flight.pop(future)
+                    error = future.exception()
+                    if error is not None:
+                        # Pool-level failure (a crashed worker, an
+                        # unpicklable payload): name the unit's root task
+                        # and let a broken pool be rebuilt next time.
+                        if self._executor is not None:
+                            self._executor.discard()
+                        raise SchedulerError(unit.root, error) from error
+                    ready.extend(self._absorb_unit(unit, future.result(), state))
+        except BaseException:
+            for pending in in_flight:
+                pending.cancel()
+            raise
+        return state.collect()
+
+
+class ThreadedScheduler(_PoolScheduler):
     """Thread-pool scheduler that runs independent tasks concurrently.
 
     This is the default execution backend, mirroring Dask's threaded
@@ -200,99 +431,130 @@ class ThreadedScheduler(Scheduler):
     def __init__(self, max_workers: Optional[int] = None,
                  dispatch_latency: float = 0.0,
                  cache: Optional[TaskCache] = None):
-        if max_workers is None:
-            from repro.frame.io import default_worker_count
-            max_workers = default_worker_count()
-        self.max_workers = int(max_workers)
+        super().__init__(max_workers=max_workers, cache=cache)
         self.dispatch_latency = float(dispatch_latency)
-        self.cache = cache
 
-    def execute(self, graph: TaskGraph, outputs: Sequence[str]) -> Dict[str, Any]:
-        graph.validate()
-        plan = self.plan_with_cache(graph, outputs)
-        if plan is None:
-            needed = set(graph.keys())
-            results: Dict[str, Any] = {}
-        else:
-            needed = plan.needed
-            results = dict(plan.results)
-        dependents = graph.dependents()
-        prefilled = set(results)
-        remaining: Dict[str, int] = {
-            key: len(set(graph.dependencies(key)) - prefilled)
-            for key in needed}
-        counts = self.consumer_counts(graph, needed)
-        output_set = set(outputs)
-        lock = threading.Lock()
+    def _make_executor(self) -> Executor:
+        return ThreadExecutor(max_workers=self.max_workers)
 
-        # Seed the ready stack in reverse topological order so pop() serves
-        # sources in graph order.  `needed` is a set; seeding in its (hash)
-        # order would complete e.g. CSV partition parses at random positions,
-        # and every fan-in combine group would then wait on a straggler —
-        # accumulating nearly all chunk results at once.  In graph order,
-        # adjacent partitions finish together, each combine collapses as soon
-        # as its group is done, and the release pass keeps the live set small.
-        position = {key: index for index, key in enumerate(graph.toposort())}
-        ready = sorted((key for key, count in remaining.items() if count == 0),
-                       key=position.get, reverse=True)
-        in_flight: Dict[Future, str] = {}
+    def _run_task(self, key: str, state: _ExecutionState) -> Any:
+        if self.dispatch_latency:
+            time.sleep(self.dispatch_latency)
+        return state.graph[key].execute(state.results)
 
-        def run_task(key: str) -> Any:
-            if self.dispatch_latency:
-                time.sleep(self.dispatch_latency)
-            return graph[key].execute(results)
+    def _submit_unit(self, unit: WorkUnit, state: _ExecutionState) -> Future:
+        return self.executor().submit(self._run_task, unit.root, state)
 
-        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            while ready or in_flight:
-                # Submit at most max_workers tasks at a time, popping the most
-                # recently enabled first (depth-first).  Submitting the whole
-                # ready list would run every source task (e.g. CSV chunk
-                # parse) before any consumer, accumulating the entire input in
-                # memory; capping keeps newly enabled sketch tasks ahead of
-                # still-queued parses, so chunks are consumed and released at
-                # the rate they are produced.
-                while ready and len(in_flight) < self.max_workers:
-                    key = ready.pop()
-                    in_flight[pool.submit(run_task, key)] = key
-                done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = in_flight.pop(future)
-                    error = future.exception()
-                    if error is not None:
-                        for pending in in_flight:
-                            pending.cancel()
-                        raise SchedulerError(key, error) from error
-                    with lock:
-                        results[key] = future.result()
-                    self.store_result(plan, key, results[key])
-                    for consumer in dependents.get(key, ()):
-                        if consumer not in remaining:
-                            continue
-                        remaining[consumer] -= 1
-                        if remaining[consumer] == 0:
-                            ready.append(consumer)
-                    # Every consumer of this task's dependencies that will
-                    # ever run has been submitted or finished only when its
-                    # own result is in; dropping fully consumed inputs here
-                    # keeps peak memory at (workers x chunk), not the file.
-                    with lock:
-                        self.release_consumed(key, graph, counts, results,
-                                              output_set)
+    def _absorb_unit(self, unit: WorkUnit, payload: Any,
+                     state: _ExecutionState) -> List[str]:
+        # Every consumer of this task's dependencies that will ever run has
+        # been submitted or finished only when its own result is in;
+        # dropping fully consumed inputs here keeps peak memory at
+        # (workers x chunk), not the file.
+        with state.lock:
+            return state.complete(unit.root, payload)
 
-        missing = [key for key in outputs if key not in results]
-        if missing:
-            raise SchedulerError(missing[0], KeyError("output not produced"))
-        return {key: results[key] for key in outputs}
+
+class ProcessScheduler(_PoolScheduler):
+    """Process-pool scheduler: true multi-core parallelism for chunk work.
+
+    Pure-Python chunk tasks — above all the streaming CSV parse + sketch
+    path — are GIL-bound, so threads cannot scale them across cores.  This
+    scheduler ships them to a ``ProcessPoolExecutor`` instead, with a
+    **hybrid dispatch** (see :mod:`repro.graph.executor`):
+
+    * a dependency-free task whose payload is picklable **by value** (the
+      ``can_run_in_worker`` contract: module-level function, plain-value
+      arguments, bounded size) becomes a bundle root; every sketch task
+      consuming only it joins the bundle and runs in the same worker, so a
+      parsed chunk crosses the process boundary only when a
+      coordinator-side task still needs it;
+    * everything else — combine/finalize merges, tasks closing over
+      in-memory frames, closures — runs inline on the coordinator thread,
+      so tiny graphs never drown in IPC and in-memory inputs behave
+      exactly like the synchronous scheduler.
+
+    Failure semantics: a task raising in a worker propagates as a
+    :class:`SchedulerError` naming that task; a crashed worker process
+    (``BrokenProcessPool``) propagates as a :class:`SchedulerError` naming
+    the bundle's root and discards the pool so the next run starts fresh —
+    execution never hangs on a dead worker.
+    """
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessExecutor(max_workers=self.max_workers)
+
+    def _plan_units(self, state: _ExecutionState) -> Dict[str, WorkUnit]:
+        graph = state.graph
+        units: Dict[str, WorkUnit] = {}
+        bundled: Set[str] = set()
+        for key in state.order:                    # roots precede consumers
+            if key not in state.needed or key in bundled:
+                continue
+            task = graph[key]
+            if task.dependencies() or not can_run_in_worker(task):
+                units[key] = WorkUnit(key, ship=False)
+                continue
+            members: List[str] = []
+            needed_consumers = sorted(
+                (consumer for consumer in state.dependents.get(key, ())
+                 if consumer in state.needed),
+                key=state.position.get)
+            for consumer in needed_consumers:
+                consumer_task = graph[consumer]
+                if set(consumer_task.dependencies()) == {key} and \
+                        can_run_in_worker(consumer_task):
+                    members.append(consumer)
+                    bundled.add(consumer)
+            member_set = set(members)
+            return_root = key in state.output_set or not needed_consumers or \
+                any(consumer not in member_set for consumer in needed_consumers)
+            units[key] = WorkUnit(key, tuple(members), ship=True,
+                                  return_root=return_root)
+        return units
+
+    def _submit_unit(self, unit: WorkUnit, state: _ExecutionState) -> Future:
+        graph = state.graph
+        if self.last_run is not None:
+            self.last_run.shipped += 1 + len(unit.members)
+        return self.executor().submit(
+            run_task_bundle, graph[unit.root],
+            [graph[key] for key in unit.members], unit.return_root)
+
+    def _absorb_unit(self, unit: WorkUnit, payload: BundleOutcome,
+                     state: _ExecutionState) -> List[str]:
+        if payload.error_key is not None:
+            raise SchedulerError(payload.error_key, payload.error) \
+                from payload.error
+        member_set = set(unit.members)
+        newly = state.complete(unit.root, payload.root,
+                               returned=unit.return_root)
+        ready = [key for key in newly if key not in member_set]
+        for key in unit.members:
+            ready.extend(state.complete(key, payload.members[key]))
+        return ready
 
 
 _SCHEDULERS = {
     SynchronousScheduler.name: SynchronousScheduler,
     ThreadedScheduler.name: ThreadedScheduler,
+    ProcessScheduler.name: ProcessScheduler,
 }
 
 
+def available_schedulers() -> List[str]:
+    """Names of the registered schedulers (the ``compute.scheduler`` choices)."""
+    return sorted(_SCHEDULERS)
+
+
 def get_scheduler(name: str = "threaded", **kwargs: Any) -> Scheduler:
-    """Instantiate a scheduler by name (``"synchronous"`` or ``"threaded"``)."""
+    """Instantiate a scheduler by name.
+
+    ``"synchronous"``, ``"threaded"`` or ``"process"`` — the same choices
+    the ``compute.scheduler`` config key accepts.
+    """
     try:
         factory = _SCHEDULERS[name]
     except KeyError:

@@ -123,7 +123,10 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     config:
         Dotted-key overrides, e.g. ``{"hist.bins": 25, "cache.enabled":
         False, "cache.max_bytes": 64 * 1024 * 1024}``.  See
-        :func:`repro.eda.config.available_config_keys`.
+        :func:`repro.eda.config.available_config_keys`.  Over a streaming
+        scan, ``{"compute.scheduler": "process"}`` runs the chunk parse +
+        sketch work on a multiprocess pool (``compute.max_workers``
+        workers) for true multi-core scaling.
     title:
         Report title (defaults to the ``report.title`` config value).
     """

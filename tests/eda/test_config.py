@@ -6,6 +6,15 @@ from repro.eda.config import Config, DEFAULTS, available_config_keys
 from repro.errors import ConfigError
 
 
+@pytest.fixture(autouse=True)
+def _clean_scheduler_env(monkeypatch):
+    """Pin the library defaults: this suite tests Config itself, so the
+    REPRO_SCHEDULER environment override (used by CI to run everything
+    under the process backend) must not leak in.  The env-specific tests
+    set it back explicitly via monkeypatch."""
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+
+
 class TestDefaults:
     def test_defaults_are_complete(self):
         config = Config.from_user()
@@ -97,6 +106,60 @@ class TestValidation:
             "compute.max_workers") is None
         with pytest.raises(ConfigError):
             Config.from_user({"compute.max_workers": 0})
+
+    @pytest.mark.parametrize("name", ["synchronous", "threaded", "process"])
+    def test_scheduler_accepts_registered_backends(self, name):
+        assert Config.from_user({"compute.scheduler": name}).get(
+            "compute.scheduler") == name
+
+    def test_scheduler_rejects_unknown_value_with_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({"compute.scheduler": "proces"})
+        assert "process" in str(excinfo.value)
+        assert "did you mean" in str(excinfo.value)
+
+    def test_scheduler_env_default_applies_and_user_key_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "process")
+        assert Config.from_user().get("compute.scheduler") == "process"
+        assert Config.from_user({"compute.scheduler": "threaded"}).get(
+            "compute.scheduler") == "threaded"
+
+    def test_scheduler_env_typo_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "procss")
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user()
+        assert "process" in str(excinfo.value)
+
+
+class TestConfigHygiene:
+    """Unknown dotted keys must raise with a did-you-mean suggestion.
+
+    A typo in a pipeline-control key (``compute.*`` / ``memory.*`` /
+    ``cache.*``) silently ignored would mean e.g. the process scheduler the
+    user asked for never runs; the Config Manager must reject the key and
+    name the closest real one.
+    """
+
+    @pytest.mark.parametrize("typo,expected", [
+        ("compute.sheduler", "compute.scheduler"),
+        ("compute.schedular", "compute.scheduler"),
+        ("compute.maxworkers", "compute.max_workers"),
+        ("memory.budget_byte", "memory.budget_bytes"),
+        ("memory.chunk_row", "memory.chunk_rows"),
+        ("cache.enable", "cache.enabled"),
+        ("cache.maxbytes", "cache.max_bytes"),
+    ])
+    def test_typoed_key_suggests_real_key(self, typo, expected):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({typo: 1})
+        message = str(excinfo.value)
+        assert typo in message
+        assert expected in message, f"no suggestion for {typo!r}: {message}"
+
+    def test_unknown_key_rejected_in_with_overrides_too(self):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user().with_overrides({"compute.sheduler": "process"})
+        assert "compute.scheduler" in str(excinfo.value)
 
 
 class TestDisplay:

@@ -71,6 +71,18 @@ CONFIG = {"scatter.sample_size": N_ROWS + 1,
           "correlation.scatter_sample_size": N_ROWS + 1}
 
 
+@pytest.fixture(params=["synchronous", "threaded", "process"])
+def config(request):
+    """The suite config crossed with every execution backend.
+
+    Multi-file scans are exactly the workload the process scheduler ships
+    to workers, so the whole suite runs under all three ``compute.scheduler``
+    values and must produce identical intermediates.
+    """
+    return dict(CONFIG, **{"compute.scheduler": request.param,
+                           "compute.max_workers": 2})
+
+
 def _single(csv_paths):
     whole, _ = csv_paths
     return scan_csv(whole, chunk_rows=CHUNK_ROWS)
@@ -110,9 +122,9 @@ def assert_equivalent(multi, single, path="items"):
     assert multi == single, path
 
 
-def _compare_call(call, csv_paths):
-    multi = call(_multi(csv_paths), CONFIG)
-    single = call(_single(csv_paths), CONFIG)
+def _compare_call(call, csv_paths, config):
+    multi = call(_multi(csv_paths), config)
+    single = call(_single(csv_paths), config)
     assert_equivalent(multi.items, single.items)
     multi_kinds = sorted((i.kind, i.column) for i in multi.insights)
     single_kinds = sorted((i.kind, i.column) for i in single.insights)
@@ -120,54 +132,57 @@ def _compare_call(call, csv_paths):
     return multi
 
 
-def test_overview_matches_concatenated(csv_paths):
+def test_overview_matches_concatenated(csv_paths, config):
     result = _compare_call(
         lambda df, config: plot(df, config=config, mode="intermediates"),
-        csv_paths)
+        csv_paths, config)
     assert result.stats["n_rows"] == N_ROWS
     # duplicate counting runs through the sketch on both sides
     assert result.stats["duplicate_rows"] is not None
 
 
-def test_univariate_matches_concatenated(csv_paths):
+def test_univariate_matches_concatenated(csv_paths, config):
     _compare_call(
         lambda df, config: plot(df, "price", config=config,
-                                mode="intermediates"), csv_paths)
+                                mode="intermediates"), csv_paths, config)
     _compare_call(
         lambda df, config: plot(df, "city", config=config,
-                                mode="intermediates"), csv_paths)
+                                mode="intermediates"), csv_paths, config)
 
 
 @pytest.mark.parametrize("pair", [("price", "size"),        # N x N
                                   ("city", "price"),        # C x N
                                   ("city", "house_type")])  # C x C
-def test_bivariate_matches_concatenated(csv_paths, pair):
+def test_bivariate_matches_concatenated(csv_paths, config, pair):
     _compare_call(
         lambda df, config: plot(df, pair[0], pair[1], config=config,
-                                mode="intermediates"), csv_paths)
+                                mode="intermediates"), csv_paths, config)
 
 
-def test_correlation_matches_concatenated(csv_paths):
+def test_correlation_matches_concatenated(csv_paths, config):
     _compare_call(
         lambda df, config: plot_correlation(df, config=config,
-                                            mode="intermediates"), csv_paths)
+                                            mode="intermediates"),
+        csv_paths, config)
     _compare_call(
         lambda df, config: plot_correlation(df, "price", "size", config=config,
-                                            mode="intermediates"), csv_paths)
+                                            mode="intermediates"),
+        csv_paths, config)
 
 
-def test_missing_overview_matches_concatenated(csv_paths):
+def test_missing_overview_matches_concatenated(csv_paths, config):
     result = _compare_call(
         lambda df, config: plot_missing(df, config=config,
-                                        mode="intermediates"), csv_paths)
+                                        mode="intermediates"),
+        csv_paths, config)
     for item in ("missing_bar_chart", "missing_spectrum",
                  "nullity_correlation", "nullity_dendrogram"):
         assert item in result.items
 
 
-def test_create_report_matches_concatenated(csv_paths):
-    multi = create_report(_multi(csv_paths), config=CONFIG)
-    single = create_report(_single(csv_paths), config=CONFIG)
+def test_create_report_matches_concatenated(csv_paths, config):
+    multi = create_report(_multi(csv_paths), config=config)
+    single = create_report(_single(csv_paths), config=config)
     assert multi.section_names == single.section_names
     for name in single.section_names:
         assert_equivalent(multi.sections[name].items,

@@ -61,17 +61,27 @@ def csv_path(tmp_path_factory):
     return str(path)
 
 
+@pytest.fixture(params=["synchronous", "threaded", "process"])
+def scheduler_name(request):
+    """Every registered execution backend; results must not depend on it."""
+    return request.param
+
+
 @pytest.fixture(params=[True, False], ids=["cache-on", "cache-off"])
-def cache_config(request):
+def cache_config(request, scheduler_name):
     """A fresh process-wide cache per test, toggled on/off via config.
 
     The sampling cutoffs are lifted above the dataset size so both modes
     retain every row — the in-memory sample and the streaming reservoir are
     then the exact same rows and all sample-derived items are comparable.
+    The whole suite is crossed with ``compute.scheduler`` so all three
+    execution backends are pinned to identical intermediates.
     """
     previous = get_global_cache()
     set_global_cache(TaskCache())
     yield {"cache.enabled": request.param,
+           "compute.scheduler": scheduler_name,
+           "compute.max_workers": 2,
            "scatter.sample_size": N_ROWS + 1,
            "correlation.scatter_sample_size": N_ROWS + 1}
     set_global_cache(previous)
