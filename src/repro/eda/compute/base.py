@@ -19,6 +19,14 @@ out-of-core execution — every compute function upstream is source-agnostic,
 and the schedulers release each chunk as soon as its sketches have consumed
 it, so streaming peak memory tracks ``memory.chunk_rows`` /
 ``memory.budget_bytes``, not the file size.
+
+The planner also performs **projection pushdown**: every
+:class:`ReductionKind` declares the column set its chunk functions read,
+builders return :class:`PendingReduction` requests, and
+:meth:`ComputeContext.resolve` merges the overlapping requirements of a
+batch into shared *projected* partition tasks — ``plot(df, "x")`` over a
+40-column ``scan_csv`` then parses one column per chunk instead of 40
+(see ``docs/architecture.md`` § Planning & projection).
 """
 
 from __future__ import annotations
@@ -60,6 +68,10 @@ from repro.utils import default_worker_count
 #: high-cardinality column cannot grow a chunk's state past this many
 #: entries (the distinct sketch keeps the cardinality estimate honest).
 STREAMING_CATEGORY_CAPACITY = 50_000
+
+#: Sentinel distinguishing "no reusable projection found" from a legitimate
+#: None (= full-width) reuse candidate.
+_UNSET = object()
 
 
 # --------------------------------------------------------------------------- #
@@ -273,12 +285,47 @@ class ReductionKind:
     partials like numeric summaries) and serves every source;
     ``exact_only=True`` marks kinds whose state is inherently O(rows) (the
     full missing mask) — requesting them on a streaming source raises.
+
+    ``columns(context, kind_args)`` declares the column set this kind's
+    chunk functions read, as a tuple of names — the projection-pushdown
+    contract.  ``None`` (the default, and the return value of
+    :func:`_requires_all_columns`) means the kind reads the whole row, so
+    its partitions must materialize every column.  The declaration operates
+    on the *kind-level* arguments (before ``adapt``), so both the exact and
+    the sketch plan share it.
     """
 
     name: str
     exact: ReductionPlan
     sketch: Optional[ReductionPlan] = None
     exact_only: bool = False
+    columns: Optional[Callable[["ComputeContext", Tuple[Any, ...]],
+                               Optional[Tuple[str, ...]]]] = None
+
+    def required_columns(self, context: "ComputeContext",
+                         args: Tuple[Any, ...]) -> Optional[Tuple[str, ...]]:
+        """Column names this reduction reads (None = every column)."""
+        if self.columns is None:
+            return None
+        return self.columns(context, args)
+
+
+# --------------------------------------------------------------------------- #
+# Column-requirement declarations (the projection-pushdown contract).
+# --------------------------------------------------------------------------- #
+def _requires_first_arg_column(context: "ComputeContext",
+                               args: Tuple[Any, ...]) -> Tuple[str, ...]:
+    return (args[0],)
+
+
+def _requires_column_tuple(context: "ComputeContext",
+                           args: Tuple[Any, ...]) -> Tuple[str, ...]:
+    return tuple(args[0])
+
+
+def _requires_column_pair(context: "ComputeContext",
+                          args: Tuple[Any, ...]) -> Tuple[str, ...]:
+    return (args[0], args[1])
 
 
 def _sample_exact_args(context: "ComputeContext",
@@ -307,28 +354,35 @@ def _nullity_args(context: "ComputeContext",
 REDUCTION_KINDS: Dict[str, ReductionKind] = {
     "numeric_summary": ReductionKind(
         "numeric_summary",
-        exact=ReductionPlan(_chunk_numeric_summary, _combine_numeric_summaries)),
+        exact=ReductionPlan(_chunk_numeric_summary, _combine_numeric_summaries),
+        columns=_requires_first_arg_column),
     "categorical_summary": ReductionKind(
         "categorical_summary",
         exact=ReductionPlan(_chunk_categorical_summary,
                             _combine_categorical_summaries),
         sketch=ReductionPlan(_chunk_categorical_summary_bounded,
                              _combine_categorical_summaries,
-                             adapt=_append_category_capacity)),
+                             adapt=_append_category_capacity),
+        columns=_requires_first_arg_column),
     "histogram": ReductionKind(
         "histogram",
-        exact=ReductionPlan(_chunk_histogram, _combine_histograms)),
+        exact=ReductionPlan(_chunk_histogram, _combine_histograms),
+        columns=_requires_first_arg_column),
     "pearson": ReductionKind(
         "pearson",
-        exact=ReductionPlan(_chunk_pearson, _combine_pearson)),
+        exact=ReductionPlan(_chunk_pearson, _combine_pearson),
+        columns=_requires_column_tuple),
     "missing_mask": ReductionKind(
         "missing_mask",
         exact=ReductionPlan(_chunk_missing_mask, _combine_missing_masks),
-        exact_only=True),
+        exact_only=True),                 # reads the whole row: no projection
     "nullity": ReductionKind(
         "nullity",
         exact=ReductionPlan(_chunk_nullity, _combine_nullity, indexed=True,
-                            adapt=_nullity_args)),
+                            adapt=_nullity_args)),  # spans every column
+    # row_count only ever reduces on exact (in-memory) sources — streaming
+    # sources answer it from the layout scan — where the planner keeps
+    # full-width slices anyway, so it declares no projection.
     "row_count": ReductionKind(
         "row_count",
         exact=ReductionPlan(_chunk_row_count, _combine_counts)),
@@ -337,19 +391,45 @@ REDUCTION_KINDS: Dict[str, ReductionKind] = {
         exact=ReductionPlan(_chunk_sample, _combine_samples,
                             adapt=_sample_exact_args),
         sketch=ReductionPlan(_chunk_reservoir, _combine_reservoirs,
-                             finalize=_finalize_reservoir)),
+                             finalize=_finalize_reservoir),
+        columns=_requires_column_tuple),
     "pair_counts": ReductionKind(
         "pair_counts",
         exact=ReductionPlan(_chunk_pair_counts, _combine_pair_counts),
         sketch=ReductionPlan(_chunk_pair_counts_bounded,
                              _combine_pair_counts_bounded,
-                             adapt=_append_category_capacity)),
+                             adapt=_append_category_capacity),
+        columns=_requires_column_pair),
     "duplicates": ReductionKind(
         "duplicates",
         exact=ReductionPlan(_chunk_duplicates, _combine_duplicates,
                             finalize=_finalize_duplicates,
                             adapt=_append_duplicate_capacity)),
+                                          # row hash spans every column
 }
+
+
+@dataclass(frozen=True)
+class PendingReduction:
+    """A reduction requested from a :class:`ComputeContext` but not yet
+    bound to partition tasks.
+
+    Builders (``numeric_summary``, ``histogram``, ...) return these in
+    graph mode instead of a ready :class:`~repro.graph.delayed.Delayed`:
+    deferring the binding to :meth:`ComputeContext.resolve` lets the
+    projection planner see every reduction of a batch at once and merge
+    overlapping column requirements into shared projected parse tasks —
+    the binding decision needs the whole graph, not one request.
+    ``required`` is the declared column set (None = every column).
+    """
+
+    kind: str
+    args: Tuple[Any, ...]
+    required: Optional[Tuple[str, ...]]
+
+    def __repr__(self) -> str:
+        columns = "*" if self.required is None else list(self.required)
+        return f"PendingReduction(kind={self.kind!r}, columns={columns})"
 
 
 class ComputeContext:
@@ -371,9 +451,30 @@ class ComputeContext:
         self.config = config
         self.timings: Dict[str, float] = {}
         self.reports: List[ExecutionReport] = []
-        self._partitioned: Optional[PartitionedFrame] = None
+        self._planned_source: Optional[FrameSource] = None
+        self._projected_partitions: Dict[Optional[Tuple[str, ...]],
+                                         PartitionedFrame] = {}
+        self._used_projections: List[Optional[Tuple[str, ...]]] = []
         self.use_graph = self._decide_graph_mode()
         self.cache = self._decide_cache()
+        #: Projection pushdown is active only when the user has not disabled
+        #: it, the source's partition tasks accept a column subset, and the
+        #: source actually pays per column to materialize (streaming
+        #: parses).  In-memory slices are zero-copy views whichever columns
+        #: they carry, so projecting them would buy nothing while
+        #: fragmenting the cross-call cache (a full slice built by
+        #: ``plot(df)`` could no longer serve ``plot_correlation(df)``).
+        self.projection_enabled = bool(
+            config.get("compute.projection") and
+            getattr(self.source.capabilities, "projection", False) and
+            not self.exact_results)
+        #: Planning-side projection counters: partition tasks built per
+        #: kind, and columns whose parse/slice was avoided altogether.
+        self.parse_plan: Dict[str, int] = {
+            "projected_parse_tasks": 0,
+            "full_parse_tasks": 0,
+            "columns_pruned": 0,
+        }
         if engine is not None:
             self.engine = engine
         else:
@@ -441,7 +542,7 @@ class ComputeContext:
         """In-memory footprint of a frame, or on-disk size of a scan."""
         return self.source.footprint_bytes()
 
-    def duplicate_rows(self, max_rows: int) -> Union[Delayed, Optional[int]]:
+    def duplicate_rows(self, max_rows: int) -> Union[PendingReduction, Optional[int]]:
         """Duplicate-row count, or None when it would be unbounded.
 
         Exact sources below *max_rows* run the vectorised exact scan;
@@ -516,18 +617,16 @@ class ComputeContext:
     # ------------------------------------------------------------------ #
     # Partitioning (the chunk-size precompute stage)
     # ------------------------------------------------------------------ #
-    @property
-    def partitioned(self) -> PartitionedFrame:
-        """The partitioned frame, built on first use with precomputed chunks.
+    def _plan_source(self) -> FrameSource:
+        """The source with its final partition granularity, planned once.
 
-        The source plans its own partitions: in-memory sources honour
-        ``compute.partition_rows``; streaming sources honour
-        ``memory.chunk_rows`` / ``memory.budget_bytes`` and shrink further
-        if the budget cannot hold one chunk per scheduler worker
-        concurrently (only for settings the user explicitly overrides, so
-        default-config calls never pay a second layout pass).
+        In-memory sources honour ``compute.partition_rows``; streaming
+        sources honour ``memory.chunk_rows`` / ``memory.budget_bytes`` and
+        shrink further if the budget cannot hold one chunk per scheduler
+        worker concurrently (only for settings the user explicitly
+        overrides, so default-config calls never pay a second layout pass).
         """
-        if self._partitioned is None:
+        if self._planned_source is None:
             started = time.perf_counter()
             provided = self.config.provided
             if self.exact_results:
@@ -544,9 +643,44 @@ class ComputeContext:
                     budget_bytes=self.config.get("memory.budget_bytes")
                     if "memory.budget_bytes" in provided else None,
                     concurrency=self._effective_workers())
-            self._partitioned = PartitionedFrame.from_source(planned)
+            self._planned_source = planned
             self.timings["precompute_chunk_sizes"] = time.perf_counter() - started
-        return self._partitioned
+        return self._planned_source
+
+    @property
+    def partitioned(self) -> PartitionedFrame:
+        """The full-width partitioned frame (every partition task
+        materializes every column)."""
+        return self.partitioned_for(None)
+
+    def partitioned_for(self, projection: Optional[Tuple[str, ...]]
+                        ) -> PartitionedFrame:
+        """The partitioned frame projected onto *projection* (None = full).
+
+        Memoized per column set, so every reduction bound to the same
+        projection in this context shares the exact same partition task
+        objects — one projected parse per ``(chunk, column set)``.
+        Building a projection also records it for the planner's
+        superset-reuse pass and updates the planning counters.
+        """
+        cached = self._projected_partitions.get(projection)
+        if cached is not None:
+            return cached
+        built = PartitionedFrame.from_source(self._plan_source(),
+                                             columns=projection)
+        self._projected_partitions[projection] = built
+        self._used_projections.append(projection)
+        if projection is None:
+            self.parse_plan["full_parse_tasks"] += built.npartitions
+        else:
+            self.parse_plan["projected_parse_tasks"] += built.npartitions
+            self.parse_plan["columns_pruned"] += \
+                (self.n_columns - len(projection)) * built.npartitions
+        return built
+
+    def projection_stats(self) -> Dict[str, Any]:
+        """Planning-side projection counters plus the enabled flag."""
+        return {"enabled": self.projection_enabled, **self.parse_plan}
 
     # ------------------------------------------------------------------ #
     # The planner dispatch
@@ -563,28 +697,129 @@ class ComputeContext:
                 f"counterpart instead")
         return spec.sketch or spec.exact
 
-    def _reduce(self, kind: str, args: Tuple[Any, ...] = ()) -> Delayed:
-        """Build the lazy reduction of *kind* for this context's source."""
-        plan = self._plan(kind)
-        chunk_args = plan.adapt(self, args) if plan.adapt is not None else args
+    def _reduce(self, kind: str, args: Tuple[Any, ...] = ()) -> PendingReduction:
+        """Request the lazy reduction of *kind* for this context's source.
+
+        Returns a :class:`PendingReduction` carrying the kind's declared
+        column requirement; :meth:`resolve` binds every pending reduction of
+        a batch to (possibly projected) partition tasks at once, so
+        overlapping column requirements end up sharing parse tasks.
+        """
+        self._plan(kind)        # validates kind/capabilities eagerly
+        spec = REDUCTION_KINDS[kind]
+        required = spec.required_columns(self, args) \
+            if self.projection_enabled else None
+        return PendingReduction(kind, args, required)
+
+    def _bind_reduction(self, pending: PendingReduction,
+                        projection: Optional[Tuple[str, ...]]) -> Delayed:
+        """Bind one pending reduction to partition tasks of *projection*."""
+        plan = self._plan(pending.kind)
+        chunk_args = plan.adapt(self, pending.args) \
+            if plan.adapt is not None else pending.args
+        partitioned = self.partitioned_for(projection)
         if plan.indexed:
-            return self.partitioned.reduction_indexed(
+            return partitioned.reduction_indexed(
                 plan.chunk, plan.combine, finalize=plan.finalize,
                 chunk_args=chunk_args)
-        return self.partitioned.reduction(
+        return partitioned.reduction(
             plan.chunk, plan.combine, finalize=plan.finalize,
             chunk_args=chunk_args)
+
+    def _plan_projections(self, pendings: List[PendingReduction]
+                          ) -> List[Optional[Tuple[str, ...]]]:
+        """Choose the partition projection for every reduction of a batch.
+
+        Overlapping column requirements are merged into shared groups
+        (union of the overlapping sets), so e.g. ``plot(df, "x")``'s
+        summary, histograms and sample all consume one single-column parse
+        per chunk, while a batch containing any whole-row reduction (the
+        nullity sketch, the duplicate hash) collapses onto the full parse.
+        Genuinely *disjoint* groups stay separate and each tokenizes the
+        chunk bytes once — every shipped compute shape either carries a
+        linking reduction that merges the batch or reuses an earlier
+        stage's superset, but a custom batch of disjoint single-column
+        requests over a narrow table can pay more byte-tokenization than
+        one full parse (coercion work never exceeds it).  A group covering
+        every column, a source without projection support, or
+        ``compute.projection=False`` yields None (full-width tasks).
+        """
+        full = set(self.column_names)
+        if not self.projection_enabled or len(full) <= 1:
+            return [None] * len(pendings)
+        requirement_sets: List[set] = []
+        for pending in pendings:
+            if pending.required is None:
+                requirement_sets.append(set(full))
+                continue
+            needed = set(pending.required)
+            if not needed or not needed <= full:
+                # Unknown names: parse everything so the error surfaces in
+                # the chunk function exactly as it did before projection.
+                needed = set(full)
+            requirement_sets.append(needed)
+        groups: List[Tuple[set, List[int]]] = []
+        for index, needed in enumerate(requirement_sets):
+            touching = [group for group in groups if group[0] & needed]
+            if touching:
+                merged_set, members = touching[0]
+                merged_set.update(needed)
+                members.append(index)
+                for other in touching[1:]:
+                    merged_set.update(other[0])
+                    members.extend(other[1])
+                    groups.remove(other)
+            else:
+                groups.append((needed, [index]))
+        projections: List[Optional[Tuple[str, ...]]] = [None] * len(pendings)
+        for needed, members in groups:
+            chosen = self._select_projection(needed, full)
+            for index in members:
+                projections[index] = chosen
+        return projections
+
+    def _select_projection(self, needed: set,
+                           full: set) -> Optional[Tuple[str, ...]]:
+        """The projection tuple serving *needed*, reusing earlier parses.
+
+        An already-built projection covering *needed* is preferred over a
+        fresh narrower parse — the narrowest such superset wins.  An exact
+        match reuses the very same partition task objects; a strict
+        superset reuses chunks the cache has (or is about to have), and
+        with the cache disabled it re-executes tasks the earlier stage
+        already paid for once — exactly the pre-projection cost, whereas a
+        brand-new narrow projection would tokenize every chunk's bytes
+        again on top of it (e.g. the overview's stage-2 histograms would
+        otherwise fragment the stage-1 full parse into one parse set per
+        column).  Projections are emitted in source column order, which
+        keeps them canonical across stages and calls (stable cache keys).
+        """
+        if needed >= full:
+            return None
+        best: Any = _UNSET
+        best_width = None
+        for used in self._used_projections:
+            used_set = full if used is None else set(used)
+            if needed == used_set:
+                return used
+            if needed < used_set:
+                width = len(used_set)
+                if best_width is None or width < best_width:
+                    best, best_width = used, width
+        if best is not _UNSET:
+            return best
+        return tuple(name for name in self.column_names if name in needed)
 
     # ------------------------------------------------------------------ #
     # Intermediate builders (lazy in graph mode, eager otherwise)
     # ------------------------------------------------------------------ #
-    def numeric_summary(self, column: str) -> Union[Delayed, NumericSummary]:
+    def numeric_summary(self, column: str) -> Union[PendingReduction, NumericSummary]:
         """Mergeable numeric summary of one column."""
         if not self.use_graph:
             return NumericSummary.from_column(self.frame.column(column))
         return self._reduce("numeric_summary", (column,))
 
-    def categorical_summary(self, column: str) -> Union[Delayed, CategoricalSummary]:
+    def categorical_summary(self, column: str) -> Union[PendingReduction, CategoricalSummary]:
         """Mergeable categorical summary of one column.
 
         On streaming sources the per-chunk value-count table is bounded
@@ -596,21 +831,21 @@ class ComputeContext:
         return self._reduce("categorical_summary", (column,))
 
     def histogram(self, column: str, bins: int, low: float,
-                  high: float) -> Union[Delayed, Histogram]:
+                  high: float) -> Union[PendingReduction, Histogram]:
         """Mergeable histogram of one column over a fixed range."""
         if not self.use_graph:
             values = self.frame.column(column).to_numpy(drop_missing=True)
             return compute_histogram(values.astype(np.float64), bins, (low, high))
         return self._reduce("histogram", (column, bins, float(low), float(high)))
 
-    def pearson_partial(self, columns: Sequence[str]) -> Union[Delayed, PearsonPartial]:
+    def pearson_partial(self, columns: Sequence[str]) -> Union[PendingReduction, PearsonPartial]:
         """Mergeable Pearson partial sums over the given numeric columns."""
         columns = tuple(columns)
         if not self.use_graph:
             return _chunk_pearson(self.frame, columns)
         return self._reduce("pearson", (columns,))
 
-    def missing_mask(self) -> Union[Delayed, np.ndarray]:
+    def missing_mask(self) -> Union[PendingReduction, np.ndarray]:
         """Full boolean missing mask (rows x columns).
 
         The mask is O(rows x columns); a streaming source must use
@@ -621,7 +856,7 @@ class ComputeContext:
             return self.frame.missing_mask()
         return self._reduce("missing_mask")
 
-    def nullity_sketch(self, n_bins: int) -> Union[Delayed, NullitySketch]:
+    def nullity_sketch(self, n_bins: int) -> Union[PendingReduction, NullitySketch]:
         """Mergeable missing-value sketch over all columns.
 
         Carries everything ``plot_missing(df)`` renders — per-column missing
@@ -634,7 +869,7 @@ class ComputeContext:
                 0, self.known_n_rows, n_bins)
         return self._reduce("nullity", (n_bins,))
 
-    def row_count(self) -> Union[Delayed, int]:
+    def row_count(self) -> Union[PendingReduction, int]:
         """Total number of rows."""
         if not self.exact_results:
             return self.known_n_rows      # precomputed by the layout scan
@@ -643,7 +878,7 @@ class ComputeContext:
         return self._reduce("row_count")
 
     def sample(self, columns: Sequence[str], size: int,
-               seed: int = 0) -> Union[Delayed, DataFrame]:
+               seed: int = 0) -> Union[PendingReduction, DataFrame]:
         """A uniform row sample of the given columns (about *size* rows).
 
         Streaming sources sample through a mergeable reservoir sketch, so
@@ -657,7 +892,7 @@ class ComputeContext:
             return self.frame.select(list(columns)).sample(size, seed=seed)
         return self._reduce("sample", (columns, int(size), seed))
 
-    def pair_counts(self, col1: str, col2: str) -> Union[Delayed, Dict[Tuple[str, str], int]]:
+    def pair_counts(self, col1: str, col2: str) -> Union[PendingReduction, Dict[Tuple[str, str], int]]:
         """Joint value counts of two categorical columns.
 
         On streaming sources the pair table is pruned to the
@@ -674,18 +909,33 @@ class ComputeContext:
     # Resolution (one merged graph per stage)
     # ------------------------------------------------------------------ #
     def resolve(self, requested: Dict[str, Any], stage: str = "graph") -> Dict[str, Any]:
-        """Compute all Delayed values in *requested* against one shared graph.
+        """Compute all lazy values in *requested* against one shared graph.
 
-        Non-Delayed values pass through untouched, so compute functions can
+        Pending reductions are first bound to partition tasks: the
+        projection planner sees the whole batch at once, merges overlapping
+        column requirements and emits one shared (possibly projected) parse
+        task per ``(chunk, column set)`` — this is the point where
+        ``plot(df, "x")`` over a wide scan becomes a single-column parse.
+        Plain values pass through untouched, so compute functions can
         freely mix lazy and already-known values.  Timing and execution
         reports are recorded per stage for the benchmarks.
         """
         started = time.perf_counter()
-        keys = [key for key, value in requested.items() if isinstance(value, Delayed)]
         resolved = dict(requested)
+        pruned_before = self.parse_plan["columns_pruned"]
+        pending_keys = [key for key, value in requested.items()
+                        if isinstance(value, PendingReduction)]
+        if pending_keys:
+            projections = self._plan_projections(
+                [requested[key] for key in pending_keys])
+            for key, projection in zip(pending_keys, projections):
+                resolved[key] = self._bind_reduction(requested[key], projection)
+        keys = [key for key, value in resolved.items() if isinstance(value, Delayed)]
         if keys:
             values, report = self.engine.compute_with_report(
-                [requested[key] for key in keys])
+                [resolved[key] for key in keys])
+            report.columns_pruned = \
+                self.parse_plan["columns_pruned"] - pruned_before
             self.reports.append(report)
             for key, value in zip(keys, values):
                 resolved[key] = value
@@ -704,9 +954,13 @@ class ComputeContext:
         interactive-session benchmark) can read per-stage timings and the
         engine's :class:`~repro.graph.engines.ExecutionReport` list —
         including cache hits — from ``intermediates.meta``.
+        ``meta["projection"]`` carries the projection planner's counters
+        (partition tasks built per kind, columns pruned), which is how the
+        benchmarks assert that a single-column task parsed a single column.
         """
         intermediates.timings = dict(self.timings)
         intermediates.meta["execution_reports"] = list(self.reports)
+        intermediates.meta["projection"] = self.projection_stats()
         return intermediates
 
     def column(self, name: str) -> Column:

@@ -30,7 +30,10 @@ def compute_bivariate(frame: DataFrame, col1: str, col2: str, config: Config,
     Source-agnostic: row alignment happens on the planner-chosen sample
     (exact fraction sample in memory, reservoir sketch over a streaming
     source) and the pair-count tables are capacity-bounded on streams, so
-    no combination materializes a scanned input.
+    no combination materializes a scanned input.  Every reduction of a
+    combination declares ``{col1, col2}`` (or a subset) as its column
+    requirement, so a bivariate task over a scanned CSV parses exactly two
+    columns per chunk.
     """
     context = context or ComputeContext(frame, config)
     first = context.column(col1)

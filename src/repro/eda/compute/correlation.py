@@ -13,7 +13,10 @@ the paper describes for ``plot_correlation(df)``.  Both stages are
 source-agnostic: the partial sums merge over any
 :class:`~repro.frame.source.FrameSource` partitioning, and the dense matrix
 is built from the planner-chosen sample (reservoir sketch on streams), so
-correlation never materializes a scanned input.
+correlation never materializes a scanned input.  Both reductions declare
+the numerical column tuple as their requirement, so over a scanned CSV the
+planner projects every chunk parse onto the numerical columns — string
+columns of a mixed table are never parsed here.
 """
 
 from __future__ import annotations

@@ -38,7 +38,9 @@ def compute_missing_overview(frame: DataFrame, config: Config,
     sketch's closed-form finalizers reproduce the mask-based statistics
     exactly (pinned by the streaming-equivalence suite), the O(rows x
     columns) mask is never materialized, and streaming sources flow through
-    with chunk-bounded memory.  The bar chart and spectrum come straight
+    with chunk-bounded memory.  The sketch reads every column's nullity, so
+    it declares no column projection — the planner keeps this task's chunk
+    parses full-width, as the overview genuinely needs.  The bar chart and spectrum come straight
     from the sketch counts, the nullity correlation from the closed-form
     Pearson over ``(n, S_i, S_ij)``, and the dendrogram from the
     count-derived Euclidean distances.

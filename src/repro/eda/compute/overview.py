@@ -34,7 +34,11 @@ def compute_overview(frame: DataFrame, config: Config,
 
     Works unchanged on any :class:`~repro.frame.source.FrameSource` (e.g. a
     ``scan_csv`` handle): every summary below is a mergeable reduction, so
-    streaming sources flow through chunk by chunk.
+    streaming sources flow through chunk by chunk.  The duplicate-row hash
+    reads whole rows, so the projection planner correctly collapses this
+    task's stage-1 batch onto full-width parses (the per-column summaries
+    union to the whole table anyway); stage 2's histograms then reuse those
+    parses instead of fragmenting them per column.
     """
     context = context or ComputeContext(frame, config)
     semantic_types = detect_frame_types(context.schema_frame)

@@ -39,7 +39,10 @@ def compute_univariate(frame: DataFrame, column: str, config: Config,
     Source-agnostic: every intermediate below is built through the context's
     reduction planner, so a streaming :class:`~repro.frame.source.FrameSource`
     flows through bounded sketches (reservoir sample, bounded value counts)
-    while an in-memory frame keeps the exact reductions.
+    while an in-memory frame keeps the exact reductions.  Every reduction
+    here declares *column* as its required column set, so over a scanned
+    CSV the planner emits single-column projected parses — this task costs
+    one column per chunk, not the table width.
     """
     context = context or ComputeContext(frame, config)
     target = context.column(column)

@@ -92,6 +92,13 @@ DEFAULTS: Dict[str, Any] = {
     # the process backend.
     "compute.scheduler": "threaded",
     "compute.max_workers": None,           # respected by all schedulers
+    # Projection pushdown: partition tasks parse/slice only the columns the
+    # requested reductions declare (e.g. plot(df, "x") over a scanned CSV
+    # parses one column per chunk, not the whole table).  Overlapping
+    # requests inside one graph are merged into shared projected parses;
+    # disable to force every partition task back to full-width
+    # materialization (the pre-projection behaviour).
+    "compute.projection": True,
     "compute.histogram_bins_internal": 512,
     "compute.enable_cse": True,
     "compute.enable_fusion": False,
@@ -136,7 +143,7 @@ _POSITIVE_INT_KEYS = {
 _BOOL_KEYS = {
     "cache.enabled", "hist.auto_bins", "bar.sort_descending",
     "wordfreq.lowercase", "insight.constant.enabled", "insight.enabled",
-    "compute.enable_cse", "compute.enable_fusion",
+    "compute.enable_cse", "compute.enable_fusion", "compute.projection",
 }
 
 #: Keys whose value must be a float in [0, 1].

@@ -125,6 +125,23 @@ class Column:
         """Return a copy of this column under a new name (data is shared)."""
         return Column(name, self.data, self.dtype, self.mask)
 
+    def slice_view(self, start: int, stop: int) -> "Column":
+        """Zero-copy row slice sharing this column's buffers.
+
+        Skips the constructor's re-validation (the NaN/mask reconciliation
+        for FLOAT columns allocates a fresh mask array); a constructed
+        Column already holds that invariant and numpy basic slicing
+        preserves it, so partition slicing — the hottest in-memory graph
+        task — allocates nothing proportional to the slice.
+        """
+        view = object.__new__(Column)
+        view.name = self.name
+        view.data = self.data[start:stop]
+        view.mask = self.mask[start:stop]
+        view.dtype = self.dtype
+        view._fingerprint = None
+        return view
+
     def copy(self) -> "Column":
         """Return a deep copy of this column."""
         return Column(self.name, self.data.copy(), self.dtype, self.mask.copy())

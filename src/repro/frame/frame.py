@@ -183,8 +183,14 @@ class DataFrame:
     # Row operations
     # ------------------------------------------------------------------ #
     def slice(self, start: int, stop: int) -> "DataFrame":
-        """Return rows in ``[start, stop)`` as a new DataFrame."""
-        return DataFrame([column[start:stop] for column in self._columns.values()])
+        """Return rows in ``[start, stop)`` as a new DataFrame.
+
+        The result's columns are zero-copy views into this frame's buffers
+        (see :meth:`~repro.frame.column.Column.slice_view`), which is what
+        keeps in-memory partitioning allocation-free.
+        """
+        return DataFrame([column.slice_view(start, stop)
+                          for column in self._columns.values()])
 
     def head(self, n: int = 5) -> "DataFrame":
         """Return the first *n* rows."""

@@ -19,11 +19,21 @@ from __future__ import annotations
 import csv
 import io
 import os
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
-from repro.errors import FrameError
+from repro.errors import ColumnNotFoundError, FrameError
 from repro.frame.column import Column
 from repro.frame.dtypes import DType, coerce_values, infer_dtype
 from repro.frame.frame import DataFrame, concat_rows
@@ -57,7 +67,8 @@ def read_csv(path_or_buffer: PathOrBuffer,
              column_names: Optional[Sequence[str]] = None,
              dtypes: Optional[Dict[str, DType]] = None,
              max_rows: Optional[int] = None,
-             lenient: bool = False) -> DataFrame:
+             lenient: bool = False,
+             usecols: Optional[Sequence[str]] = None) -> DataFrame:
     """Read a CSV file (or open text buffer) into a :class:`DataFrame`.
 
     Parameters
@@ -72,18 +83,36 @@ def read_csv(path_or_buffer: PathOrBuffer,
         Explicit column names; required when ``has_header`` is False.
     dtypes:
         Optional per-column dtype overrides; other columns are inferred.
+        Keys are validated against the header — a key naming no column
+        raises :class:`~repro.errors.ColumnNotFoundError` with a
+        did-you-mean suggestion instead of being silently ignored.
     max_rows:
         Read at most this many data rows (useful for previews).
     lenient:
         When true, values that cannot be coerced to their (explicitly
         passed) dtype become missing instead of raising.
+    usecols:
+        Project the parse onto these columns only: cells of every other
+        column are skipped *before* collection and dtype coercion, which is
+        the hot-path saving the EDA planner's projection pushdown relies
+        on.  Columns come back in file order regardless of the order given;
+        unknown names raise with a did-you-mean suggestion.
     """
     if isinstance(path_or_buffer, (str, os.PathLike)):
         with open(path_or_buffer, "r", newline="", encoding="utf-8") as handle:
             return _read_csv_stream(handle, delimiter, has_header, column_names,
-                                    dtypes, max_rows, lenient)
+                                    dtypes, max_rows, lenient, usecols)
     return _read_csv_stream(path_or_buffer, delimiter, has_header, column_names,
-                            dtypes, max_rows, lenient)
+                            dtypes, max_rows, lenient, usecols)
+
+
+def _validate_known_columns(requested: Iterable[str],
+                            names: Sequence[str]) -> None:
+    """Raise (with a did-you-mean) when *requested* names a missing column."""
+    known = set(names)
+    for name in requested:
+        if name not in known:
+            raise ColumnNotFoundError(str(name), list(names))
 
 
 def _read_csv_stream(stream: io.TextIOBase,
@@ -92,7 +121,8 @@ def _read_csv_stream(stream: io.TextIOBase,
                      column_names: Optional[Sequence[str]],
                      dtypes: Optional[Dict[str, DType]],
                      max_rows: Optional[int],
-                     lenient: bool = False) -> DataFrame:
+                     lenient: bool = False,
+                     usecols: Optional[Sequence[str]] = None) -> DataFrame:
     reader = csv.reader(stream, delimiter=delimiter)
     rows = iter(reader)
 
@@ -108,16 +138,37 @@ def _read_csv_stream(stream: io.TextIOBase,
             raise FrameError("column_names is required when has_header is False")
         names = list(column_names)
 
+    if dtypes:
+        _validate_known_columns(dtypes, names)
+
+    keep: Optional[List[int]] = None
+    full_width = len(names)
+    if usecols is not None:
+        requested = set(usecols)
+        if not requested:
+            raise FrameError("usecols must name at least one column")
+        _validate_known_columns(requested, names)
+        # File order, so a projected parse always matches select() output.
+        keep = [index for index, name in enumerate(names) if name in requested]
+        names = [names[index] for index in keep]
+
+    width = full_width if keep is None else keep[-1] + 1
     cells: List[List[str]] = [[] for _ in names]
     for row_number, row in enumerate(rows):
         if max_rows is not None and row_number >= max_rows:
             break
         if not row:
             continue
-        if len(row) != len(names):
-            row = _normalize_row(row, len(names))
-        for column_index, cell in enumerate(row):
-            cells[column_index].append(cell)
+        if len(row) < width:
+            row = _normalize_row(row, width)
+        if keep is None:
+            if len(row) > width:
+                row = row[:width]
+            for column_index, cell in enumerate(row):
+                cells[column_index].append(cell)
+        else:
+            for position, column_index in enumerate(keep):
+                cells[position].append(row[column_index])
 
     overrides = dtypes or {}
     columns = []
@@ -269,19 +320,22 @@ def _estimate_csv_row_bytes(path: Union[str, os.PathLike],
 def parse_csv_range(path: Union[str, os.PathLike], byte_start: int,
                     byte_stop: int, column_names: Sequence[str],
                     dtypes: Dict[str, DType],
-                    delimiter: str = ",") -> DataFrame:
+                    delimiter: str = ",",
+                    usecols: Optional[Sequence[str]] = None) -> DataFrame:
     """Parse one record-aligned byte range of a CSV file into a DataFrame.
 
     Parsing is lenient: the dtypes come from a bounded preview, so a value
     deep in the file that contradicts them becomes a missing cell rather
-    than aborting the whole scan.
+    than aborting the whole scan.  *usecols* projects the parse onto a
+    column subset — the other columns' cells are skipped before collection
+    and coercion (see :func:`read_csv`).
     """
     with open(path, "rb") as handle:
         handle.seek(byte_start)
         payload = handle.read(byte_stop - byte_start)
     return read_csv(io.StringIO(payload.decode("utf-8")), delimiter=delimiter,
                     has_header=False, column_names=list(column_names),
-                    dtypes=dtypes, lenient=True)
+                    dtypes=dtypes, lenient=True, usecols=usecols)
 
 
 class ScannedFrame:
@@ -532,8 +586,15 @@ def _scan_csv_file(path: Union[str, os.PathLike],
                    budget_bytes: Optional[int] = None,
                    dtypes: Optional[Dict[str, DType]] = None,
                    inference_rows: int = 10_000,
-                   delimiter: str = ",") -> ScannedFrame:
-    """Layout-scan a single CSV file (the single-path body of *scan_csv*)."""
+                   delimiter: str = ",",
+                   validate_dtype_keys: bool = True) -> ScannedFrame:
+    """Layout-scan a single CSV file (the single-path body of *scan_csv*).
+
+    *validate_dtype_keys* is disabled by the multi-file scanner for files
+    after the first: those receive file 1's complete dtype map, and a
+    header mismatch there must surface as the multi-file "files disagree on
+    columns" error, not as an unknown-dtype-key error.
+    """
     requested_rows = chunk_rows if chunk_rows is not None else DEFAULT_CHUNK_ROWS
     if requested_rows <= 0:
         raise FrameError("chunk_rows must be positive")
@@ -544,11 +605,23 @@ def _scan_csv_file(path: Union[str, os.PathLike],
     preview = read_csv(path, delimiter=delimiter, max_rows=inference_rows)
     inferred = preview.dtypes
     if dtypes:
+        # Mirror the config-key validation: a dtype override naming no
+        # column raises with a did-you-mean instead of silently doing
+        # nothing (the historical behaviour hid typos until the column's
+        # inferred type diverged deep in the file).
+        if validate_dtype_keys:
+            _validate_known_columns(dtypes, preview.columns)
         inferred.update(dtypes)
         # Lenient like the chunk parser: explicit dtypes are the documented
         # remedy for late-typed columns, so early values that contradict
-        # them must become missing, not abort the scan.
-        preview = read_csv(path, delimiter=delimiter, dtypes=inferred,
+        # them must become missing, not abort the scan.  Restrict the map
+        # to this file's own header: in the multi-file path, *dtypes* is
+        # file 1's complete map and a header mismatch must be reported by
+        # the multi-file constructor, not here.
+        preview_columns = set(preview.columns)
+        preview_dtypes = {name: dtype for name, dtype in inferred.items()
+                          if name in preview_columns}
+        preview = read_csv(path, delimiter=delimiter, dtypes=preview_dtypes,
                            max_rows=inference_rows, lenient=True)
 
     file_stat = os.stat(path)

@@ -35,13 +35,18 @@ processes for unchanged data — it feeds cross-call cache keys), and
 module-level function and every argument fingerprintable (paths, numbers,
 tuples, dtype enums), otherwise the partition tasks are excluded from the
 cross-call cache.  Declare ``capabilities.exact=False`` unless the whole
-dataset may safely coexist in memory.  See ``docs/architecture.md`` for a
-worked example.
+dataset may safely coexist in memory.  Declare
+``capabilities.projection=True`` only when the partition ``func`` accepts a
+``columns=`` keyword naming a column subset and materializes just those
+columns — the EDA planner then pushes each reduction's required-column set
+down into the partition tasks (``materialize(columns=...)``).  See
+``docs/architecture.md`` for a worked example.
 """
 
 from __future__ import annotations
 
 import glob as glob_module
+import inspect
 import os
 from dataclasses import dataclass
 from typing import (
@@ -62,6 +67,7 @@ from repro.frame.dtypes import DType
 from repro.frame.fingerprint import fingerprint_file_stamps
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import ScannedFrame, _scan_csv_file, parse_csv_range
+from repro.utils import projected_prefix
 
 #: Default number of rows per in-memory partition (mirrors the graph layer).
 DEFAULT_PARTITION_ROWS = 100_000
@@ -73,21 +79,40 @@ DEFAULT_PARTITION_ROWS = 100_000
 # Module-level (never lambdas) so the optimizer's CSE pass and the cross-call
 # cache can fingerprint them; the graph layer wraps them with ``delayed``.
 # --------------------------------------------------------------------------- #
-def _slice_frame(frame: DataFrame, start: int, stop: int) -> DataFrame:
-    """Materialize one row partition of an in-memory frame."""
-    return frame.slice(start, stop)
+def _slice_frame(frame: DataFrame, start: int, stop: int,
+                 columns: Optional[Tuple[str, ...]] = None) -> DataFrame:
+    """Materialize one row partition of an in-memory frame.
+
+    *columns* projects the partition onto a column subset.  Both the
+    projected and the full slice are zero-copy: every partition column is a
+    view into the source frame's buffers
+    (:meth:`~repro.frame.column.Column.slice_view`), so slicing costs
+    O(columns kept), never O(rows).
+    """
+    names = frame.columns if columns is None else list(columns)
+    return DataFrame([frame.column(name).slice_view(start, stop)
+                      for name in names])
 
 
 def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
                     column_names: Tuple[str, ...], dtypes: dict,
                     file_stamp: Tuple[int, int] = (0, 0),
                     delimiter: str = ",",
-                    expected_rows: Optional[int] = None) -> DataFrame:
+                    expected_rows: Optional[int] = None,
+                    columns: Optional[Tuple[str, ...]] = None) -> DataFrame:
     """Parse one byte range of a CSV file into a DataFrame partition.
 
     *file_stamp* (size, mtime_ns of the file at graph-build time) is not
     used here — it exists so the task's cross-call cache key changes when
     the file is overwritten in place, even with identical byte boundaries.
+
+    *columns* projects the parse onto a column subset: the other columns'
+    cells are skipped before collection and dtype coercion (the hot path of
+    a streaming scan), so a single-column reduction over a wide file pays
+    for one column, not the whole table.  The projection is an explicit
+    task argument, which is what makes projected and full parses occupy
+    distinct cross-call cache keys — a cached single-column partition can
+    never be served where a full-table partition is needed.
 
     When *expected_rows* is given (the layout scan's record count for this
     range) a mismatch raises instead of letting every downstream statistic
@@ -96,7 +121,7 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
     unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
     """
     frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
-                            dtypes, delimiter=delimiter)
+                            dtypes, delimiter=delimiter, usecols=columns)
     if expected_rows is not None and len(frame) != expected_rows:
         raise FrameError(
             f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
@@ -105,6 +130,36 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
             f"chunking (e.g. an unpaired quote in an unquoted field) — "
             f"read it with repro.read_csv instead of scan_csv")
     return frame
+
+
+#: Memoized "does this partition func accept a columns= keyword" checks.
+#: Only module-level functions enter the cache — they are process-permanent,
+#: so a strong reference costs nothing — while per-call closures/partials
+#: (which the protocol allows, at the price of never being cached across
+#: calls) are re-inspected each time rather than pinned forever.
+_COLUMNS_KEYWORD_SUPPORT: Dict[Callable[..., Any], bool] = {}
+
+
+def _accepts_columns(func: Callable[..., Any]) -> bool:
+    """Whether *func* can receive the ``columns=`` projection keyword."""
+    qualname = getattr(func, "__qualname__", "")
+    memoizable = bool(getattr(func, "__module__", None)) and \
+        qualname and "<" not in qualname
+    if memoizable:
+        cached = _COLUMNS_KEYWORD_SUPPORT.get(func)
+        if cached is not None:
+            return cached
+    try:
+        parameters = inspect.signature(func).parameters
+    except (TypeError, ValueError):         # builtins without signatures
+        accepts = False
+    else:
+        accepts = "columns" in parameters or any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values())
+    if memoizable:
+        _COLUMNS_KEYWORD_SUPPORT[func] = accepts
+    return accepts
 
 
 # --------------------------------------------------------------------------- #
@@ -120,9 +175,17 @@ class SourceCapabilities:
         fraction-based row samples, the exact duplicate scan).  False means
         the source streams from storage and reductions must use the
         bounded-memory sketch variants instead.
+    ``projection``
+        True when the source's partition task functions accept a
+        ``columns=`` keyword and materialize only that column subset
+        (see :meth:`SourcePartition.materialize`).  The planner then pushes
+        each reduction's required-column set down into the partition tasks.
+        Defaults to False so a pre-existing custom source keeps its
+        full-materialization behaviour until it opts in.
     """
 
     exact: bool = True
+    projection: bool = False
 
 
 @dataclass(frozen=True)
@@ -147,9 +210,42 @@ class SourcePartition:
         """Number of rows in this partition (known without materializing)."""
         return self.stop - self.start
 
-    def materialize(self) -> DataFrame:
-        """Eagerly materialize the chunk (tests and non-graph callers)."""
-        return self.func(*self.args)
+    def task_spec(self, columns: Optional[Sequence[str]] = None
+                  ) -> Tuple[Callable[..., DataFrame], Tuple[Any, ...],
+                             Dict[str, Any], str]:
+        """``(func, args, kwargs, key prefix)`` of this partition's task.
+
+        With *columns* the task materializes only that column subset:
+        the projection travels as an explicit ``columns=`` keyword (so
+        cache keys and CSE tokens incorporate it) and the key prefix gains
+        the projected marker (so run statistics can count projected vs.
+        full parses).  Only sources declaring
+        ``capabilities.projection=True`` support a non-None projection; a
+        partition whose func takes no ``columns=`` keyword is rejected
+        here with a clear error rather than a ``TypeError`` from deep
+        inside the func at execution time.
+        """
+        if columns is None:
+            return self.func, self.args, {}, self.prefix
+        if not _accepts_columns(self.func):
+            raise FrameError(
+                f"partition func {getattr(self.func, '__name__', self.func)!r} "
+                f"takes no columns= keyword; this source does not support "
+                f"column projection (declare capabilities.projection=True "
+                f"only once its partition funcs accept a column subset)")
+        return (self.func, self.args, {"columns": tuple(columns)},
+                projected_prefix(self.prefix))
+
+    def materialize(self, columns: Optional[Sequence[str]] = None) -> DataFrame:
+        """Eagerly materialize the chunk (tests and non-graph callers).
+
+        *columns* restricts the materialization to a column subset for
+        projection-capable sources — zero-copy views for
+        :class:`InMemorySource`, a projected byte-range parse for the CSV
+        sources.
+        """
+        func, args, kwargs, _ = self.task_spec(columns)
+        return func(*args, **kwargs)
 
 
 @runtime_checkable
@@ -228,7 +324,7 @@ class InMemorySource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=True)
+        return SourceCapabilities(exact=True, projection=True)
 
     def schema_preview(self) -> DataFrame:
         """Schema questions may read the whole frame — it is already resident."""
@@ -347,7 +443,7 @@ class CsvSource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=False)
+        return SourceCapabilities(exact=False, projection=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scan.preview
@@ -437,7 +533,8 @@ class MultiFileCsvSource:
                                  budget_bytes=budget_bytes,
                                  dtypes=shared_dtypes,
                                  inference_rows=inference_rows,
-                                 delimiter=delimiter)
+                                 delimiter=delimiter,
+                                 validate_dtype_keys=False)
                 for path in paths[1:]]
         return cls([first] + rest)
 
@@ -468,7 +565,7 @@ class MultiFileCsvSource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=False)
+        return SourceCapabilities(exact=False, projection=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scans[0].preview

@@ -55,6 +55,19 @@ class ExecutionReport:
     shared_tasks: int = 0
     cache_hits: int = 0
     tasks_skipped_by_cache: int = 0
+    #: Executed partition materializations that carried a column projection
+    #: (parsed/sliced only the columns the consuming reductions declared).
+    projected_parses: int = 0
+    #: Executed partition materializations that parsed every column.
+    full_parses: int = 0
+    #: Planning-side delta: columns avoided across the projected partition
+    #: tasks *newly built* for this batch — sum of (table width - projected
+    #: width) per new task.  A stage that reuses an earlier stage's
+    #: projection builds no new tasks, so it can legitimately report
+    #: ``projected_parses > 0`` with ``columns_pruned == 0``; the
+    #: authoritative per-call total lives in ``meta["projection"]`` /
+    #: ``Report.projection_stats``.  Attached by the compute context.
+    columns_pruned: int = 0
 
     @property
     def sharing_ratio(self) -> float:
@@ -104,7 +117,9 @@ class Engine:
             tasks_before_optimization=stats.input_tasks,
             shared_tasks=stats.merged_by_cse,
             cache_hits=run.cache_hits,
-            tasks_skipped_by_cache=run.skipped)
+            tasks_skipped_by_cache=run.skipped,
+            projected_parses=run.projected_parses,
+            full_parses=run.full_parses)
         return results, report
 
 
@@ -161,6 +176,8 @@ class EagerEngine(Engine):
         total_before = 0
         total_hits = 0
         total_skipped = 0
+        total_projected = 0
+        total_full = 0
         for value in values:
             self.scheduler.last_run = None
             (result,), stats = compute(value, scheduler=self.scheduler,
@@ -174,11 +191,14 @@ class EagerEngine(Engine):
             total_before += stats.input_tasks
             total_hits += run.cache_hits
             total_skipped += run.skipped
+            total_projected += run.projected_parses
+            total_full += run.full_parses
         report = ExecutionReport(
             engine=self.name, requested=len(values), graphs_built=len(values),
             tasks_executed=total_executed, tasks_before_optimization=total_before,
             shared_tasks=0, cache_hits=total_hits,
-            tasks_skipped_by_cache=total_skipped)
+            tasks_skipped_by_cache=total_skipped,
+            projected_parses=total_projected, full_parses=total_full)
         return results, report
 
 

@@ -115,7 +115,8 @@ class PartitionedFrame:
         return cls(partitions, frame.columns, boundaries)
 
     @classmethod
-    def from_source(cls, source: Any) -> "PartitionedFrame":
+    def from_source(cls, source: Any,
+                    columns: Optional[Sequence[str]] = None) -> "PartitionedFrame":
         """Partition any :class:`~repro.frame.source.FrameSource`.
 
         The source's precomputed :class:`~repro.frame.source.SourcePartition`
@@ -123,14 +124,38 @@ class PartitionedFrame:
         so in-memory slices, single-file CSV byte ranges and multi-file
         concatenations all land in the same task graph shape, and a custom
         source needs no graph-layer code at all.
+
+        *columns* projects every partition task onto that column subset
+        (the source must declare ``capabilities.projection=True``): the
+        projection travels as an explicit task argument, so two reductions
+        needing the same column set share one projected parse per chunk —
+        within a graph via CSE and across calls via the intermediate cache
+        — while projected and full parses always occupy distinct cache
+        keys.
         """
         parts = source.partitions()
         if not parts:
             raise GraphError("a FrameSource must expose at least one partition")
-        partitions = [delayed(part.func, prefix=part.prefix)(*part.args)
-                      for part in parts]
+        if columns is not None:
+            capabilities = getattr(source, "capabilities", None)
+            if not getattr(capabilities, "projection", False):
+                raise GraphError(
+                    f"{type(source).__name__} does not support column "
+                    f"projection (capabilities.projection is False); its "
+                    f"partition tasks take no columns= keyword")
+            known = set(source.columns)
+            for name in columns:
+                if name not in known:
+                    raise GraphError(
+                        f"projection names unknown column {name!r}; "
+                        f"source has {source.columns}")
+        partitions = []
+        for part in parts:
+            func, args, kwargs, prefix = part.task_spec(columns)
+            partitions.append(delayed(func, prefix=prefix)(*args, **kwargs))
         boundaries = [(part.start, part.stop) for part in parts]
-        return cls(partitions, source.columns, boundaries)
+        frame_columns = source.columns if columns is None else list(columns)
+        return cls(partitions, frame_columns, boundaries)
 
     @classmethod
     def from_csv(cls, path: str,

@@ -43,7 +43,7 @@ from repro.graph.executor import (
     run_task_bundle,
 )
 from repro.graph.graph import TaskGraph
-from repro.utils import default_worker_count
+from repro.utils import classify_parse_key, default_worker_count
 
 
 @dataclass
@@ -56,6 +56,8 @@ class RunStats:
     skipped: int = 0       # ancestors never visited because a hit covered them
     released: int = 0      # intermediate results freed once fully consumed
     shipped: int = 0       # tasks dispatched to worker processes (ProcessScheduler)
+    projected_parses: int = 0  # executed partition tasks carrying a projection
+    full_parses: int = 0       # executed partition tasks parsing every column
 
 
 @dataclass
@@ -129,6 +131,15 @@ class _ExecutionState:
         if returned:
             self.results[key] = value
             self.scheduler.store_result(self.plan, key, value)
+        run = self.scheduler.last_run
+        if run is not None:
+            # Partition materializations are the projection pushdown's hot
+            # path; count them per kind so the win is observable per run.
+            kind = classify_parse_key(key)
+            if kind == "projected":
+                run.projected_parses += 1
+            elif kind == "full":
+                run.full_parses += 1
         newly_ready: List[str] = []
         for consumer in self.dependents.get(key, ()):
             if consumer not in self.remaining:

@@ -53,6 +53,10 @@ class Report:
     timings: Dict[str, float] = field(default_factory=dict)
     config: Optional[Config] = None
     execution_reports: List[Any] = field(default_factory=list)
+    #: The projection planner's counters for the whole report (partition
+    #: tasks built full-width vs. projected, columns pruned) — see
+    #: :meth:`~repro.eda.compute.base.ComputeContext.projection_stats`.
+    projection_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def section_names(self) -> List[str]:
@@ -176,7 +180,8 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
 
     return Report(title=title, sections=sections, interactions=interactions,
                   timings=timings, config=cfg,
-                  execution_reports=list(context.reports))
+                  execution_reports=list(context.reports),
+                  projection_stats=context.projection_stats())
 
 
 def _interactions(df: DataFrame, config: Config,

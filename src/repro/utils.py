@@ -12,6 +12,39 @@ CSV parsing.)
 from __future__ import annotations
 
 import os
+from typing import Optional
+
+#: Task-key prefixes of the partition materialization tasks every source
+#: emits (in-memory row slices and CSV byte-range parses).  The schedulers
+#: classify executed tasks by these prefixes to report projected-vs-full
+#: parse counts without the graph layer having to know about frames.
+PARSE_TASK_PREFIXES = ("partition", "read_csv_partition")
+
+#: Suffix appended to a partition task's key prefix when the task carries a
+#: column projection (parses/slices a subset of the columns).
+PROJECTED_SUFFIX = ".proj"
+
+
+def projected_prefix(prefix: str) -> str:
+    """The task-key prefix of the projected variant of a partition task."""
+    return prefix + PROJECTED_SUFFIX
+
+
+def classify_parse_key(key: str) -> Optional[str]:
+    """Classify a task key as a ``"full"`` or ``"projected"`` partition parse.
+
+    Task keys look like ``"<prefix>-<counter>"``; anything that is not a
+    recognised partition materialization returns None.  This is how
+    :class:`~repro.graph.scheduler.RunStats` counts parse work per kind
+    without inspecting task arguments.
+    """
+    prefix, dash, _ = key.rpartition("-")
+    if not dash:
+        return None
+    if prefix.endswith(PROJECTED_SUFFIX):
+        base = prefix[:-len(PROJECTED_SUFFIX)]
+        return "projected" if base in PARSE_TASK_PREFIXES else None
+    return "full" if prefix in PARSE_TASK_PREFIXES else None
 
 
 def default_worker_count() -> int:

@@ -1,0 +1,333 @@
+"""Projection pushdown must never change results — only the work done.
+
+Every compute kind (including ``create_report`` and the missing overview)
+is run twice over the same data — once with ``compute.projection`` enabled
+(the default) and once disabled (full-width partition tasks, the
+pre-projection behaviour) — and the intermediates must agree bit-for-bit.
+The grid crosses all three sources (in-memory frame, single-file scan,
+multi-file scan) with all three schedulers.
+
+A second group of tests pins the *work* claims: single-column tasks over a
+scanned CSV execute only projected parses (asserted via the new
+``projected_parses`` / ``full_parses`` counters), whole-row tasks collapse
+onto full parses, and projected and full-table runs interoperate through
+the cross-call cache without wrong-shape hits.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, create_report, plot, plot_correlation, plot_missing
+from repro.frame.io import read_csv, scan_csv, write_csv
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+N_ROWS = 900
+CHUNK_ROWS = 150
+
+#: Dataset-stat keys that legitimately differ between source kinds (not
+#: between projection modes — within one source they must match exactly).
+EXCLUDED_KEYS = {"memory_bytes"}
+
+
+@pytest.fixture(scope="module")
+def csv_paths(tmp_path_factory):
+    """One dataset written as a single CSV and as two part files."""
+    rng = np.random.default_rng(21)
+    price = rng.normal(250_000, 60_000, N_ROWS)
+    price[rng.random(N_ROWS) < 0.08] = np.nan
+    size = rng.normal(1_800, 400, N_ROWS)
+    rating = rng.integers(1, 6, N_ROWS).astype(float)
+    rating[rng.random(N_ROWS) < 0.25] = np.nan
+    city = rng.choice(["vancouver", "toronto", "montreal"], N_ROWS)
+    kind = rng.choice(["detached", "condo", "townhouse"], N_ROWS)
+    frame = DataFrame({
+        "price": price,
+        "size": size,
+        "rating": rating,
+        "city": list(city),
+        "house_type": list(kind),
+    })
+    directory = tmp_path_factory.mktemp("projection")
+    whole = str(directory / "houses.csv")
+    write_csv(frame, whole)
+    split = N_ROWS // 2
+    part_a = str(directory / "part-a.csv")
+    part_b = str(directory / "part-b.csv")
+    write_csv(frame.slice(0, split), part_a)
+    write_csv(frame.slice(split, N_ROWS), part_b)
+    return {"whole": whole, "parts": [part_a, part_b]}
+
+
+def _make_source(kind, csv_paths):
+    if kind == "memory":
+        return read_csv(csv_paths["whole"])
+    if kind == "scan":
+        return scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+    return scan_csv(csv_paths["parts"], chunk_rows=CHUNK_ROWS)
+
+
+@pytest.fixture(params=["memory", "scan", "multifile"])
+def source_kind(request):
+    return request.param
+
+
+@pytest.fixture(params=["synchronous", "threaded", "process"])
+def scheduler_name(request):
+    return request.param
+
+
+@pytest.fixture
+def base_config(scheduler_name):
+    """A fresh cache per test; sampling cutoffs lifted for bit-equality."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield {
+        "compute.scheduler": scheduler_name,
+        "compute.max_workers": 2,
+        "scatter.sample_size": N_ROWS + 1,
+        "correlation.scatter_sample_size": N_ROWS + 1,
+    }
+    set_global_cache(previous)
+
+
+def assert_equivalent(projected, unprojected, path="items"):
+    """Recursive comparison with float tolerance."""
+    if isinstance(unprojected, dict):
+        assert isinstance(projected, dict), path
+        keys_full = set(unprojected) - EXCLUDED_KEYS
+        keys_proj = set(projected) - EXCLUDED_KEYS
+        assert keys_proj == keys_full, f"{path}: {keys_proj ^ keys_full}"
+        for key in keys_full:
+            assert_equivalent(projected[key], unprojected[key], f"{path}.{key}")
+        return
+    if isinstance(unprojected, (list, tuple)):
+        assert len(projected) == len(unprojected), path
+        for index, (left, right) in enumerate(zip(projected, unprojected)):
+            assert_equivalent(left, right, f"{path}[{index}]")
+        return
+    if isinstance(unprojected, float) or isinstance(projected, float):
+        left, right = float(projected), float(unprojected)
+        if math.isnan(left) and math.isnan(right):
+            return
+        assert left == pytest.approx(right, rel=1e-6, abs=1e-9), path
+        return
+    assert projected == unprojected, path
+
+
+CALLS = {
+    "overview": lambda df, config: plot(df, config=config, mode="intermediates"),
+    "univariate-numeric": lambda df, config: plot(
+        df, "price", config=config, mode="intermediates"),
+    "univariate-categorical": lambda df, config: plot(
+        df, "city", config=config, mode="intermediates"),
+    "bivariate-NN": lambda df, config: plot(
+        df, "price", "size", config=config, mode="intermediates"),
+    "bivariate-CN": lambda df, config: plot(
+        df, "city", "price", config=config, mode="intermediates"),
+    "bivariate-CC": lambda df, config: plot(
+        df, "city", "house_type", config=config, mode="intermediates"),
+    "correlation-overview": lambda df, config: plot_correlation(
+        df, config=config, mode="intermediates"),
+    "missing-overview": lambda df, config: plot_missing(
+        df, config=config, mode="intermediates"),
+}
+
+
+@pytest.mark.parametrize("call_name", sorted(CALLS))
+def test_projected_equals_unprojected(csv_paths, source_kind, base_config,
+                                      call_name):
+    call = CALLS[call_name]
+    projected = call(_make_source(source_kind, csv_paths),
+                     config={**base_config, "compute.projection": True})
+    set_global_cache(TaskCache())   # no cross-run contamination
+    unprojected = call(_make_source(source_kind, csv_paths),
+                       config={**base_config, "compute.projection": False})
+    assert_equivalent(projected.items, unprojected.items)
+    projected_insights = sorted((i.kind, i.column) for i in projected.insights)
+    unprojected_insights = sorted((i.kind, i.column)
+                                  for i in unprojected.insights)
+    assert projected_insights == unprojected_insights
+    # The disabled run must not have planned any projected partition task.
+    assert unprojected.meta["projection"]["projected_parse_tasks"] == 0
+
+
+def test_create_report_projected_equals_unprojected(csv_paths, source_kind,
+                                                    base_config):
+    projected = create_report(
+        _make_source(source_kind, csv_paths),
+        config={**base_config, "compute.projection": True})
+    set_global_cache(TaskCache())
+    unprojected = create_report(
+        _make_source(source_kind, csv_paths),
+        config={**base_config, "compute.projection": False})
+    assert projected.section_names == unprojected.section_names
+    for name in unprojected.section_names:
+        assert_equivalent(projected.sections[name].items,
+                          unprojected.sections[name].items, path=name)
+    assert sorted(projected.interactions) == sorted(unprojected.interactions)
+    for key in unprojected.interactions:
+        assert_equivalent(projected.interactions[key],
+                          unprojected.interactions[key],
+                          path=f"interactions.{key}")
+    assert unprojected.projection_stats["projected_parse_tasks"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# Work claims: what actually gets parsed.
+# --------------------------------------------------------------------------- #
+def _parse_totals(intermediates):
+    reports = intermediates.meta["execution_reports"]
+    return (sum(report.projected_parses for report in reports),
+            sum(report.full_parses for report in reports))
+
+
+def test_single_column_plot_parses_only_projected_chunks(csv_paths):
+    """plot(scan, col) must execute projected parses exclusively."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        result = plot(scan, "price", mode="intermediates")
+        projected, full = _parse_totals(result)
+        assert projected > 0
+        assert full == 0
+        plan = result.meta["projection"]
+        assert plan["enabled"] is True
+        assert plan["projected_parse_tasks"] > 0
+        assert plan["full_parse_tasks"] == 0
+        # 5-column table, single-column projection: 4 columns pruned per chunk.
+        assert plan["columns_pruned"] == 4 * plan["projected_parse_tasks"]
+    finally:
+        set_global_cache(previous)
+
+
+def test_whole_row_task_collapses_onto_full_parses(csv_paths):
+    """The nullity sketch reads every column: no projected parse is built."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        result = plot_missing(scan, mode="intermediates")
+        projected, full = _parse_totals(result)
+        assert full > 0
+        assert projected == 0
+        assert result.meta["projection"]["columns_pruned"] == 0
+    finally:
+        set_global_cache(previous)
+
+
+def test_multifile_single_column_plot_is_projected(csv_paths):
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        source = scan_csv(csv_paths["parts"], chunk_rows=CHUNK_ROWS)
+        result = plot(source, "price", mode="intermediates")
+        projected, full = _parse_totals(result)
+        assert projected > 0 and full == 0
+    finally:
+        set_global_cache(previous)
+
+
+def test_projection_disabled_for_in_memory_sources(csv_paths):
+    """In-memory slices are zero-copy views: the planner never fragments
+    them into per-column-set tasks (full slices stay shared across calls)."""
+    frame = read_csv(csv_paths["whole"])
+    result = plot(frame, "price", mode="intermediates",
+                  config={"compute.use_graph": "always"})
+    plan = result.meta["projection"]
+    assert plan["enabled"] is False
+    assert plan["projected_parse_tasks"] == 0
+
+
+def test_projected_stage_reuse_within_one_call(csv_paths):
+    """Stage 2 (histograms, sample) of plot(scan, col) re-requests the same
+    column set as stage 1 and must reuse its projected parse tasks via the
+    cache instead of re-parsing.
+
+    Pinned to the threaded backend: under the process scheduler a chunk
+    parse consumed entirely inside its worker bundle deliberately never
+    reaches the coordinator, so it cannot enter the cross-call cache (the
+    documented bundle trade-off) and stage 2 re-parses instead.
+    """
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        result = plot(scan, "price", mode="intermediates",
+                      config={"compute.scheduler": "threaded"})
+        reports = result.meta["execution_reports"]
+        assert len(reports) >= 2
+        stage2 = reports[1]
+        assert stage2.projected_parses == 0 and stage2.full_parses == 0, \
+            "stage 2 must be served the stage-1 parses from the cache"
+        assert stage2.cache_hits > 0
+    finally:
+        set_global_cache(previous)
+
+
+# --------------------------------------------------------------------------- #
+# Warm-cache interop: projected and full-table runs share one cache.
+# --------------------------------------------------------------------------- #
+def test_warm_cache_interop_projected_then_full_table(csv_paths):
+    """A full-table report after single-column plots must return exactly the
+    cold-reference results — a cached single-column partition can never be
+    served where a full-width one is needed (the keys differ by
+    projection), and vice versa."""
+    previous = get_global_cache()
+    try:
+        # Cold reference, composed with no cache at all.
+        set_global_cache(TaskCache())
+        reference = create_report(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS),
+            config={"cache.enabled": False})
+
+        # Projected single-column runs first, then the full-table report
+        # against the same (now warm) cache.
+        set_global_cache(TaskCache())
+        plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "price",
+             mode="intermediates")
+        plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "city",
+             mode="intermediates")
+        warm = create_report(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS))
+        assert warm.section_names == reference.section_names
+        for name in reference.section_names:
+            assert_equivalent(warm.sections[name].items,
+                              reference.sections[name].items, path=name)
+
+        # And the reverse: a projected run against a cache warmed by the
+        # full-table report.
+        reference_plot = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "price",
+            mode="intermediates", config={"cache.enabled": False})
+        warm_plot = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "price",
+            mode="intermediates")
+        assert_equivalent(warm_plot.items, reference_plot.items)
+    finally:
+        set_global_cache(previous)
+
+
+def test_warm_cache_projected_replay_executes_no_parses(csv_paths):
+    """Re-running the same projected call must serve every projected parse
+    (and its sketches) from the cross-call cache."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        cold = plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS),
+                    "price", mode="intermediates")
+        warm = plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS),
+                    "price", mode="intermediates")
+        assert_equivalent(warm.items, cold.items)
+        projected, full = _parse_totals(warm)
+        assert projected == 0 and full == 0
+        warm_hits = sum(report.cache_hits
+                        for report in warm.meta["execution_reports"])
+        assert warm_hits > 0
+    finally:
+        set_global_cache(previous)

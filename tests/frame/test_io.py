@@ -90,3 +90,78 @@ class TestRoundTrip:
         loaded = roundtrip(mixed_frame)
         assert loaded.dtypes["dates"] is DType.DATETIME
         assert loaded.column("dates").missing_count() == 1
+
+
+class TestUsecolsProjection:
+    TEXT = "a,b,c,d\n1,x,2020-01-01,1.5\n2,y,2021-02-03,2.5\n3,z,2022-03-04,3.5\n"
+
+    def test_projected_read_matches_select(self):
+        full = read_csv(io.StringIO(self.TEXT))
+        projected = read_csv(io.StringIO(self.TEXT), usecols=["d", "a"])
+        # File order regardless of the order given.
+        assert projected.columns == ["a", "d"]
+        assert projected == full.select(["a", "d"])
+
+    def test_projected_dtypes_match_full_inference(self):
+        projected = read_csv(io.StringIO(self.TEXT), usecols=["c"])
+        assert projected.dtypes["c"] is DType.DATETIME
+
+    def test_unknown_usecols_raises_with_suggestion(self):
+        from repro.errors import ColumnNotFoundError
+        with pytest.raises(ColumnNotFoundError, match="did you mean 'a'"):
+            read_csv(io.StringIO(self.TEXT), usecols=["aa"])
+
+    def test_empty_usecols_rejected(self):
+        with pytest.raises(FrameError, match="at least one column"):
+            read_csv(io.StringIO(self.TEXT), usecols=[])
+
+    def test_ragged_rows_still_normalized(self):
+        text = "a,b,c\n1,x\n2,y,z,extra\n"
+        projected = read_csv(io.StringIO(text), usecols=["c"])
+        assert projected.column("c").to_list() == [None, "z"]
+
+    def test_parse_csv_range_projection(self, tmp_path, house_frame):
+        from repro.frame.io import parse_csv_range, scan_csv
+        path = str(tmp_path / "houses.csv")
+        write_csv(house_frame, path)
+        scan = scan_csv(path, chunk_rows=3)
+        byte_start, byte_stop = scan.byte_ranges[0]
+        full = parse_csv_range(path, byte_start, byte_stop, scan.columns,
+                               scan.dtypes)
+        name = scan.columns[0]
+        projected = parse_csv_range(path, byte_start, byte_stop, scan.columns,
+                                    scan.dtypes, usecols=[name])
+        assert projected.columns == [name]
+        assert projected == full.select([name])
+
+
+class TestDtypeKeyValidation:
+    def test_read_csv_rejects_unknown_dtype_key(self):
+        from repro.errors import ColumnNotFoundError
+        with pytest.raises(ColumnNotFoundError, match="did you mean 'a'"):
+            read_csv(io.StringIO("a,b\n1,x\n"), dtypes={"aa": DType.FLOAT})
+
+    def test_scan_csv_rejects_unknown_dtype_key(self, tmp_path, house_frame):
+        from repro.errors import ColumnNotFoundError
+        from repro.frame.io import scan_csv
+        path = str(tmp_path / "houses.csv")
+        write_csv(house_frame, path)
+        with pytest.raises(ColumnNotFoundError, match="did you mean 'price'"):
+            scan_csv(path, dtypes={"pricee": DType.FLOAT})
+
+    def test_multifile_scan_rejects_unknown_dtype_key(self, tmp_path):
+        from repro.errors import ColumnNotFoundError
+        from repro.frame.io import scan_csv
+        for name in ("one.csv", "two.csv"):
+            write_csv(DataFrame({"alpha": [1.0], "beta": ["x"]}),
+                      str(tmp_path / name))
+        with pytest.raises(ColumnNotFoundError, match="did you mean 'alpha'"):
+            scan_csv([str(tmp_path / "one.csv"), str(tmp_path / "two.csv")],
+                     dtypes={"alphaa": DType.FLOAT})
+
+    def test_valid_dtype_keys_still_accepted(self, tmp_path, house_frame):
+        from repro.frame.io import scan_csv
+        path = str(tmp_path / "houses.csv")
+        write_csv(house_frame, path)
+        scan = scan_csv(path, dtypes={"price": DType.FLOAT})
+        assert scan.dtypes["price"] is DType.FLOAT

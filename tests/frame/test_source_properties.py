@@ -186,3 +186,124 @@ def test_explicit_in_memory_partitioning_survives_default_config():
                                 Config.from_user({"compute.partition_rows":
                                                   30_000}))
     assert overridden.partitioned.npartitions == 2
+
+
+# --------------------------------------------------------------------------- #
+# Projection: materialize(columns=...) and the zero-copy in-memory contract.
+# --------------------------------------------------------------------------- #
+def test_in_memory_partitions_are_zero_copy_views():
+    """Exact-path partition slices — projected or not — must share the
+    source frame's buffers: no full-frame (or even per-column) copies."""
+    frame = DataFrame({
+        "a": np.arange(200, dtype=np.float64),
+        "b": np.arange(200, dtype=np.int64),
+        "c": [f"s{i}" for i in range(200)],
+    })
+    source = InMemorySource(frame, partition_rows=64)
+    for part in source.partitions():
+        full = part.materialize()
+        assert full.columns == ["a", "b", "c"]
+        for name in full.columns:
+            assert np.shares_memory(full.column(name).data,
+                                    frame.column(name).data)
+            assert np.shares_memory(full.column(name).mask,
+                                    frame.column(name).mask)
+        projected = part.materialize(columns=("b",))
+        assert projected.columns == ["b"]
+        assert len(projected) == part.n_rows
+        assert np.shares_memory(projected.column("b").data,
+                                frame.column("b").data)
+
+
+def test_frame_slice_is_zero_copy_even_for_float_columns():
+    """DataFrame.slice must not reallocate the float mask (the historical
+    NaN/mask reconciliation copy)."""
+    data = np.array([1.0, np.nan, 3.0, 4.0])
+    frame = DataFrame({"x": data})
+    window = frame.slice(1, 3)
+    assert np.shares_memory(window.column("x").data, frame.column("x").data)
+    assert np.shares_memory(window.column("x").mask, frame.column("x").mask)
+    assert window.column("x").to_list() == [None, 3.0]
+
+
+def test_csv_partition_projection_matches_full_parse(tmp_path):
+    frame = DataFrame({
+        "a": np.arange(30, dtype=np.float64),
+        "b": [f"s{i}" for i in range(30)],
+        "c": np.arange(30, dtype=np.int64),
+    })
+    path = str(tmp_path / "proj.csv")
+    write_csv(frame, path)
+    source = as_source(scan_csv(path, chunk_rows=7))
+    for part in source.partitions():
+        full = part.materialize()
+        projected = part.materialize(columns=("a", "c"))
+        assert projected.columns == ["a", "c"]
+        assert projected == full.select(["a", "c"])
+
+
+def test_source_capabilities_declare_projection():
+    frame = DataFrame({"a": [1.0, 2.0]})
+    assert InMemorySource(frame).capabilities.projection is True
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "caps.csv")
+        write_csv(frame, path)
+        assert as_source(scan_csv(path)).capabilities.projection is True
+        multi = MultiFileCsvSource.scan([path])
+        assert multi.capabilities.projection is True
+
+
+def test_projection_rejected_for_non_projectable_sources():
+    """A source that never opted into projection must fail at plan time
+    (clear GraphError), not at execution time inside a worker."""
+    import pytest
+
+    from repro.errors import GraphError
+    from repro.frame.source import SourcePartition, SourceCapabilities
+    from repro.graph.partition import PartitionedFrame
+
+    class LegacySource:
+        columns = ["a"]
+        capabilities = SourceCapabilities(exact=False)   # projection=False
+
+        def partitions(self):
+            return [SourcePartition(0, 1, _legacy_chunk, ())]
+
+    with pytest.raises(GraphError, match="does not support column projection"):
+        PartitionedFrame.from_source(LegacySource(), columns=("a",))
+    # Unprojected use keeps working.
+    assert PartitionedFrame.from_source(LegacySource()).npartitions == 1
+
+
+def _legacy_chunk():
+    return DataFrame({"a": [1.0]})
+
+
+def test_materialize_projection_rejected_without_columns_keyword():
+    """Direct materialize(columns=...) on a legacy partition func must fail
+    with a clear FrameError, not a TypeError from inside the func."""
+    import pytest
+
+    from repro.errors import FrameError
+    from repro.frame.source import SourcePartition
+
+    part = SourcePartition(0, 1, _legacy_chunk, ())
+    with pytest.raises(FrameError, match="takes no columns= keyword"):
+        part.materialize(columns=("a",))
+    assert part.materialize().columns == ["a"]
+
+
+def test_columns_keyword_probe_never_pins_closures():
+    """The columns= support memo must only retain module-level funcs —
+    per-call closures would otherwise pin their captures forever."""
+    from repro.frame.source import _COLUMNS_KEYWORD_SUPPORT, _accepts_columns
+
+    def closure_func(columns=None):
+        return DataFrame({"a": [1.0]})
+
+    assert _accepts_columns(closure_func) is True
+    assert closure_func not in _COLUMNS_KEYWORD_SUPPORT
+    from repro.frame.source import _read_csv_slice, _slice_frame
+    assert _accepts_columns(_read_csv_slice) is True
+    assert _accepts_columns(_slice_frame) is True
+    assert _read_csv_slice in _COLUMNS_KEYWORD_SUPPORT

@@ -276,3 +276,48 @@ class TestThreadedRefactor:
             assert scheduler.last_run.released > 0
         finally:
             scheduler.close()
+
+
+class TestProjectedBundles:
+    """Projected CSV parses satisfy the picklability contract and ship."""
+
+    def test_projected_parse_tasks_ship_to_workers(self, tmp_path):
+        from repro.frame.frame import DataFrame
+        from repro.frame.io import scan_csv, write_csv
+        from repro.frame.source import CsvSource
+        from repro.graph.partition import PartitionedFrame
+
+        frame = DataFrame({
+            "a": np.arange(600, dtype=np.float64),
+            "b": [f"s{i}" for i in range(600)],
+            "c": np.arange(600, dtype=np.float64) * 2,
+        })
+        path = str(tmp_path / "ship.csv")
+        write_csv(frame, path)
+        source = CsvSource(scan_csv(path, chunk_rows=150))
+        projected = PartitionedFrame.from_source(source, columns=("a",))
+
+        for part in projected.partitions:
+            task = part.graph[part.key]
+            assert can_run_in_worker(task), \
+                "a projected parse must stay value-picklable"
+
+        reduction = projected.reduction(_sum_column_a, _sum_floats)
+        scheduler = ProcessScheduler(max_workers=2)
+        try:
+            total = reduction.compute(scheduler=scheduler)
+            assert total == pytest.approx(float(np.arange(600).sum()))
+            assert scheduler.last_run.shipped > 0
+            assert scheduler.last_run.projected_parses == 4
+            assert scheduler.last_run.full_parses == 0
+        finally:
+            scheduler.close()
+
+
+def _sum_column_a(partition):
+    assert partition.columns == ["a"], "worker must receive the projection"
+    return float(np.nansum(partition.column("a").to_numpy()))
+
+
+def _sum_floats(values):
+    return float(sum(values))
