@@ -32,13 +32,16 @@ from repro.frame import (
     Column,
     CsvSource,
     DataFrame,
+    FilteredSource,
     FrameSource,
     InMemorySource,
     MultiFileCsvSource,
+    Predicate,
     ScannedFrame,
     SourceCapabilities,
     SourcePartition,
     as_source,
+    compile_predicate,
     read_csv,
     scan_csv,
     write_csv,
@@ -72,9 +75,11 @@ __all__ = [
     "Config",
     "CsvSource",
     "DataFrame",
+    "FilteredSource",
     "FrameSource",
     "InMemorySource",
     "MultiFileCsvSource",
+    "Predicate",
     "Report",
     "ScannedFrame",
     "SourceCapabilities",
@@ -82,6 +87,7 @@ __all__ = [
     "as_source",
     "cache_stats",
     "clear_cache",
+    "compile_predicate",
     "create_report",
     "plot",
     "plot_correlation",

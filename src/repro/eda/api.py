@@ -52,7 +52,10 @@ produce identical results for every compute kind.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.eda.compute import (
     compute_bivariate,
@@ -69,7 +72,8 @@ from repro.eda.config import Config
 from repro.eda.intermediates import Intermediates
 from repro.errors import EDAError, FrameError
 from repro.frame.frame import DataFrame
-from repro.frame.source import as_source
+from repro.frame.predicate import PredicateError, compile_predicate
+from repro.frame.source import FilteredSource, as_source
 
 _VALID_MODES = ("container", "intermediates")
 
@@ -86,6 +90,59 @@ def _prepare(df: DataFrame, config: Optional[Mapping[str, Any]],
     return Config.from_user(config, display=display)
 
 
+def _apply_where(df: Any, where: Any) -> Any:
+    """Resolve the ``where=`` filter against the input before computing.
+
+    A filter that compiles to the predicate IR (a ``(column, op, literal)``
+    triple, a list of such triples ANDed together, a
+    :class:`~repro.frame.predicate.Predicate`, or a comparison built from a
+    scan's column expression like ``scan.price > 0``) is **pushed down**:
+    in-memory frames are filtered eagerly with one vectorized boolean mask,
+    while streaming sources are wrapped in a
+    :class:`~repro.frame.source.FilteredSource` so the filter runs inside
+    every chunk's parse task and the zone maps can skip whole chunks.
+
+    Anything else the IR cannot express — a callable ``frame -> bool
+    mask``, or a precomputed boolean array — still works, but cannot be
+    pushed into the scan: the input is materialized in full (announced with
+    a :class:`UserWarning`) and filtered in memory.
+    """
+    if where is None:
+        return df
+    source = as_source(df)
+    try:
+        predicate = compile_predicate(where)
+    except PredicateError as error:
+        return _fallback_filter(source, where, error)
+    if source.capabilities.exact:
+        frame = source.to_frame()
+        return frame.filter(predicate.mask(frame))
+    return FilteredSource(source, predicate)
+
+
+def _fallback_filter(source: Any, where: Any, error: PredicateError):
+    """Materialize-and-filter for ``where=`` shapes the IR cannot push."""
+    if not callable(where) and not isinstance(where, np.ndarray):
+        raise EDAError(
+            f"unsupported where= filter: {error}; pass a (column, op, "
+            f"literal) triple, a list of triples, a Predicate, a callable "
+            f"frame -> boolean mask, or a boolean numpy array") from None
+    if not source.capabilities.exact:
+        warnings.warn(
+            "this where= filter cannot be pushed into the scan (it is not "
+            "a column-vs-literal predicate): materializing the full input "
+            "to apply it — peak memory is no longer bounded for this call",
+            UserWarning, stacklevel=3)
+    frame = source.to_frame()
+    mask = np.asarray(where(frame) if callable(where) else where)
+    if mask.dtype != np.bool_ or mask.shape != (len(frame),):
+        raise EDAError(
+            f"a where= callable/array must produce a boolean mask of "
+            f"length {len(frame)}; got dtype={mask.dtype}, "
+            f"shape={mask.shape}")
+    return frame.filter(mask)
+
+
 def _finish(intermediates: Intermediates, config: Config, call: str, mode: str):
     if mode == "intermediates":
         return intermediates
@@ -96,7 +153,7 @@ def _finish(intermediates: Intermediates, config: Config, call: str, mode: str):
 def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
          *, config: Optional[Mapping[str, Any]] = None,
          display: Optional[Sequence[str]] = None,
-         mode: str = "container"):
+         mode: str = "container", where: Any = None):
     """Overview, univariate or bivariate analysis (Figure 2, rows 1-3).
 
     * ``plot(df)`` — "I want an overview of the dataset."
@@ -127,8 +184,19 @@ def plot(df: DataFrame, col1: Optional[str] = None, col2: Optional[str] = None,
         ``"container"`` (default) returns the rendered tabbed layout;
         ``"intermediates"`` returns the raw computed values plus stage
         timings and execution reports (see the module docstring).
+    where:
+        Optional row filter applied before any analysis, e.g.
+        ``where=("price", ">", 0)`` or ``where=scan.price > 0``.  Triples
+        (and lists of triples, ANDed) are pushed down: streaming sources
+        filter inside each chunk's parse and skip whole chunks via zone
+        maps (see the ``compute.predicates`` config key); in-memory frames
+        apply one vectorized mask.  A callable ``frame -> bool mask`` or a
+        boolean array also works but materializes the input (with a
+        :class:`UserWarning` on scans).  Results are identical to calling
+        ``plot`` on the pre-filtered frame.
     """
     cfg = _prepare(df, config, display, mode)
+    df = _apply_where(df, where)
     if col1 is None and col2 is not None:
         raise EDAError("col1 must be provided when col2 is given")
     if col1 is None:
@@ -147,7 +215,7 @@ def plot_correlation(df: DataFrame, col1: Optional[str] = None,
                      col2: Optional[str] = None, *,
                      config: Optional[Mapping[str, Any]] = None,
                      display: Optional[Sequence[str]] = None,
-                     mode: str = "container"):
+                     mode: str = "container", where: Any = None):
     """Correlation analysis (Figure 2, rows 4-6).
 
     * ``plot_correlation(df)`` — correlation matrices of all numerical columns
@@ -156,8 +224,11 @@ def plot_correlation(df: DataFrame, col1: Optional[str] = None,
       other numerical column.
     * ``plot_correlation(df, col1, col2)`` — scatter plot with a regression
       line for the two columns.
+
+    ``where=`` filters rows before the analysis exactly as in :func:`plot`.
     """
     cfg = _prepare(df, config, display, mode)
+    df = _apply_where(df, where)
     if col1 is None and col2 is not None:
         raise EDAError("col1 must be provided when col2 is given")
     if col1 is None:
@@ -176,7 +247,7 @@ def plot_missing(df: DataFrame, col1: Optional[str] = None,
                  col2: Optional[str] = None, *,
                  config: Optional[Mapping[str, Any]] = None,
                  display: Optional[Sequence[str]] = None,
-                 mode: str = "container"):
+                 mode: str = "container", where: Any = None):
     """Missing-value analysis (Figure 2, rows 7-9).
 
     * ``plot_missing(df)`` — overview: missing bar chart, missing spectrum,
@@ -185,8 +256,11 @@ def plot_missing(df: DataFrame, col1: Optional[str] = None,
       ``col1`` is missing on every other column.
     * ``plot_missing(df, col1, col2)`` — the impact of dropping the rows where
       ``col1`` is missing on the distribution of ``col2``.
+
+    ``where=`` filters rows before the analysis exactly as in :func:`plot`.
     """
     cfg = _prepare(df, config, display, mode)
+    df = _apply_where(df, where)
     if col1 is None and col2 is not None:
         raise EDAError("col1 must be provided when col2 is given")
     if col1 is None:

@@ -46,7 +46,7 @@ from repro.eda.config import Config
 from repro.errors import EDAError
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
-from repro.frame.source import FrameSource, as_source
+from repro.frame.source import FilteredSource, FrameSource, as_source
 from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
 from repro.graph.engines import Engine, ExecutionReport, get_engine
@@ -468,12 +468,30 @@ class ComputeContext:
             config.get("compute.projection") and
             getattr(self.source.capabilities, "projection", False) and
             not self.exact_results)
-        #: Planning-side projection counters: partition tasks built per
-        #: kind, and columns whose parse/slice was avoided altogether.
+        #: Predicate pushdown: a filtered streaming source carries its
+        #: compiled predicate into every partition task (rows are dropped
+        #: inside the parse, before coercion feeds the sketches), and the
+        #: zone-map planner may skip whole chunks before reading bytes.
+        #: In-memory filtered inputs are materialized eagerly at the API
+        #: layer, so an exact source never reaches this path with a
+        #: predicate attached.
+        self._predicate = self.source.predicate \
+            if isinstance(self.source, FilteredSource) else None
+        self.predicate_enabled = bool(
+            self._predicate is not None and not self.exact_results)
+        self._predicate_spec = self._predicate.spec() \
+            if self.predicate_enabled else None
+        self._rows_audit_done = False
+        #: Planning-side projection/predicate counters: partition tasks
+        #: built per kind, columns whose parse/slice was avoided altogether,
+        #: chunks the zone maps dropped and rows the pushed-down filter
+        #: removed from the chunks that did parse.
         self.parse_plan: Dict[str, int] = {
             "projected_parse_tasks": 0,
             "full_parse_tasks": 0,
             "columns_pruned": 0,
+            "chunks_skipped": 0,
+            "rows_filtered": 0,
         }
         if engine is not None:
             self.engine = engine
@@ -643,6 +661,13 @@ class ComputeContext:
                     budget_bytes=self.config.get("memory.budget_bytes")
                     if "memory.budget_bytes" in provided else None,
                     concurrency=self._effective_workers())
+            if (self._predicate is not None
+                    and not self.config.get("compute.predicates")
+                    and hasattr(planned, "without_pruning")):
+                # compute.predicates=False disables only the zone-map chunk
+                # skipping; the filter itself still runs inside every parse
+                # task, so results are identical either way.
+                planned = planned.without_pruning()
             self._planned_source = planned
             self.timings["precompute_chunk_sizes"] = time.perf_counter() - started
         return self._planned_source
@@ -666,10 +691,16 @@ class ComputeContext:
         cached = self._projected_partitions.get(projection)
         if cached is not None:
             return cached
-        built = PartitionedFrame.from_source(self._plan_source(),
-                                             columns=projection)
+        planned = self._plan_source()
+        built = PartitionedFrame.from_source(planned, columns=projection,
+                                             predicate=self._predicate_spec)
         self._projected_partitions[projection] = built
         self._used_projections.append(projection)
+        pruning = getattr(planned, "last_pruning", None)
+        if pruning:
+            # Counted per newly built partition set: each one re-plans the
+            # chunk list, so each one independently avoids these reads.
+            self.parse_plan["chunks_skipped"] += pruning.get("chunks_skipped", 0)
         if projection is None:
             self.parse_plan["full_parse_tasks"] += built.npartitions
         else:
@@ -681,6 +712,17 @@ class ComputeContext:
     def projection_stats(self) -> Dict[str, Any]:
         """Planning-side projection counters plus the enabled flag."""
         return {"enabled": self.projection_enabled, **self.parse_plan}
+
+    def predicate_stats(self) -> Dict[str, Any]:
+        """Predicate-pushdown counters: the pushed spec, chunks the zone
+        maps skipped before any bytes were read, and rows the in-parse
+        filter removed from the chunks that did parse."""
+        return {
+            "enabled": self.predicate_enabled,
+            "predicate": self._predicate_spec,
+            "chunks_skipped": self.parse_plan["chunks_skipped"],
+            "rows_filtered": self.parse_plan["rows_filtered"],
+        }
 
     # ------------------------------------------------------------------ #
     # The planner dispatch
@@ -863,15 +905,25 @@ class ComputeContext:
         counts, pairwise co-missing counts and the row-binned missing
         spectrum — in a few small arrays per chunk, for every source kind.
         """
-        if not self.use_graph:
+        if not self.use_graph or self._predicate_spec is not None:
+            # The nullity reduction is indexed (chunks place themselves by
+            # their precomputed global row range), but a filtered partition
+            # compacts rows, so those pre-filter positions would be wrong.
+            # Fall back to the local path — for a streaming source this
+            # materializes (with the documented UserWarning) and filters.
+            frame = self.frame
             return NullitySketch.from_mask(
-                self.frame.missing_mask(), tuple(self.column_names),
-                0, self.known_n_rows, n_bins)
+                frame.missing_mask(), tuple(self.column_names),
+                0, len(frame), n_bins)
         return self._reduce("nullity", (n_bins,))
 
     def row_count(self) -> Union[PendingReduction, int]:
-        """Total number of rows."""
+        """Total number of rows (post-filter when a predicate is pushed)."""
         if not self.exact_results:
+            if self._predicate_spec is not None:
+                # The layout scan counts pre-filter rows; only the filtered
+                # parses know how many survive, so count through them.
+                return self._reduce("row_count")
             return self.known_n_rows      # precomputed by the layout scan
         if not self.use_graph:
             return len(self.frame)
@@ -923,22 +975,53 @@ class ComputeContext:
         started = time.perf_counter()
         resolved = dict(requested)
         pruned_before = self.parse_plan["columns_pruned"]
+        chunks_before = self.parse_plan["chunks_skipped"]
+        rows_before = self.parse_plan["rows_filtered"]
         pending_keys = [key for key, value in requested.items()
                         if isinstance(value, PendingReduction)]
+        audit_key: Optional[str] = None
+        planned_rows = 0
         if pending_keys:
             projections = self._plan_projections(
                 [requested[key] for key in pending_keys])
             for key, projection in zip(pending_keys, projections):
                 resolved[key] = self._bind_reduction(requested[key], projection)
+            if self._predicate_spec is not None and not self._rows_audit_done:
+                # One hidden row-count audit per context measures how many
+                # rows the pushed-down filter removed.  It rides along the
+                # first batch's first projection, so CSE folds it onto
+                # parse tasks the batch builds anyway — no extra reads.
+                self._rows_audit_done = True
+                audit_key = "__predicate_rows_audit__"
+                while audit_key in resolved:
+                    audit_key += "_"
+                resolved[audit_key] = self._bind_reduction(
+                    PendingReduction("row_count", (), None), projections[0])
+                planned_rows = sum(
+                    stop - start for start, stop
+                    in self.partitioned_for(projections[0]).boundaries)
         keys = [key for key, value in resolved.items() if isinstance(value, Delayed)]
         if keys:
             values, report = self.engine.compute_with_report(
                 [resolved[key] for key in keys])
-            report.columns_pruned = \
-                self.parse_plan["columns_pruned"] - pruned_before
-            self.reports.append(report)
             for key, value in zip(keys, values):
                 resolved[key] = value
+            if audit_key is not None:
+                kept = resolved.pop(audit_key)
+                self.parse_plan["rows_filtered"] += \
+                    max(0, planned_rows - int(kept))
+            report.columns_pruned = \
+                self.parse_plan["columns_pruned"] - pruned_before
+            report.chunks_skipped = \
+                self.parse_plan["chunks_skipped"] - chunks_before
+            report.rows_filtered = \
+                self.parse_plan["rows_filtered"] - rows_before
+            last_run = getattr(getattr(self.engine, "scheduler", None),
+                               "last_run", None)
+            if last_run is not None:
+                last_run.chunks_skipped += report.chunks_skipped
+                last_run.rows_filtered += report.rows_filtered
+            self.reports.append(report)
         elapsed = time.perf_counter() - started
         self.timings[stage] = self.timings.get(stage, 0.0) + elapsed
         return resolved
@@ -961,6 +1044,7 @@ class ComputeContext:
         intermediates.timings = dict(self.timings)
         intermediates.meta["execution_reports"] = list(self.reports)
         intermediates.meta["projection"] = self.projection_stats()
+        intermediates.meta["predicate"] = self.predicate_stats()
         return intermediates
 
     def column(self, name: str) -> Column:

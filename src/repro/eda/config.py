@@ -99,6 +99,14 @@ DEFAULTS: Dict[str, Any] = {
     # disable to force every partition task back to full-width
     # materialization (the pre-projection behaviour).
     "compute.projection": True,
+    # Predicate pushdown: filtered EDA calls (plot(..., where=...) or a
+    # scan indexed with a predicate) ship the compiled filter into the
+    # partition parse tasks and consult per-chunk zone-map statistics to
+    # skip chunks no matching row can live in.  Disable to parse every
+    # chunk and filter inside the parse instead — identical results, no
+    # chunk skipping (the equivalence grid pins both modes against
+    # in-memory mask filtering).
+    "compute.predicates": True,
     "compute.histogram_bins_internal": 512,
     "compute.enable_cse": True,
     "compute.enable_fusion": False,
@@ -144,6 +152,7 @@ _BOOL_KEYS = {
     "cache.enabled", "hist.auto_bins", "bar.sort_descending",
     "wordfreq.lowercase", "insight.constant.enabled", "insight.enabled",
     "compute.enable_cse", "compute.enable_fusion", "compute.projection",
+    "compute.predicates",
 }
 
 #: Keys whose value must be a float in [0, 1].

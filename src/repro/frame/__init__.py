@@ -26,8 +26,15 @@ from repro.frame.fingerprint import fingerprint_array, fingerprint_column, finge
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import ScannedFrame, read_csv, scan_csv, write_csv
 from repro.frame.ops import crosstab, groupby_aggregate, value_counts
+from repro.frame.predicate import (
+    ColumnExpr,
+    Conjunct,
+    Predicate,
+    compile_predicate,
+)
 from repro.frame.source import (
     CsvSource,
+    FilteredSource,
     FrameSource,
     InMemorySource,
     MultiFileCsvSource,
@@ -35,19 +42,29 @@ from repro.frame.source import (
     SourcePartition,
     as_source,
 )
+from repro.frame.zonemap import ZoneMap, build_zone_map, load_zone_map, save_zone_map
 
 __all__ = [
     "Column",
+    "ColumnExpr",
+    "Conjunct",
     "CsvSource",
     "DataFrame",
     "DType",
+    "FilteredSource",
     "FrameSource",
     "InMemorySource",
     "MultiFileCsvSource",
+    "Predicate",
     "ScannedFrame",
     "SourceCapabilities",
     "SourcePartition",
+    "ZoneMap",
     "as_source",
+    "build_zone_map",
+    "compile_predicate",
+    "load_zone_map",
+    "save_zone_map",
     "concat_rows",
     "crosstab",
     "fingerprint_array",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import operator
 import sys
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -91,6 +92,37 @@ class Column:
 
     def __hash__(self) -> int:  # Columns are not hashable (mutable arrays inside)
         raise TypeError("Column objects are unhashable")
+
+    # Ordering comparisons against a scalar produce element-wise boolean
+    # masks (missing entries compare False), so ``df[df.x > 0]`` works on an
+    # in-memory frame with the same missing-never-matches semantics the
+    # pushed-down predicate IR applies inside scan parses.  ``==`` keeps its
+    # whole-column structural meaning above, so only the four order
+    # operators are element-wise; build a Predicate for pushable equality.
+    def _compare(self, op: Callable[[Any, Any], Any], other: Any) -> np.ndarray:
+        if isinstance(other, Column):
+            return NotImplemented
+        out = np.zeros(len(self), dtype=np.bool_)
+        present = ~self.mask
+        try:
+            out[present] = op(self.data[present], other)
+        except TypeError:
+            raise FrameError(
+                f"cannot compare column {self.name!r} "
+                f"({self.dtype.value}) with {type(other).__name__}") from None
+        return out
+
+    def __gt__(self, other: Any) -> np.ndarray:
+        return self._compare(operator.gt, other)
+
+    def __ge__(self, other: Any) -> np.ndarray:
+        return self._compare(operator.ge, other)
+
+    def __lt__(self, other: Any) -> np.ndarray:
+        return self._compare(operator.lt, other)
+
+    def __le__(self, other: Any) -> np.ndarray:
+        return self._compare(operator.le, other)
 
     def _values_equal(self, other: "Column") -> bool:
         valid = ~self.mask

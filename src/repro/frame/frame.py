@@ -138,6 +138,18 @@ class DataFrame:
             return self.select(list(item))
         raise FrameError(f"unsupported indexer: {item!r}")
 
+    def __getattr__(self, name: str) -> Column:
+        # Attribute access falls back to column lookup (``df.price``), so
+        # ``df[df.price > 0]`` reads naturally; only called when normal
+        # attribute resolution fails.  Bypass during unpickling / partial
+        # construction, when _columns itself is not set yet.
+        if not name.startswith("_"):
+            columns = self.__dict__.get("_columns")
+            if columns is not None and name in columns:
+                return columns[name]
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
     def column(self, name: str) -> Column:
         """Return a single column by name (raises ColumnNotFoundError)."""
         try:

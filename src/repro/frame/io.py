@@ -375,6 +375,7 @@ class ScannedFrame:
                                       if budget_concurrency is not None
                                       else default_worker_count())
         self._rechunks: Dict[int, "ScannedFrame"] = {}
+        self._zone_map: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # Metadata (no I/O)
@@ -434,6 +435,73 @@ class ScannedFrame:
     def __repr__(self) -> str:
         return (f"ScannedFrame(path={self.path!r}, rows={self.n_rows}, "
                 f"chunks={self.n_chunks}, columns={self._columns})")
+
+    # ------------------------------------------------------------------ #
+    # Filtered views (predicate pushdown)
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, item):
+        """Lazy filter building: ``scan["x"]`` and ``scan[scan["x"] > 0]``.
+
+        A column name returns a
+        :class:`~repro.frame.predicate.ColumnExpr` — a symbolic reference
+        whose comparison operators build
+        :class:`~repro.frame.predicate.Predicate` objects; indexing with a
+        predicate returns a lazy
+        :class:`~repro.frame.source.FilteredSource` over this scan.
+        Neither operation reads a single data byte: the filter is pushed
+        into the chunk parses (and zone-map chunk skipping) when the EDA
+        layer plans over the result, instead of materializing the file
+        here.
+        """
+        from repro.frame.predicate import ColumnExpr, Predicate
+        if isinstance(item, str):
+            if item not in self._columns:
+                raise ColumnNotFoundError(
+                    f"unknown column {item!r}; available: {self._columns}")
+            return ColumnExpr(item)
+        if isinstance(item, Predicate):
+            from repro.frame.source import CsvSource, FilteredSource
+            return FilteredSource(CsvSource(self), item)
+        raise FrameError(
+            f"a ScannedFrame accepts a column name or a Predicate, got "
+            f"{type(item).__name__}; for row masks, read the file with "
+            f"read_csv and filter the DataFrame")
+
+    def __getattr__(self, name: str):
+        """``scan.x`` as shorthand for ``scan["x"]`` (known columns only)."""
+        if not name.startswith("_"):
+            columns = self.__dict__.get("_columns") or []
+            if name in columns:
+                from repro.frame.predicate import ColumnExpr
+                return ColumnExpr(name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def zone_map(self):
+        """The per-chunk zone map of this scan, building it if needed.
+
+        Loads the persisted sidecar when its ``(size, mtime_ns)`` stamp and
+        chunk granularity match; otherwise parses the file once to compute
+        per-chunk min/max/null/distinct statistics
+        (:mod:`repro.frame.zonemap`) and persists them for every later
+        filtered call in any process.  Memoized on this handle.
+        """
+        from repro.frame.zonemap import (
+            build_zone_map,
+            load_zone_map,
+            save_zone_map,
+        )
+        if self._zone_map is not None:
+            return self._zone_map
+        loaded = load_zone_map(self.path, self.file_stamp, self.chunk_rows)
+        if loaded is not None and loaded.n_chunks == self.n_chunks:
+            self._zone_map = loaded
+            return loaded
+        built = build_zone_map(self.chunks(), self.file_stamp,
+                               self.chunk_rows)
+        save_zone_map(self.path, built)
+        self._zone_map = built
+        return built
 
     # ------------------------------------------------------------------ #
     # Chunked access

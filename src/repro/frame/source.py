@@ -67,7 +67,8 @@ from repro.frame.dtypes import DType
 from repro.frame.fingerprint import fingerprint_file_stamps
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import ScannedFrame, _scan_csv_file, parse_csv_range
-from repro.utils import projected_prefix
+from repro.frame.predicate import ColumnExpr, Predicate, apply_predicate_spec
+from repro.utils import filtered_prefix, projected_prefix
 
 #: Default number of rows per in-memory partition (mirrors the graph layer).
 DEFAULT_PARTITION_ROWS = 100_000
@@ -80,7 +81,9 @@ DEFAULT_PARTITION_ROWS = 100_000
 # cache can fingerprint them; the graph layer wraps them with ``delayed``.
 # --------------------------------------------------------------------------- #
 def _slice_frame(frame: DataFrame, start: int, stop: int,
-                 columns: Optional[Tuple[str, ...]] = None) -> DataFrame:
+                 columns: Optional[Tuple[str, ...]] = None,
+                 predicate: Optional[Tuple[Tuple[str, str, Any], ...]] = None
+                 ) -> DataFrame:
     """Materialize one row partition of an in-memory frame.
 
     *columns* projects the partition onto a column subset.  Both the
@@ -88,10 +91,23 @@ def _slice_frame(frame: DataFrame, start: int, stop: int,
     view into the source frame's buffers
     (:meth:`~repro.frame.column.Column.slice_view`), so slicing costs
     O(columns kept), never O(rows).
+
+    *predicate* (a :meth:`~repro.frame.predicate.Predicate.spec` tuple)
+    filters the partition's rows.  The slice views stay zero-copy; the mask
+    is evaluated over the views and only the surviving rows are copied out,
+    so the cost is O(rows kept), never O(table).
     """
     names = frame.columns if columns is None else list(columns)
-    return DataFrame([frame.column(name).slice_view(start, stop)
-                      for name in names])
+    if predicate is None:
+        return DataFrame([frame.column(name).slice_view(start, stop)
+                          for name in names])
+    wanted = set(names)
+    needed = names + [column for column, _, _ in predicate
+                      if column in frame.columns and column not in wanted]
+    view = DataFrame([frame.column(name).slice_view(start, stop)
+                      for name in needed])
+    filtered = apply_predicate_spec(view, predicate)
+    return filtered[list(names)] if len(needed) != len(names) else filtered
 
 
 def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
@@ -99,7 +115,9 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
                     file_stamp: Tuple[int, int] = (0, 0),
                     delimiter: str = ",",
                     expected_rows: Optional[int] = None,
-                    columns: Optional[Tuple[str, ...]] = None) -> DataFrame:
+                    columns: Optional[Tuple[str, ...]] = None,
+                    predicate: Optional[Tuple[Tuple[str, str, Any], ...]] = None
+                    ) -> DataFrame:
     """Parse one byte range of a CSV file into a DataFrame partition.
 
     *file_stamp* (size, mtime_ns of the file at graph-build time) is not
@@ -114,14 +132,31 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
     distinct cross-call cache keys — a cached single-column partition can
     never be served where a full-table partition is needed.
 
+    *predicate* (a :meth:`~repro.frame.predicate.Predicate.spec` tuple)
+    filters the parsed rows before they reach any downstream sketch.  A
+    predicate column missing from the projection is parsed additionally —
+    cells the filter reads but the reductions do not — and dropped again
+    after filtering, so the output keeps exactly the projected columns.
+    Like the projection, the predicate is an explicit task argument and so
+    part of the cache key: a filtered partition can never be served where
+    the unfiltered rows are needed, and vice versa.
+
     When *expected_rows* is given (the layout scan's record count for this
     range) a mismatch raises instead of letting every downstream statistic
     silently disagree with the row boundaries: it means the file's quoting
     defies record-aligned chunking — e.g. a stray unpaired quote inside an
     unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
+    The check runs against the pre-filter parse count — the layout scan
+    knows nothing about predicates.
     """
+    parse_columns = columns
+    if predicate is not None and columns is not None:
+        wanted = set(columns)
+        filter_columns = {column for column, _, _ in predicate}
+        parse_columns = tuple(name for name in column_names
+                              if name in wanted or name in filter_columns)
     frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
-                            dtypes, delimiter=delimiter, usecols=columns)
+                            dtypes, delimiter=delimiter, usecols=parse_columns)
     if expected_rows is not None and len(frame) != expected_rows:
         raise FrameError(
             f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
@@ -129,24 +164,29 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
             f"{expected_rows}; the file's quoting defies record-aligned "
             f"chunking (e.g. an unpaired quote in an unquoted field) — "
             f"read it with repro.read_csv instead of scan_csv")
+    if predicate is not None:
+        frame = apply_predicate_spec(frame, predicate)
+        if columns is not None and parse_columns != columns:
+            wanted = set(columns)
+            frame = frame[[name for name in frame.columns if name in wanted]]
     return frame
 
 
-#: Memoized "does this partition func accept a columns= keyword" checks.
+#: Memoized "does this partition func accept this keyword" checks.
 #: Only module-level functions enter the cache — they are process-permanent,
 #: so a strong reference costs nothing — while per-call closures/partials
 #: (which the protocol allows, at the price of never being cached across
 #: calls) are re-inspected each time rather than pinned forever.
-_COLUMNS_KEYWORD_SUPPORT: Dict[Callable[..., Any], bool] = {}
+_KEYWORD_SUPPORT: Dict[Tuple[Callable[..., Any], str], bool] = {}
 
 
-def _accepts_columns(func: Callable[..., Any]) -> bool:
-    """Whether *func* can receive the ``columns=`` projection keyword."""
+def _accepts_keyword(func: Callable[..., Any], keyword: str) -> bool:
+    """Whether *func* can receive *keyword* as a keyword argument."""
     qualname = getattr(func, "__qualname__", "")
     memoizable = bool(getattr(func, "__module__", None)) and \
         qualname and "<" not in qualname
     if memoizable:
-        cached = _COLUMNS_KEYWORD_SUPPORT.get(func)
+        cached = _KEYWORD_SUPPORT.get((func, keyword))
         if cached is not None:
             return cached
     try:
@@ -154,12 +194,17 @@ def _accepts_columns(func: Callable[..., Any]) -> bool:
     except (TypeError, ValueError):         # builtins without signatures
         accepts = False
     else:
-        accepts = "columns" in parameters or any(
+        accepts = keyword in parameters or any(
             parameter.kind is inspect.Parameter.VAR_KEYWORD
             for parameter in parameters.values())
     if memoizable:
-        _COLUMNS_KEYWORD_SUPPORT[func] = accepts
+        _KEYWORD_SUPPORT[(func, keyword)] = accepts
     return accepts
+
+
+def _accepts_columns(func: Callable[..., Any]) -> bool:
+    """Whether *func* can receive the ``columns=`` projection keyword."""
+    return _accepts_keyword(func, "columns")
 
 
 # --------------------------------------------------------------------------- #
@@ -182,10 +227,21 @@ class SourceCapabilities:
         each reduction's required-column set down into the partition tasks.
         Defaults to False so a pre-existing custom source keeps its
         full-materialization behaviour until it opts in.
+    ``predicates``
+        True when the source's partition task functions accept a
+        ``predicate=`` keyword (a
+        :meth:`~repro.frame.predicate.Predicate.spec` tuple) and filter the
+        partition's rows before returning them.  The planner then pushes a
+        filtered call's predicate down into the partition tasks — and, for
+        chunked file scans, consults the per-chunk zone maps
+        (:mod:`repro.frame.zonemap`) to skip whole chunks first.  Defaults
+        to False, so a custom source keeps full materialization plus an
+        eager post-filter until it opts in.
     """
 
     exact: bool = True
     projection: bool = False
+    predicates: bool = False
 
 
 @dataclass(frozen=True)
@@ -210,7 +266,8 @@ class SourcePartition:
         """Number of rows in this partition (known without materializing)."""
         return self.stop - self.start
 
-    def task_spec(self, columns: Optional[Sequence[str]] = None
+    def task_spec(self, columns: Optional[Sequence[str]] = None,
+                  predicate: Optional[Sequence[Tuple[str, str, Any]]] = None
                   ) -> Tuple[Callable[..., DataFrame], Tuple[Any, ...],
                              Dict[str, Any], str]:
         """``(func, args, kwargs, key prefix)`` of this partition's task.
@@ -224,27 +281,54 @@ class SourcePartition:
         partition whose func takes no ``columns=`` keyword is rejected
         here with a clear error rather than a ``TypeError`` from deep
         inside the func at execution time.
-        """
-        if columns is None:
-            return self.func, self.args, {}, self.prefix
-        if not _accepts_columns(self.func):
-            raise FrameError(
-                f"partition func {getattr(self.func, '__name__', self.func)!r} "
-                f"takes no columns= keyword; this source does not support "
-                f"column projection (declare capabilities.projection=True "
-                f"only once its partition funcs accept a column subset)")
-        return (self.func, self.args, {"columns": tuple(columns)},
-                projected_prefix(self.prefix))
 
-    def materialize(self, columns: Optional[Sequence[str]] = None) -> DataFrame:
+        With *predicate* (a :meth:`~repro.frame.predicate.Predicate.spec`
+        tuple) the task additionally filters the partition's rows.  The
+        predicate travels as an explicit ``predicate=`` keyword of plain
+        nested tuples — the graph layer tokenizes those structurally, so
+        filtered tasks get their own CSE tokens and cross-call cache keys,
+        and the payload stays picklable for process-pool shipping — and
+        the key prefix gains the filtered marker.  Requires
+        ``capabilities.predicates=True`` (a func without the keyword is
+        rejected here, mirroring the projection contract).
+        """
+        kwargs: Dict[str, Any] = {}
+        prefix = self.prefix
+        if columns is not None:
+            if not _accepts_columns(self.func):
+                raise FrameError(
+                    f"partition func "
+                    f"{getattr(self.func, '__name__', self.func)!r} "
+                    f"takes no columns= keyword; this source does not support "
+                    f"column projection (declare capabilities.projection=True "
+                    f"only once its partition funcs accept a column subset)")
+            kwargs["columns"] = tuple(columns)
+            prefix = projected_prefix(prefix)
+        if predicate is not None:
+            if not _accepts_keyword(self.func, "predicate"):
+                raise FrameError(
+                    f"partition func "
+                    f"{getattr(self.func, '__name__', self.func)!r} "
+                    f"takes no predicate= keyword; this source does not "
+                    f"support predicate pushdown (declare "
+                    f"capabilities.predicates=True only once its partition "
+                    f"funcs accept a predicate spec)")
+            kwargs["predicate"] = tuple(tuple(entry) for entry in predicate)
+            prefix = filtered_prefix(prefix)
+        return self.func, self.args, kwargs, prefix
+
+    def materialize(self, columns: Optional[Sequence[str]] = None,
+                    predicate: Optional[Sequence[Tuple[str, str, Any]]] = None
+                    ) -> DataFrame:
         """Eagerly materialize the chunk (tests and non-graph callers).
 
         *columns* restricts the materialization to a column subset for
         projection-capable sources — zero-copy views for
         :class:`InMemorySource`, a projected byte-range parse for the CSV
-        sources.
+        sources.  *predicate* filters the chunk's rows for
+        predicate-capable sources.
         """
-        func, args, kwargs, _ = self.task_spec(columns)
+        func, args, kwargs, _ = self.task_spec(columns, predicate)
         return func(*args, **kwargs)
 
 
@@ -324,7 +408,7 @@ class InMemorySource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=True, projection=True)
+        return SourceCapabilities(exact=True, projection=True, predicates=True)
 
     def schema_preview(self) -> DataFrame:
         """Schema questions may read the whole frame — it is already resident."""
@@ -443,7 +527,8 @@ class CsvSource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=False, projection=True)
+        return SourceCapabilities(exact=False, projection=True,
+                                  predicates=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scan.preview
@@ -473,6 +558,10 @@ class CsvSource:
 
     def to_frame(self) -> DataFrame:
         return self._scan.to_frame()
+
+    def __getitem__(self, item: Any) -> Any:
+        """``source["x"]`` / ``source[pred]``: lazy filter building."""
+        return _source_getitem(self, item)
 
     def __repr__(self) -> str:
         return f"CsvSource({self._scan!r})"
@@ -565,7 +654,8 @@ class MultiFileCsvSource:
 
     @property
     def capabilities(self) -> SourceCapabilities:
-        return SourceCapabilities(exact=False, projection=True)
+        return SourceCapabilities(exact=False, projection=True,
+                                  predicates=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scans[0].preview
@@ -604,9 +694,295 @@ class MultiFileCsvSource:
         """Materialize every file (escape hatch; needs the full memory)."""
         return concat_rows([scan.to_frame() for scan in self._scans])
 
+    def __getitem__(self, item: Any) -> Any:
+        """``source["x"]`` / ``source[pred]``: lazy filter building."""
+        return _source_getitem(self, item)
+
     def __repr__(self) -> str:
         return (f"MultiFileCsvSource(files={len(self._scans)}, "
                 f"rows={self.n_rows}, columns={self.columns})")
+
+
+def _source_getitem(source: "FrameSource", item: Any) -> Any:
+    """Shared ``source[...]`` behaviour of the streaming sources.
+
+    A column name returns a symbolic
+    :class:`~repro.frame.predicate.ColumnExpr` (whose comparisons build
+    predicates); a :class:`~repro.frame.predicate.Predicate` returns a lazy
+    :class:`FilteredSource` — no data bytes are read either way.
+    """
+    if isinstance(item, str):
+        if item not in source.columns:
+            raise FrameError(f"unknown column {item!r}; available: "
+                             f"{source.columns}")
+        return ColumnExpr(item)
+    if isinstance(item, Predicate):
+        return FilteredSource(source, item)
+    raise FrameError(
+        f"{type(source).__name__} accepts a column name or a Predicate, "
+        f"got {type(item).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Filtered views
+# --------------------------------------------------------------------------- #
+def _inner_scans(source: Any) -> Optional[List[Tuple[ScannedFrame, int]]]:
+    """``(scan, global row offset)`` pairs of a chunked CSV source, or None.
+
+    Zone-map pruning needs per-chunk statistics, which only the file scans
+    maintain; any other predicate-capable source simply gets no pruning
+    (every chunk parses and filters, results unchanged).
+    """
+    if isinstance(source, CsvSource):
+        return [(source.scan, 0)]
+    if isinstance(source, MultiFileCsvSource):
+        pairs: List[Tuple[ScannedFrame, int]] = []
+        offset = 0
+        for scan in source.scans:
+            pairs.append((scan, offset))
+            offset += scan.n_rows
+        return pairs
+    return None
+
+
+def _zone_keep_flags(scan: ScannedFrame,
+                     spec: Tuple[Tuple[str, str, Any], ...]
+                     ) -> Optional[List[bool]]:
+    """Per-chunk keep/skip flags from the scan's zone map, or None.
+
+    None (no pruning) on any failure — zone maps are an optimization, never
+    a correctness requirement, so an unreadable sidecar or a parse problem
+    during the statistics build must degrade to "parse every chunk".
+    """
+    try:
+        zone_map = scan.zone_map()
+    except (OSError, FrameError):
+        return None
+    if zone_map is None or zone_map.n_chunks != len(scan.boundaries):
+        return None
+    return zone_map.keep_flags(spec)
+
+
+class FilteredSource:
+    """A :class:`FrameSource` view applying a row predicate to a source.
+
+    This is what a filtered EDA call plans against: ``scan[scan["x"] > 0]``
+    and ``plot(..., where=...)`` over a streaming input both produce one.
+    The wrapper delegates schema and partitioning to the inner source and
+    adds two things:
+
+    * **chunk skipping** — ``partitions()`` consults the per-chunk zone
+      maps of chunked CSV scans (:mod:`repro.frame.zonemap`) and drops
+      chunks whose min/max ranges prove no row can match, recording the
+      decision in :attr:`last_pruning`;
+    * **the predicate itself** — exposed as :attr:`predicate` so the
+      reduction planner pushes its spec into the surviving partition tasks
+      (each chunk parse then filters rows before coercion and sketching).
+
+    ``capabilities.exact`` is always False: the post-filter row count is
+    unknown before execution, so the planner must use the bounded sketch
+    reductions even over an in-memory inner source.  Stacked filters
+    flatten: filtering a ``FilteredSource`` ANDs the predicates into one
+    wrapper.
+    """
+
+    def __init__(self, source: Any, predicate: Predicate, prune: bool = True):
+        source = as_source(source)
+        if not isinstance(predicate, Predicate):
+            raise FrameError("FilteredSource expects a compiled Predicate; "
+                             "see repro.frame.predicate.compile_predicate")
+        if isinstance(source, FilteredSource):
+            predicate = source.predicate & predicate
+            prune = prune and source.prune
+            source = source.source
+        if not source.capabilities.predicates:
+            raise FrameError(
+                f"{type(source).__name__} does not support row predicates "
+                f"(capabilities.predicates is False)")
+        unknown = [name for name in predicate.columns
+                   if name not in source.columns]
+        if unknown:
+            raise FrameError(
+                f"predicate references unknown column(s) {unknown}; "
+                f"available: {source.columns}")
+        self._source = source
+        self._predicate = predicate
+        self._prune = prune
+        #: ``{"chunks_total", "chunks_skipped"}`` of the latest
+        #: ``partitions()`` call — the planner folds this into its
+        #: ``chunks_skipped`` counters.
+        self.last_pruning: Dict[str, int] = {"chunks_total": 0,
+                                             "chunks_skipped": 0}
+
+    # ------------------------------------------------------------------ #
+    # The filtered view
+    # ------------------------------------------------------------------ #
+    @property
+    def source(self) -> FrameSource:
+        """The wrapped (unfiltered) source."""
+        return self._source
+
+    @property
+    def predicate(self) -> Predicate:
+        """The row predicate this view applies."""
+        return self._predicate
+
+    @property
+    def prune(self) -> bool:
+        """Whether ``partitions()`` may skip chunks via zone maps."""
+        return self._prune
+
+    def without_pruning(self) -> "FilteredSource":
+        """The same filtered view with zone-map chunk skipping disabled.
+
+        Every chunk then parses and filters — same results, no skipping —
+        which is what ``compute.predicates: False`` selects.
+        """
+        if not self._prune:
+            return self
+        return FilteredSource(self._source, self._predicate, prune=False)
+
+    def __getitem__(self, item: Any) -> Any:
+        """``filtered["x"]`` names a column; ``filtered[pred]`` stacks."""
+        if isinstance(item, str):
+            if item not in self._source.columns:
+                raise FrameError(f"unknown column {item!r}; available: "
+                                 f"{self._source.columns}")
+            return ColumnExpr(item)
+        if isinstance(item, Predicate):
+            return FilteredSource(self, item, prune=self._prune)
+        raise FrameError(
+            f"a filtered scan accepts a column name or a Predicate, got "
+            f"{type(item).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # FrameSource protocol, by delegation
+    # ------------------------------------------------------------------ #
+    @property
+    def columns(self) -> List[str]:
+        return self._source.columns
+
+    @property
+    def dtypes(self) -> Dict[str, DType]:
+        return self._source.dtypes
+
+    @property
+    def n_rows(self) -> int:
+        """Pre-filter row count: an upper bound on the filtered rows.
+
+        The true count is only known after execution; the compute layer
+        answers ``row_count`` for a filtered source with a real reduction
+        instead of this number.
+        """
+        return self._source.n_rows
+
+    @property
+    def capabilities(self) -> SourceCapabilities:
+        inner = self._source.capabilities
+        return SourceCapabilities(exact=False, projection=inner.projection,
+                                  predicates=True)
+
+    def schema_preview(self) -> DataFrame:
+        """A bounded preview of the rows that survive the filter.
+
+        Filtering keeps schema questions (semantic type detection) aligned
+        with what an in-memory user would see after masking the same rows.
+        A selective filter on data clustered away from the file head can
+        annihilate the inner preview (e.g. ``ts >= recent`` over a
+        timestamp-ordered log); schema detection over zero rows would then
+        misread every column, so in that case matching rows are collected
+        from the (zone-map pruned) partitions instead — bounded by the
+        inner preview's own size.
+        """
+        preview = self._source.schema_preview()
+        filtered = preview.filter(self._predicate.mask(preview))
+        if len(filtered) > 0 or len(preview) == 0:
+            return filtered
+        target = len(preview)
+        spec = self._predicate.spec()
+        collected: List[DataFrame] = []
+        rows = 0
+        for part in self.partitions():
+            frame = part.materialize(predicate=spec)
+            if len(frame) > 0:
+                collected.append(frame)
+                rows += len(frame)
+            if rows >= target:
+                break
+        if not collected:
+            return filtered
+        from repro.frame.frame import concat_rows
+        merged = concat_rows(collected)
+        return merged.slice(0, target) if len(merged) > target else merged
+
+    def fingerprint(self) -> str:
+        import hashlib
+        payload = repr((self._source.fingerprint(), self._predicate.spec()))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def footprint_bytes(self) -> int:
+        return self._source.footprint_bytes()
+
+    def materialization_bytes(self) -> int:
+        """Upper bound: the filter can only shrink the materialization."""
+        return self._source.materialization_bytes()
+
+    def partitions(self) -> List[SourcePartition]:
+        """The inner partitions minus provably non-matching chunks.
+
+        Chunks are pruned with the zone maps of chunked CSV scans when
+        available (and pruning is enabled); row boundaries of the surviving
+        partitions keep their original pre-filter global offsets.  When
+        every chunk is prunable, the first is kept anyway — it parses and
+        filters to zero rows — so downstream planning never sees an empty
+        partition list.  Each call records its decision in
+        :attr:`last_pruning`.
+        """
+        spec = self._predicate.spec()
+        total = 0
+        skipped = 0
+        parts: List[SourcePartition] = []
+        first_part: Optional[SourcePartition] = None
+        scans = _inner_scans(self._source) if self._prune else None
+        if scans is None:
+            parts = self._source.partitions()
+            total = len(parts)
+        else:
+            for scan, offset in scans:
+                scan_parts = _scan_partitions(scan, offset)
+                total += len(scan_parts)
+                keep = _zone_keep_flags(scan, spec)
+                for index, part in enumerate(scan_parts):
+                    if first_part is None:
+                        first_part = part
+                    if keep is None or keep[index]:
+                        parts.append(part)
+                    else:
+                        skipped += 1
+            if not parts and first_part is not None:
+                parts = [first_part]
+                skipped -= 1
+        self.last_pruning = {"chunks_total": total, "chunks_skipped": skipped}
+        return parts
+
+    def with_partitioning(self, chunk_rows: Optional[int] = None,
+                          budget_bytes: Optional[int] = None,
+                          concurrency: int = 1) -> "FilteredSource":
+        inner = self._source.with_partitioning(chunk_rows=chunk_rows,
+                                               budget_bytes=budget_bytes,
+                                               concurrency=concurrency)
+        if inner is self._source:
+            return self
+        return FilteredSource(inner, self._predicate, prune=self._prune)
+
+    def to_frame(self) -> DataFrame:
+        """Materialize the inner source, then apply the predicate mask."""
+        frame = self._source.to_frame()
+        return frame.filter(self._predicate.mask(frame))
+
+    def __repr__(self) -> str:
+        return (f"FilteredSource({self._source!r}, "
+                f"predicate={self._predicate!r})")
 
 
 # --------------------------------------------------------------------------- #
@@ -641,7 +1017,8 @@ def as_source(data: Any) -> FrameSource:
         return InMemorySource(data)
     if isinstance(data, ScannedFrame):
         return CsvSource(data)
-    if isinstance(data, (InMemorySource, CsvSource, MultiFileCsvSource)):
+    if isinstance(data, (InMemorySource, CsvSource, MultiFileCsvSource,
+                         FilteredSource)):
         return data
     if isinstance(data, FrameSource):
         return data
@@ -652,6 +1029,7 @@ def as_source(data: Any) -> FrameSource:
 
 __all__ = [
     "CsvSource",
+    "FilteredSource",
     "FrameSource",
     "InMemorySource",
     "MultiFileCsvSource",

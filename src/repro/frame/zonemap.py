@@ -1,0 +1,242 @@
+"""Per-chunk zone maps: the statistics behind predicate chunk skipping.
+
+A *zone map* records, for every chunk of a chunked CSV scan and every
+column, the minimum, maximum, null count and a (bounded) distinct-value
+estimate of that chunk.  Given a pushdown predicate
+(:mod:`repro.frame.predicate`), the planner tests each conjunct against the
+chunk's min/max range and drops chunks that cannot possibly contain a
+matching row — before a single data byte of the chunk is read.
+
+Pruning is deliberately one-sided: a kept chunk may still contain zero
+matching rows (the residual per-chunk filter handles that), but a skipped
+chunk must provably contain none.  The rules encode the same SQL-like
+missing semantics as the predicate evaluator — a missing value never
+matches — so a chunk whose values are all missing for a filtered column is
+always skippable.
+
+Zone maps are persisted as a JSON *sidecar* next to the CSV
+(``<file>.zones.json``), keyed by the same ``(size, mtime_ns)`` stamp the
+scan layout uses, plus the chunk granularity: a sidecar written for one
+``chunk_rows`` does not answer for another, and any change to the file
+invalidates every grid at once.  Building a zone map costs one parse of the
+file, so it happens lazily on the first *filtered* plan over a scan and is
+amortized across every later filtered call in any process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Distinct-value estimates saturate here; beyond this a chunk is simply
+#: "high cardinality" and the exact count stops being useful for planning.
+DISTINCT_CAP = 256
+
+#: Sidecar schema version; bump on incompatible format changes.
+SIDECAR_VERSION = 1
+
+#: Per-column stat vectors, one entry per chunk.
+ColumnStats = Dict[str, List[Any]]
+
+
+@dataclass
+class ZoneMap:
+    """Chunk statistics for one file at one chunk granularity."""
+
+    stamp: Tuple[int, int]          # (st_size, st_mtime_ns) of the CSV
+    chunk_rows: int                 # granularity the chunks were cut at
+    n_chunks: int
+    #: column name -> {"min": [...], "max": [...], "nulls": [...],
+    #: "distinct": [...]}, each list indexed by chunk.
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def chunk_may_match(self, index: int,
+                        spec: Sequence[Tuple[str, str, Any]]) -> bool:
+        """Whether chunk *index* could contain a row matching *spec*.
+
+        Conservative in every uncertain case (unknown column, incomparable
+        types): only a provable miss returns False.
+        """
+        for column, op, value in spec:
+            stats = self.columns.get(column)
+            if stats is None:
+                continue
+            vmin = stats["min"][index]
+            vmax = stats["max"][index]
+            if vmin is None:
+                # Every value in this chunk is missing; missing never
+                # matches any comparison, so no conjunct can hold.
+                return False
+            try:
+                if not _range_may_match(vmin, vmax, op, value):
+                    return False
+            except TypeError:
+                continue    # incomparable literal: cannot prune on it
+        return True
+
+    def keep_flags(self, spec: Sequence[Tuple[str, str, Any]]) -> List[bool]:
+        """Per-chunk keep/skip decisions for *spec*."""
+        return [self.chunk_may_match(index, spec)
+                for index in range(self.n_chunks)]
+
+
+def _range_may_match(vmin: Any, vmax: Any, op: str, value: Any) -> bool:
+    """Whether any point in [vmin, vmax] can satisfy ``point <op> value``."""
+    if op == ">":
+        return vmax > value
+    if op == ">=":
+        return vmax >= value
+    if op == "<":
+        return vmin < value
+    if op == "<=":
+        return vmin <= value
+    if op == "==":
+        return vmin <= value <= vmax
+    if op == "!=":
+        return not (vmin == vmax == value)
+    return True     # unknown operator: never prune
+
+
+def _scalar(value: Any) -> Any:
+    """Plain-Python form of a chunk statistic (JSON- and pickle-friendly)."""
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
+    """``(min, max, nulls, distinct)`` per column of one parsed chunk.
+
+    ``min``/``max`` are None when the chunk has no present values for the
+    column; ``distinct`` saturates at :data:`DISTINCT_CAP`.
+    """
+    stats: Dict[str, Tuple[Any, Any, int, int]] = {}
+    for name in frame.columns:
+        column = frame.column(name)
+        present = column.notna()
+        nulls = int(len(column) - present.sum())
+        if nulls == len(column):
+            stats[name] = (None, None, nulls, 0)
+            continue
+        values = column.to_numpy()[present]
+        try:
+            distinct = min(int(np.unique(values).size), DISTINCT_CAP)
+        except TypeError:       # mixed unhashable/unsortable objects
+            distinct = DISTINCT_CAP
+        stats[name] = (_scalar(values.min()), _scalar(values.max()),
+                       nulls, distinct)
+    return stats
+
+
+def build_zone_map(chunks: Iterable[Any], stamp: Tuple[int, int],
+                   chunk_rows: int) -> ZoneMap:
+    """Build a :class:`ZoneMap` from an iterable of parsed chunk frames."""
+    columns: Dict[str, ColumnStats] = {}
+    n_chunks = 0
+    for frame in chunks:
+        per_column = chunk_column_stats(frame)
+        for name, (vmin, vmax, nulls, distinct) in per_column.items():
+            entry = columns.setdefault(
+                name, {"min": [], "max": [], "nulls": [], "distinct": []})
+            entry["min"].append(vmin)
+            entry["max"].append(vmax)
+            entry["nulls"].append(nulls)
+            entry["distinct"].append(distinct)
+        n_chunks += 1
+    return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
+                   chunk_rows=int(chunk_rows), n_chunks=n_chunks,
+                   columns=columns)
+
+
+# --------------------------------------------------------------------------- #
+# Sidecar persistence.
+# --------------------------------------------------------------------------- #
+def sidecar_path(csv_path: str) -> str:
+    """Where the zone-map sidecar for *csv_path* lives."""
+    return csv_path + ".zones.json"
+
+
+def _load_sidecar(csv_path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(sidecar_path(csv_path), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or \
+            payload.get("version") != SIDECAR_VERSION:
+        return None
+    return payload
+
+
+def load_zone_map(csv_path: str, stamp: Tuple[int, int],
+                  chunk_rows: int) -> Optional[ZoneMap]:
+    """Load the persisted zone map for *(csv_path, stamp, chunk_rows)*.
+
+    Returns None when there is no sidecar, the sidecar's ``(size,
+    mtime_ns)`` stamp does not match (the file changed), or no grid exists
+    at this chunk granularity — the caller then rebuilds from the data.
+    """
+    payload = _load_sidecar(csv_path)
+    if payload is None:
+        return None
+    if tuple(payload.get("stamp", ())) != (int(stamp[0]), int(stamp[1])):
+        return None
+    grid = payload.get("grids", {}).get(str(int(chunk_rows)))
+    if not isinstance(grid, dict):
+        return None
+    try:
+        return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
+                       chunk_rows=int(chunk_rows),
+                       n_chunks=int(grid["n_chunks"]),
+                       columns=dict(grid["columns"]))
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def save_zone_map(csv_path: str, zone_map: ZoneMap) -> bool:
+    """Persist *zone_map* into the sidecar, merging other granularities.
+
+    Grids from a different stamp are discarded (the file changed, so they
+    are stale).  Returns False — without raising — when the directory is
+    not writable; zone maps are a cache, never a correctness requirement.
+    """
+    payload = _load_sidecar(csv_path)
+    stamp = [int(zone_map.stamp[0]), int(zone_map.stamp[1])]
+    if payload is None or payload.get("stamp") != stamp:
+        payload = {"version": SIDECAR_VERSION, "stamp": stamp, "grids": {}}
+    payload["grids"][str(zone_map.chunk_rows)] = {
+        "n_chunks": zone_map.n_chunks,
+        "columns": zone_map.columns,
+    }
+    target = sidecar_path(csv_path)
+    temporary = target + ".tmp"
+    try:
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temporary, target)
+    except OSError:
+        try:
+            os.unlink(temporary)
+        except OSError:
+            pass
+        return False
+    return True
+
+
+__all__ = [
+    "DISTINCT_CAP",
+    "ZoneMap",
+    "build_zone_map",
+    "chunk_column_stats",
+    "load_zone_map",
+    "save_zone_map",
+    "sidecar_path",
+]

@@ -68,6 +68,14 @@ class ExecutionReport:
     #: authoritative per-call total lives in ``meta["projection"]`` /
     #: ``Report.projection_stats``.  Attached by the compute context.
     columns_pruned: int = 0
+    #: Planning-side predicate-pushdown deltas for this batch, attached by
+    #: the compute context like ``columns_pruned``: chunks the zone maps
+    #: dropped before any bytes were read (counted once per newly built
+    #: partition set), and rows the pushed-down filter removed from the
+    #: chunks that did parse.  The authoritative per-call totals live in
+    #: ``meta["predicate"]`` / ``Report.predicate_stats``.
+    chunks_skipped: int = 0
+    rows_filtered: int = 0
 
     @property
     def sharing_ratio(self) -> float:

@@ -116,7 +116,8 @@ class PartitionedFrame:
 
     @classmethod
     def from_source(cls, source: Any,
-                    columns: Optional[Sequence[str]] = None) -> "PartitionedFrame":
+                    columns: Optional[Sequence[str]] = None,
+                    predicate: Optional[Any] = None) -> "PartitionedFrame":
         """Partition any :class:`~repro.frame.source.FrameSource`.
 
         The source's precomputed :class:`~repro.frame.source.SourcePartition`
@@ -132,6 +133,18 @@ class PartitionedFrame:
         within a graph via CSE and across calls via the intermediate cache
         — while projected and full parses always occupy distinct cache
         keys.
+
+        *predicate* — a :class:`~repro.frame.predicate.Predicate` or its
+        ``spec()`` tuple form — filters every partition task's rows before
+        they reach downstream reductions (the source must declare
+        ``capabilities.predicates=True``).  Like the projection, it travels
+        as an explicit task argument, so filtered and unfiltered parses of
+        the same chunk occupy distinct CSE tokens and cross-call cache
+        keys, while two filtered reductions with the same predicate share
+        one parse.  Note the boundaries keep the source's pre-filter row
+        offsets: a filtered partition holds *at most* ``stop - start``
+        rows, so indexed reductions (which assume exact global positions)
+        must not be planned over a filtered frame.
         """
         parts = source.partitions()
         if not parts:
@@ -149,9 +162,19 @@ class PartitionedFrame:
                     raise GraphError(
                         f"projection names unknown column {name!r}; "
                         f"source has {source.columns}")
+        spec = None
+        if predicate is not None:
+            capabilities = getattr(source, "capabilities", None)
+            if not getattr(capabilities, "predicates", False):
+                raise GraphError(
+                    f"{type(source).__name__} does not support predicate "
+                    f"pushdown (capabilities.predicates is False); its "
+                    f"partition tasks take no predicate= keyword")
+            spec = predicate.spec() if hasattr(predicate, "spec") \
+                else tuple(tuple(entry) for entry in predicate)
         partitions = []
         for part in parts:
-            func, args, kwargs, prefix = part.task_spec(columns)
+            func, args, kwargs, prefix = part.task_spec(columns, spec)
             partitions.append(delayed(func, prefix=prefix)(*args, **kwargs))
         boundaries = [(part.start, part.stop) for part in parts]
         frame_columns = source.columns if columns is None else list(columns)

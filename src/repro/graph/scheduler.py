@@ -58,6 +58,13 @@ class RunStats:
     shipped: int = 0       # tasks dispatched to worker processes (ProcessScheduler)
     projected_parses: int = 0  # executed partition tasks carrying a projection
     full_parses: int = 0       # executed partition tasks parsing every column
+    # The two predicate-pushdown counters are planning-side facts the
+    # compute layer attaches after the run (the scheduler sees only task
+    # keys): chunks the zone maps let the planner drop before any bytes
+    # were read, and rows the pushed-down filters removed inside the
+    # executed parse tasks.
+    chunks_skipped: int = 0
+    rows_filtered: int = 0
 
 
 @dataclass

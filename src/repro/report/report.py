@@ -57,6 +57,10 @@ class Report:
     #: tasks built full-width vs. projected, columns pruned) — see
     #: :meth:`~repro.eda.compute.base.ComputeContext.projection_stats`.
     projection_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Predicate-pushdown counters for the whole report (the pushed filter
+    #: spec, chunks the zone maps skipped, rows filtered inside the parse)
+    #: — see :meth:`~repro.eda.compute.base.ComputeContext.predicate_stats`.
+    predicate_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def section_names(self) -> List[str]:
@@ -107,7 +111,7 @@ class Report:
 
 
 def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
-                  title: Optional[str] = None) -> Report:
+                  title: Optional[str] = None, where: Any = None) -> Report:
     """Generate a full profile report of *df*.
 
     The report contains the Overview, Variables, Interactions, Correlations
@@ -133,11 +137,18 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
         workers) for true multi-core scaling.
     title:
         Report title (defaults to the ``report.title`` config value).
+    where:
+        Optional row filter applied before every section, exactly as in
+        :func:`repro.eda.api.plot` — e.g. ``where=("price", ">", 0)``.
+        Pushed-down filters stream with bounded memory and skip chunks via
+        zone maps; the resulting counters land in ``Report.predicate_stats``.
     """
     try:
         as_source(df)   # any FrameSource: DataFrame, scan_csv handle, custom
     except FrameError as error:
         raise EDAError(f"create_report expects an EDA input: {error}") from None
+    from repro.eda.api import _apply_where
+    df = _apply_where(df, where)
     cfg = Config.from_user(config)
     title = title or cfg.get("report.title")
     timings: Dict[str, float] = {}
@@ -181,7 +192,8 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     return Report(title=title, sections=sections, interactions=interactions,
                   timings=timings, config=cfg,
                   execution_reports=list(context.reports),
-                  projection_stats=context.projection_stats())
+                  projection_stats=context.projection_stats(),
+                  predicate_stats=context.predicate_stats())
 
 
 def _interactions(df: DataFrame, config: Config,

@@ -144,6 +144,8 @@ class TestConfigHygiene:
         ("compute.sheduler", "compute.scheduler"),
         ("compute.schedular", "compute.scheduler"),
         ("compute.maxworkers", "compute.max_workers"),
+        ("compute.predicate", "compute.predicates"),
+        ("compute.projections", "compute.projection"),
         ("memory.budget_byte", "memory.budget_bytes"),
         ("memory.chunk_row", "memory.chunk_rows"),
         ("cache.enable", "cache.enabled"),

@@ -1,0 +1,328 @@
+"""Predicate pushdown must never change results — only the work done.
+
+Every compute kind (including ``create_report``) is run over a filtered
+input in two pushdown modes — ``compute.predicates`` enabled (the default:
+the filter runs inside each chunk's parse and zone maps may skip whole
+chunks) and disabled (every chunk parses; the filter still runs inside the
+parse) — and the intermediates must exactly match the reference computed on
+the in-memory frame filtered with one plain boolean mask.  The grid crosses
+all three sources (in-memory frame, single-file scan, multi-file scan) with
+all three schedulers.
+
+A second group pins the warm-cache interop claims: filtered and unfiltered
+parses of the same chunk occupy distinct cache keys (so a warm cache can
+never serve the wrong rows), and replaying the same filtered call executes
+zero parse tasks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, create_report, plot, plot_correlation, plot_missing
+from repro.frame.io import read_csv, scan_csv, write_csv
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+N_ROWS = 900
+CHUNK_ROWS = 150
+
+#: The pushed-down filter every grid cell applies.  ``price`` carries NaNs,
+#: so the grid also pins the missing-never-matches semantics.
+PREDICATE = ("price", ">", 250_000.0)
+
+#: Dataset-stat keys that legitimately differ between source kinds (not
+#: between pushdown modes — within one source they must match exactly).
+EXCLUDED_KEYS = {"memory_bytes"}
+
+
+@pytest.fixture(scope="module")
+def csv_paths(tmp_path_factory):
+    """One dataset written as a single CSV and as two part files."""
+    rng = np.random.default_rng(27)
+    price = rng.normal(250_000, 60_000, N_ROWS)
+    price[rng.random(N_ROWS) < 0.08] = np.nan
+    size = rng.normal(1_800, 400, N_ROWS)
+    rating = rng.integers(1, 6, N_ROWS).astype(float)
+    rating[rng.random(N_ROWS) < 0.25] = np.nan
+    city = rng.choice(["vancouver", "toronto", "montreal"], N_ROWS)
+    kind = rng.choice(["detached", "condo", "townhouse"], N_ROWS)
+    frame = DataFrame({
+        "price": price,
+        "size": size,
+        "rating": rating,
+        "city": list(city),
+        "house_type": list(kind),
+    })
+    directory = tmp_path_factory.mktemp("predicate")
+    whole = str(directory / "houses.csv")
+    write_csv(frame, whole)
+    split = N_ROWS // 2
+    part_a = str(directory / "part-a.csv")
+    part_b = str(directory / "part-b.csv")
+    write_csv(frame.slice(0, split), part_a)
+    write_csv(frame.slice(split, N_ROWS), part_b)
+    return {"whole": whole, "parts": [part_a, part_b]}
+
+
+def _make_source(kind, csv_paths):
+    if kind == "memory":
+        return read_csv(csv_paths["whole"])
+    if kind == "scan":
+        return scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+    return scan_csv(csv_paths["parts"], chunk_rows=CHUNK_ROWS)
+
+
+def _mask_filtered_frame(csv_paths):
+    """The reference semantics: one vectorized boolean mask, missing False."""
+    frame = read_csv(csv_paths["whole"])
+    return frame[frame.price > 250_000.0]
+
+
+@pytest.fixture(params=["memory", "scan", "multifile"])
+def source_kind(request):
+    return request.param
+
+
+@pytest.fixture(params=["synchronous", "threaded", "process"])
+def scheduler_name(request):
+    return request.param
+
+
+@pytest.fixture(params=[True, False], ids=["pushdown", "no-pushdown"])
+def predicates_enabled(request):
+    return request.param
+
+
+@pytest.fixture
+def base_config(scheduler_name):
+    """A fresh cache per test; sampling cutoffs lifted for bit-equality."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield {
+        "compute.scheduler": scheduler_name,
+        "compute.max_workers": 2,
+        "scatter.sample_size": N_ROWS + 1,
+        "correlation.scatter_sample_size": N_ROWS + 1,
+    }
+    set_global_cache(previous)
+
+
+def assert_equivalent(filtered, reference, path="items"):
+    """Recursive comparison with float tolerance."""
+    if isinstance(reference, dict):
+        assert isinstance(filtered, dict), path
+        keys_ref = set(reference) - EXCLUDED_KEYS
+        keys_new = set(filtered) - EXCLUDED_KEYS
+        assert keys_new == keys_ref, f"{path}: {keys_new ^ keys_ref}"
+        for key in keys_ref:
+            assert_equivalent(filtered[key], reference[key], f"{path}.{key}")
+        return
+    if isinstance(reference, (list, tuple)):
+        assert len(filtered) == len(reference), path
+        for index, (left, right) in enumerate(zip(filtered, reference)):
+            assert_equivalent(left, right, f"{path}[{index}]")
+        return
+    if isinstance(reference, float) or isinstance(filtered, float):
+        left, right = float(filtered), float(reference)
+        if math.isnan(left) and math.isnan(right):
+            return
+        assert left == pytest.approx(right, rel=1e-6, abs=1e-9), path
+        return
+    assert filtered == reference, path
+
+
+CALLS = {
+    "overview": lambda df, config, **kw: plot(
+        df, config=config, mode="intermediates", **kw),
+    "univariate-numeric": lambda df, config, **kw: plot(
+        df, "size", config=config, mode="intermediates", **kw),
+    "univariate-categorical": lambda df, config, **kw: plot(
+        df, "city", config=config, mode="intermediates", **kw),
+    "bivariate-NN": lambda df, config, **kw: plot(
+        df, "price", "size", config=config, mode="intermediates", **kw),
+    "bivariate-CN": lambda df, config, **kw: plot(
+        df, "city", "size", config=config, mode="intermediates", **kw),
+    "bivariate-CC": lambda df, config, **kw: plot(
+        df, "city", "house_type", config=config, mode="intermediates", **kw),
+    "correlation-overview": lambda df, config, **kw: plot_correlation(
+        df, config=config, mode="intermediates", **kw),
+    "missing-overview": lambda df, config, **kw: plot_missing(
+        df, config=config, mode="intermediates", **kw),
+}
+
+#: Reference intermediates per call, computed once on the mask-filtered
+#: in-memory frame with the cache off (the grid's ground truth).
+_REFERENCES = {}
+
+
+def _reference(call_name, csv_paths):
+    if call_name not in _REFERENCES:
+        config = {
+            "cache.enabled": False,
+            "compute.scheduler": "synchronous",
+            "scatter.sample_size": N_ROWS + 1,
+            "correlation.scatter_sample_size": N_ROWS + 1,
+        }
+        _REFERENCES[call_name] = CALLS[call_name](
+            _mask_filtered_frame(csv_paths), config)
+    return _REFERENCES[call_name]
+
+
+@pytest.mark.parametrize("call_name", sorted(CALLS))
+def test_filtered_equals_mask_filtered(csv_paths, source_kind, base_config,
+                                       predicates_enabled, call_name):
+    call = CALLS[call_name]
+    reference = _reference(call_name, csv_paths)
+    result = call(_make_source(source_kind, csv_paths),
+                  config={**base_config,
+                          "compute.predicates": predicates_enabled},
+                  where=PREDICATE)
+    assert_equivalent(result.items, reference.items)
+    result_insights = sorted((i.kind, i.column) for i in result.insights)
+    reference_insights = sorted((i.kind, i.column)
+                                for i in reference.insights)
+    assert result_insights == reference_insights
+    if not predicates_enabled:
+        # Pruning off: the zone maps must not have skipped anything.
+        assert result.meta["predicate"]["chunks_skipped"] == 0
+
+
+def test_create_report_filtered_equals_mask_filtered(csv_paths, source_kind,
+                                                     base_config,
+                                                     predicates_enabled):
+    reference = create_report(
+        _mask_filtered_frame(csv_paths),
+        config={"cache.enabled": False, "compute.scheduler": "synchronous",
+                "scatter.sample_size": N_ROWS + 1,
+                "correlation.scatter_sample_size": N_ROWS + 1})
+    set_global_cache(TaskCache())
+    report = create_report(
+        _make_source(source_kind, csv_paths),
+        config={**base_config, "compute.predicates": predicates_enabled},
+        where=PREDICATE)
+    assert report.section_names == reference.section_names
+    for name in reference.section_names:
+        assert_equivalent(report.sections[name].items,
+                          reference.sections[name].items, path=name)
+    assert sorted(report.interactions) == sorted(reference.interactions)
+    for key in reference.interactions:
+        assert_equivalent(report.interactions[key],
+                          reference.interactions[key],
+                          path=f"interactions.{key}")
+    if not predicates_enabled:
+        assert report.predicate_stats["chunks_skipped"] == 0
+
+
+def test_lazy_indexing_matches_where_kwarg(csv_paths):
+    """``plot(scan[scan.price > v], col)`` is the same filter as where=."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        indexed = plot(scan[scan.price > 250_000.0], "size",
+                       mode="intermediates")
+        set_global_cache(TaskCache())
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        keyword = plot(scan, "size", mode="intermediates", where=PREDICATE)
+        assert_equivalent(indexed.items, keyword.items)
+        assert indexed.meta["predicate"] == keyword.meta["predicate"]
+    finally:
+        set_global_cache(previous)
+
+
+def test_unsupported_where_falls_back_with_warning(csv_paths):
+    """A callable filter cannot be pushed into the scan: the input is
+    materialized (with a UserWarning) and filtered eagerly — results still
+    match the pushed-down run exactly."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        with pytest.warns(UserWarning, match="cannot be pushed"):
+            fallback = plot(
+                scan, "size", mode="intermediates",
+                where=lambda frame: frame.price > 250_000.0)
+        assert fallback.meta["predicate"]["enabled"] is False
+        set_global_cache(TaskCache())
+        scan = scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS)
+        pushed = plot(scan, "size", mode="intermediates", where=PREDICATE)
+        assert_equivalent(fallback.items, pushed.items)
+    finally:
+        set_global_cache(previous)
+
+
+def test_where_rejects_unfilterable_values(csv_paths):
+    from repro.errors import EDAError
+    frame = read_csv(csv_paths["whole"])
+    with pytest.raises(EDAError, match="unsupported where= filter"):
+        plot(frame, "size", mode="intermediates", where=42)
+    with pytest.raises(EDAError, match="boolean mask"):
+        plot(frame, "size", mode="intermediates",
+             where=np.zeros(3, dtype=bool))
+
+
+# --------------------------------------------------------------------------- #
+# Warm-cache interop: filtered and unfiltered runs share one cache safely.
+# --------------------------------------------------------------------------- #
+def _parse_totals(intermediates):
+    reports = intermediates.meta["execution_reports"]
+    return (sum(report.projected_parses for report in reports),
+            sum(report.full_parses for report in reports))
+
+
+def test_warm_cache_interop_filtered_vs_unfiltered(csv_paths):
+    """Filtered parses occupy distinct cache keys: running the unfiltered
+    call first (warming the cache with full-row chunks) must not change the
+    filtered results, and vice versa."""
+    previous = get_global_cache()
+    try:
+        set_global_cache(TaskCache())
+        cold_filtered = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+            mode="intermediates", where=PREDICATE,
+            config={"cache.enabled": False})
+
+        set_global_cache(TaskCache())
+        plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+             mode="intermediates")
+        warm_filtered = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+            mode="intermediates", where=PREDICATE)
+        assert_equivalent(warm_filtered.items, cold_filtered.items)
+
+        # Reverse order: the filtered run must not poison the unfiltered one.
+        cold_plain = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+            mode="intermediates", config={"cache.enabled": False})
+        set_global_cache(TaskCache())
+        plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+             mode="intermediates", where=PREDICATE)
+        warm_plain = plot(
+            scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS), "size",
+            mode="intermediates")
+        assert_equivalent(warm_plain.items, cold_plain.items)
+    finally:
+        set_global_cache(previous)
+
+
+def test_warm_filtered_replay_executes_no_parses(csv_paths):
+    """Re-running the same filtered call must serve every filtered parse
+    (and its sketches) from the cross-call cache."""
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        cold = plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS),
+                    "size", mode="intermediates", where=PREDICATE)
+        warm = plot(scan_csv(csv_paths["whole"], chunk_rows=CHUNK_ROWS),
+                    "size", mode="intermediates", where=PREDICATE)
+        assert_equivalent(warm.items, cold.items)
+        projected, full = _parse_totals(warm)
+        assert projected == 0 and full == 0
+        warm_hits = sum(report.cache_hits
+                        for report in warm.meta["execution_reports"])
+        assert warm_hits > 0
+    finally:
+        set_global_cache(previous)

@@ -294,16 +294,16 @@ def test_materialize_projection_rejected_without_columns_keyword():
 
 
 def test_columns_keyword_probe_never_pins_closures():
-    """The columns= support memo must only retain module-level funcs —
+    """The keyword-support memo must only retain module-level funcs —
     per-call closures would otherwise pin their captures forever."""
-    from repro.frame.source import _COLUMNS_KEYWORD_SUPPORT, _accepts_columns
+    from repro.frame.source import _KEYWORD_SUPPORT, _accepts_columns
 
     def closure_func(columns=None):
         return DataFrame({"a": [1.0]})
 
     assert _accepts_columns(closure_func) is True
-    assert closure_func not in _COLUMNS_KEYWORD_SUPPORT
+    assert not any(func is closure_func for func, _ in _KEYWORD_SUPPORT)
     from repro.frame.source import _read_csv_slice, _slice_frame
     assert _accepts_columns(_read_csv_slice) is True
     assert _accepts_columns(_slice_frame) is True
-    assert _read_csv_slice in _COLUMNS_KEYWORD_SUPPORT
+    assert (_read_csv_slice, "columns") in _KEYWORD_SUPPORT

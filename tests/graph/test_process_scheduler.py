@@ -314,6 +314,73 @@ class TestProjectedBundles:
             scheduler.close()
 
 
+class TestFilteredBundles:
+    """Filtered (predicate-pushdown) CSV parses ship to workers too."""
+
+    def test_filtered_parse_tasks_ship_to_workers(self, tmp_path):
+        from repro.frame.frame import DataFrame
+        from repro.frame.io import scan_csv, write_csv
+        from repro.frame.predicate import compile_predicate
+        from repro.frame.source import CsvSource, FilteredSource
+        from repro.graph.partition import PartitionedFrame
+        from repro.utils import is_filtered_parse_key
+
+        frame = DataFrame({
+            "a": np.arange(600, dtype=np.float64),
+            "b": [f"s{i}" for i in range(600)],
+        })
+        path = str(tmp_path / "filtered.csv")
+        write_csv(frame, path)
+        predicate = compile_predicate(("a", ">=", 300.0))
+        # Pruning off so every chunk's filtered parse actually ships (the
+        # data is sorted, so zone maps would otherwise skip half of them).
+        source = FilteredSource(
+            CsvSource(scan_csv(path, chunk_rows=150)),
+            predicate).without_pruning()
+        filtered = PartitionedFrame.from_source(source, columns=("a",),
+                                                predicate=predicate)
+
+        for part in filtered.partitions:
+            task = part.graph[part.key]
+            assert can_run_in_worker(task), \
+                "a filtered parse must stay value-picklable"
+            assert is_filtered_parse_key(part.key)
+
+        reduction = filtered.reduction(_sum_column_a, _sum_floats)
+        scheduler = ProcessScheduler(max_workers=2)
+        try:
+            total = reduction.compute(scheduler=scheduler)
+            assert total == pytest.approx(float(np.arange(300, 600).sum()))
+            assert scheduler.last_run.shipped > 0
+            # The filter marker composes with projection classification.
+            assert scheduler.last_run.projected_parses == 4
+            assert scheduler.last_run.full_parses == 0
+        finally:
+            scheduler.close()
+
+    def test_filtered_and_plain_parses_have_distinct_keys(self, tmp_path):
+        from repro.frame.frame import DataFrame
+        from repro.frame.io import scan_csv, write_csv
+        from repro.frame.predicate import compile_predicate
+        from repro.frame.source import CsvSource, FilteredSource
+        from repro.graph.partition import PartitionedFrame
+
+        frame = DataFrame({"a": np.arange(100, dtype=np.float64)})
+        path = str(tmp_path / "keys.csv")
+        write_csv(frame, path)
+        predicate = compile_predicate(("a", "<", 10.0))
+        plain = PartitionedFrame.from_source(
+            CsvSource(scan_csv(path, chunk_rows=50)))
+        filtered = PartitionedFrame.from_source(
+            FilteredSource(CsvSource(scan_csv(path, chunk_rows=50)),
+                           predicate).without_pruning(),
+            predicate=predicate)
+        plain_keys = {part.key for part in plain.partitions}
+        filtered_keys = {part.key for part in filtered.partitions}
+        assert not plain_keys & filtered_keys, \
+            "filtered parses must never collide with unfiltered cache keys"
+
+
 def _sum_column_a(partition):
     assert partition.columns == ["a"], "worker must receive the projection"
     return float(np.nansum(partition.column("a").to_numpy()))
