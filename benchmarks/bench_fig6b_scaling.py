@@ -146,7 +146,10 @@ def _streaming_report_seconds(paths: Sequence[str], workers: int) -> float:
                     inference_rows=2_000)
     create_report(scan, config={"compute.scheduler": "process",
                                 "compute.max_workers": workers,
-                                "cache.enabled": False})
+                                "cache.enabled": False,
+                                # Parse work must be real in every round;
+                                # the disk sidecar would warm later rounds.
+                                "cache.disk_enabled": False})
     return time.perf_counter() - started
 
 

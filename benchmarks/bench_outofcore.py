@@ -38,6 +38,7 @@ PEAK_BUDGET_BOUND = 2.0
 STREAM_CONFIG = {
     "memory.budget_bytes": BUDGET_BYTES,
     "cache.enabled": False,      # measure the engine, not cache retention
+    "cache.disk_enabled": False,  # nor the parsed-chunk disk sidecar
 }
 
 

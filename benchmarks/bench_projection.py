@@ -61,7 +61,11 @@ def wide_csv(tmp_path_factory) -> str:
 
 def _timed_plot(path: str, column: str, projection: bool) -> tuple:
     """Best-of-2 cold runs of ``plot(scan, column)`` under one config."""
-    config = {"cache.enabled": False, "compute.projection": projection}
+    # Both caches off: the claim is about parse cost, and the parsed-chunk
+    # disk sidecar (on by default) would serve the second run without
+    # decoding any CSV.
+    config = {"cache.enabled": False, "cache.disk_enabled": False,
+              "compute.projection": projection}
     best = None
     result = None
     for _ in range(2):

@@ -46,6 +46,7 @@ from repro.eda.config import Config
 from repro.errors import EDAError
 from repro.frame.column import Column
 from repro.frame.frame import DataFrame
+from repro.frame.sidecar import SidecarRoute, stats_snapshot as _sidecar_snapshot
 from repro.frame.source import FilteredSource, FrameSource, as_source
 from repro.graph.cache import TaskCache, get_global_cache
 from repro.graph.delayed import Delayed
@@ -493,6 +494,25 @@ class ComputeContext:
             "chunks_skipped": 0,
             "rows_filtered": 0,
         }
+        #: Parsed-chunk disk sidecar: streaming sources whose partition
+        #: tasks accept a sidecar route spill each parsed chunk to a binary
+        #: sidecar and serve warm re-scans from it without decoding CSV.
+        #: In-memory sources never parse, so they get no route.  The
+        #: counters accumulate per-call deltas of the sidecar module's
+        #: process-local totals (coordinator process only — process-pool
+        #: workers keep their own counts, so these are a lower bound under
+        #: the process scheduler).
+        self.sidecar_route: Optional[SidecarRoute] = None
+        if (config.get("cache.disk_enabled") and not self.exact_results
+                and getattr(self.source.capabilities, "chunk_sidecar", False)):
+            self.sidecar_route = SidecarRoute(
+                directory=config.get("cache.disk_dir"),
+                budget_bytes=int(config.get("cache.disk_bytes")))
+        self.sidecar_counts: Dict[str, int] = {
+            "sidecar_hits": 0,
+            "sidecar_misses": 0,
+            "bytes_decoded_avoided": 0,
+        }
         if engine is not None:
             self.engine = engine
         else:
@@ -693,7 +713,8 @@ class ComputeContext:
             return cached
         planned = self._plan_source()
         built = PartitionedFrame.from_source(planned, columns=projection,
-                                             predicate=self._predicate_spec)
+                                             predicate=self._predicate_spec,
+                                             sidecar=self.sidecar_route)
         self._projected_partitions[projection] = built
         self._used_projections.append(projection)
         pruning = getattr(planned, "last_pruning", None)
@@ -723,6 +744,18 @@ class ComputeContext:
             "chunks_skipped": self.parse_plan["chunks_skipped"],
             "rows_filtered": self.parse_plan["rows_filtered"],
         }
+
+    def sidecar_stats(self) -> Dict[str, Any]:
+        """Parsed-chunk sidecar counters for this call (plus enabled flag).
+
+        Coordinator-process counts: chunk parses served from the binary
+        sidecar, parses that decoded CSV (and stored a sidecar for next
+        time), and the CSV bytes the hits avoided.  A lower bound under the
+        process scheduler, where workers hit their sidecars in their own
+        processes.
+        """
+        return {"enabled": self.sidecar_route is not None,
+                **self.sidecar_counts}
 
     # ------------------------------------------------------------------ #
     # The planner dispatch
@@ -1002,6 +1035,7 @@ class ComputeContext:
                     in self.partitioned_for(projections[0]).boundaries)
         keys = [key for key, value in resolved.items() if isinstance(value, Delayed)]
         if keys:
+            sidecar_before = _sidecar_snapshot()
             values, report = self.engine.compute_with_report(
                 [resolved[key] for key in keys])
             for key, value in zip(keys, values):
@@ -1016,11 +1050,26 @@ class ComputeContext:
                 self.parse_plan["chunks_skipped"] - chunks_before
             report.rows_filtered = \
                 self.parse_plan["rows_filtered"] - rows_before
+            sidecar_after = _sidecar_snapshot()
+            report.sidecar_hits = \
+                sidecar_after["hits"] - sidecar_before["hits"]
+            report.sidecar_misses = \
+                sidecar_after["misses"] - sidecar_before["misses"]
+            report.bytes_decoded_avoided = \
+                sidecar_after["bytes_decoded_avoided"] - \
+                sidecar_before["bytes_decoded_avoided"]
+            self.sidecar_counts["sidecar_hits"] += report.sidecar_hits
+            self.sidecar_counts["sidecar_misses"] += report.sidecar_misses
+            self.sidecar_counts["bytes_decoded_avoided"] += \
+                report.bytes_decoded_avoided
             last_run = getattr(getattr(self.engine, "scheduler", None),
                                "last_run", None)
             if last_run is not None:
                 last_run.chunks_skipped += report.chunks_skipped
                 last_run.rows_filtered += report.rows_filtered
+                last_run.sidecar_hits += report.sidecar_hits
+                last_run.sidecar_misses += report.sidecar_misses
+                last_run.bytes_decoded_avoided += report.bytes_decoded_avoided
             self.reports.append(report)
         elapsed = time.perf_counter() - started
         self.timings[stage] = self.timings.get(stage, 0.0) + elapsed
@@ -1045,6 +1094,7 @@ class ComputeContext:
         intermediates.meta["execution_reports"] = list(self.reports)
         intermediates.meta["projection"] = self.projection_stats()
         intermediates.meta["predicate"] = self.predicate_stats()
+        intermediates.meta["sidecar"] = self.sidecar_stats()
         return intermediates
 
     def column(self, name: str) -> Column:

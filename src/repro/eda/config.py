@@ -18,6 +18,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.errors import ConfigError, _closest
 from repro.frame.io import DEFAULT_BUDGET_BYTES as _DEFAULT_BUDGET_BYTES
 from repro.frame.io import DEFAULT_CHUNK_ROWS as _DEFAULT_CHUNK_ROWS
+from repro.frame.sidecar import DEFAULT_DISK_BYTES as _SIDECAR_DEFAULT_BYTES
 from repro.graph.cache import DEFAULT_MAX_BYTES as _CACHE_DEFAULT_MAX_BYTES
 
 #: Default values for every configurable parameter, grouped by component.
@@ -122,6 +123,15 @@ DEFAULTS: Dict[str, Any] = {
     # and histograms computed by earlier calls in this process.
     "cache.enabled": True,
     "cache.max_bytes": _CACHE_DEFAULT_MAX_BYTES,
+    # Parsed-chunk disk sidecar (see repro.frame.sidecar).  Scanned CSVs
+    # spill each parsed chunk's columns to a binary sidecar next to the
+    # file (or under cache.disk_dir when set); warm re-scans — in this
+    # process, a later one, or a process-pool worker — load the columns
+    # back without decoding CSV.  cache.disk_bytes caps each sidecar
+    # directory, evicting least-recently-used chunks.
+    "cache.disk_enabled": True,
+    "cache.disk_dir": None,
+    "cache.disk_bytes": _SIDECAR_DEFAULT_BYTES,
     # Rendering
     "render.width": 640,
     "render.height": 360,
@@ -142,14 +152,16 @@ _POSITIVE_INT_KEYS = {
     "missing.quantiles", "insight.high_cardinality.threshold",
     "compute.partition_rows", "compute.small_data_rows",
     "compute.histogram_bins_internal", "memory.chunk_rows",
-    "memory.budget_bytes", "cache.max_bytes", "render.width",
+    "memory.budget_bytes", "cache.max_bytes", "cache.disk_bytes",
+    "render.width",
     "render.height", "render.max_tabs", "report.sample_rows",
     "report.interactions_max_columns",
 }
 
 #: Keys whose value must be a plain boolean.
 _BOOL_KEYS = {
-    "cache.enabled", "hist.auto_bins", "bar.sort_descending",
+    "cache.enabled", "cache.disk_enabled", "hist.auto_bins",
+    "bar.sort_descending",
     "wordfreq.lowercase", "insight.constant.enabled", "insight.enabled",
     "compute.enable_cse", "compute.enable_fusion", "compute.projection",
     "compute.predicates",
@@ -314,6 +326,11 @@ def _validate(key: str, value: Any) -> Any:
         if value is not None and (not isinstance(value, int) or value <= 0):
             raise ConfigError(f"config key {key!r} expects None or a positive "
                               f"integer, got {value!r}", key=key)
+        return value
+    if key == "cache.disk_dir":
+        if value is not None and not isinstance(value, str):
+            raise ConfigError(f"config key {key!r} expects None or a directory "
+                              f"path string, got {value!r}", key=key)
         return value
     return value
 

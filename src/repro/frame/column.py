@@ -157,6 +157,28 @@ class Column:
         """Return a copy of this column under a new name (data is shared)."""
         return Column(name, self.data, self.dtype, self.mask)
 
+    @classmethod
+    def from_storage(cls, name: str, data: np.ndarray, dtype: DType,
+                     mask: np.ndarray) -> "Column":
+        """Adopt pre-validated storage buffers without constructor checks.
+
+        The binary chunk sidecar (:mod:`repro.frame.sidecar`) decodes
+        buffers that already hold the constructor's invariants — the data
+        was coerced to *dtype* before it was spilled, and the FLOAT
+        NaN/mask reconciliation happened then too.  Re-running the
+        constructor would copy the mask and rescan for NaNs, defeating the
+        zero-copy ``numpy.memmap`` load; like :meth:`slice_view`, this
+        bypasses it.  The buffers may be read-only (memmap/frombuffer):
+        columns never mutate them in place.
+        """
+        column = object.__new__(cls)
+        column.name = str(name)
+        column.data = data
+        column.mask = mask
+        column.dtype = dtype
+        column._fingerprint = None
+        return column
+
     def slice_view(self, start: int, stop: int) -> "Column":
         """Zero-copy row slice sharing this column's buffers.
 

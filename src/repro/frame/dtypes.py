@@ -57,6 +57,16 @@ class DType(enum.Enum):
         """Whether values of this dtype support arithmetic reductions."""
         return self in (DType.BOOL, DType.INT, DType.FLOAT)
 
+    @property
+    def is_fixed_width(self) -> bool:
+        """Whether storage is a fixed byte width per value (mmap-able).
+
+        Everything but STRING: the chunk sidecar loads fixed-width columns
+        zero-copy via ``numpy.memmap`` and uses an offset-array encoding
+        for strings.
+        """
+        return self is not DType.STRING
+
     def numpy_dtype(self) -> np.dtype:
         """The numpy dtype used to store values of this storage dtype."""
         return _NUMPY_DTYPES[self]

@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
+from datetime import date, datetime
 from typing import Any, Callable, Dict, Iterable, List, Tuple, Union
 
 import numpy as np
 
 from repro.errors import FrameError
+from repro.frame.dtypes import parse_datetime
 
 
 class PredicateError(FrameError):
@@ -52,17 +54,35 @@ OPERATORS: Dict[str, Callable[[Any, Any], Any]] = {
     "!=": operator.ne,
 }
 
-_LITERAL_TYPES = (bool, int, float, str, np.bool_, np.integer, np.floating)
+_LITERAL_TYPES = (bool, int, float, str, np.bool_, np.integer, np.floating,
+                  datetime, date, np.datetime64)
 
 
 def _normalize_literal(value: Any) -> Any:
-    """Coerce numpy scalars to plain Python so specs stay picklable/stable."""
+    """Coerce numpy/datetime scalars to plain Python so specs stay
+    picklable, tokenizable and stable across processes.
+
+    Datetime literals (``datetime``, ``date``, ``numpy.datetime64``)
+    normalize to their ISO-8601 second-precision string — a plain ``str``
+    travels through task kwargs, cache keys and the zone-map planner
+    unchanged, and every consumer that needs a real datetime revives it
+    with :func:`repro.frame.dtypes.parse_datetime`.
+    """
     if isinstance(value, (np.bool_,)):
         return bool(value)
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
         return float(value)
+    if isinstance(value, np.datetime64):
+        if np.isnat(value):
+            raise PredicateError("cannot compare against NaT; a missing "
+                                 "value never matches any predicate")
+        return str(value.astype("datetime64[s]"))
+    if isinstance(value, datetime):        # before date: datetime IS a date
+        return str(np.datetime64(value.replace(tzinfo=None), "s"))
+    if isinstance(value, date):
+        return str(np.datetime64(value, "s"))
     return value
 
 
@@ -101,8 +121,20 @@ class Conjunct:
         if not present.any():
             return out
         values = column.to_numpy()[present]
+        value = self.value
+        if values.dtype.kind == "M" and not isinstance(value, np.datetime64):
+            # Datetime literals are normalized to ISO strings in the spec;
+            # numpy raises TypeError on datetime64-vs-str, so revive the
+            # literal before comparing.
+            revived = parse_datetime(value) if isinstance(value, str) else None
+            if revived is None:
+                raise PredicateError(
+                    f"cannot compare datetime column {self.column!r} with "
+                    f"{self.value!r}; pass a datetime, a numpy.datetime64 "
+                    f"or an ISO date string")
+            value = revived
         try:
-            matched = OPERATORS[self.op](values, self.value)
+            matched = OPERATORS[self.op](values, value)
         except TypeError as error:
             raise PredicateError(
                 f"cannot compare column {self.column!r} with "

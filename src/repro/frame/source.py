@@ -68,6 +68,13 @@ from repro.frame.fingerprint import fingerprint_file_stamps
 from repro.frame.frame import DataFrame, concat_rows
 from repro.frame.io import ScannedFrame, _scan_csv_file, parse_csv_range
 from repro.frame.predicate import ColumnExpr, Predicate, apply_predicate_spec
+from repro.frame.sidecar import (
+    SidecarRoute,
+    load_chunk,
+    record_hit,
+    record_miss,
+    store_chunk,
+)
 from repro.utils import filtered_prefix, projected_prefix
 
 #: Default number of rows per in-memory partition (mirrors the graph layer).
@@ -116,7 +123,8 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
                     delimiter: str = ",",
                     expected_rows: Optional[int] = None,
                     columns: Optional[Tuple[str, ...]] = None,
-                    predicate: Optional[Tuple[Tuple[str, str, Any], ...]] = None
+                    predicate: Optional[Tuple[Tuple[str, str, Any], ...]] = None,
+                    sidecar: Optional[Tuple[Any, ...]] = None
                     ) -> DataFrame:
     """Parse one byte range of a CSV file into a DataFrame partition.
 
@@ -148,6 +156,16 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
     unquoted field, which RFC 4180 forbids but ``csv.reader`` tolerates.
     The check runs against the pre-filter parse count — the layout scan
     knows nothing about predicates.
+
+    *sidecar* (a :class:`~repro.frame.sidecar.SidecarRoute` tuple) enables
+    the parsed-chunk binary cache: the sidecar is consulted before any CSV
+    byte is decoded — a hit loads the already-coerced arrays and skips the
+    parse entirely — and after a successful parse the pre-filter frame is
+    spilled best-effort, so any later scan (this process, a
+    ``ProcessScheduler`` worker, another session) hits.  The route is
+    configuration, not semantics: the returned rows are identical with or
+    without it, which is why the graph layer excludes the keyword from CSE
+    tokens and cross-call cache keys (``NON_SEMANTIC_KWARGS``).
     """
     parse_columns = columns
     if predicate is not None and columns is not None:
@@ -155,15 +173,32 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
         filter_columns = {column for column, _, _ in predicate}
         parse_columns = tuple(name for name in column_names
                               if name in wanted or name in filter_columns)
-    frame = parse_csv_range(path, byte_start, byte_stop, list(column_names),
-                            dtypes, delimiter=delimiter, usecols=parse_columns)
-    if expected_rows is not None and len(frame) != expected_rows:
-        raise FrameError(
-            f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
-            f"parsed {len(frame)} rows where the layout scan counted "
-            f"{expected_rows}; the file's quoting defies record-aligned "
-            f"chunking (e.g. an unpaired quote in an unquoted field) — "
-            f"read it with repro.read_csv instead of scan_csv")
+    frame = None
+    if sidecar is not None:
+        needed = parse_columns if parse_columns is not None \
+            else tuple(column_names)
+        frame = load_chunk(path, byte_start, byte_stop, file_stamp, needed,
+                           dtypes, expected_rows, sidecar,
+                           delimiter=delimiter)
+        if frame is not None:
+            record_hit(byte_stop - byte_start)
+    if frame is None:
+        frame = parse_csv_range(path, byte_start, byte_stop,
+                                list(column_names), dtypes,
+                                delimiter=delimiter, usecols=parse_columns)
+        if expected_rows is not None and len(frame) != expected_rows:
+            raise FrameError(
+                f"CSV chunk at bytes [{byte_start}, {byte_stop}) of {path!r} "
+                f"parsed {len(frame)} rows where the layout scan counted "
+                f"{expected_rows}; the file's quoting defies record-aligned "
+                f"chunking (e.g. an unpaired quote in an unquoted field) — "
+                f"read it with repro.read_csv instead of scan_csv")
+        if sidecar is not None:
+            record_miss(byte_stop - byte_start)
+            # Spill the pre-filter rows: one entry serves filtered,
+            # unfiltered and any projection of this chunk.
+            store_chunk(path, byte_start, byte_stop, file_stamp, frame,
+                        sidecar, delimiter=delimiter)
     if predicate is not None:
         frame = apply_predicate_spec(frame, predicate)
         if columns is not None and parse_columns != columns:
@@ -237,11 +272,19 @@ class SourceCapabilities:
         (:mod:`repro.frame.zonemap`) to skip whole chunks first.  Defaults
         to False, so a custom source keeps full materialization plus an
         eager post-filter until it opts in.
+    ``chunk_sidecar``
+        True when the source's partition task functions accept a
+        ``sidecar=`` keyword (a :class:`~repro.frame.sidecar.SidecarRoute`
+        tuple) and consult/maintain the parsed-chunk binary cache — warm
+        re-scans then skip CSV decoding entirely.  Only meaningful for
+        sources that pay a real parse per chunk; defaults to False so
+        in-memory and custom sources are unaffected until they opt in.
     """
 
     exact: bool = True
     projection: bool = False
     predicates: bool = False
+    chunk_sidecar: bool = False
 
 
 @dataclass(frozen=True)
@@ -267,7 +310,8 @@ class SourcePartition:
         return self.stop - self.start
 
     def task_spec(self, columns: Optional[Sequence[str]] = None,
-                  predicate: Optional[Sequence[Tuple[str, str, Any]]] = None
+                  predicate: Optional[Sequence[Tuple[str, str, Any]]] = None,
+                  sidecar: Optional[Sequence[Any]] = None
                   ) -> Tuple[Callable[..., DataFrame], Tuple[Any, ...],
                              Dict[str, Any], str]:
         """``(func, args, kwargs, key prefix)`` of this partition's task.
@@ -291,6 +335,17 @@ class SourcePartition:
         the key prefix gains the filtered marker.  Requires
         ``capabilities.predicates=True`` (a func without the keyword is
         rejected here, mirroring the projection contract).
+
+        With *sidecar* (a :class:`~repro.frame.sidecar.SidecarRoute`
+        tuple) the task consults and maintains the parsed-chunk binary
+        cache.  Unlike projection and predicate, the route is
+        *non-semantic* — it changes where the bytes come from, never what
+        the task returns — so the prefix stays unchanged and the graph
+        layer excludes the keyword from CSE tokens and cross-call cache
+        keys: a cached result from a sidecar-less run serves a
+        sidecar-enabled one and vice versa.  Requires
+        ``capabilities.chunk_sidecar=True`` (a func without the keyword is
+        rejected here like the other pushdowns).
         """
         kwargs: Dict[str, Any] = {}
         prefix = self.prefix
@@ -315,10 +370,25 @@ class SourcePartition:
                     f"funcs accept a predicate spec)")
             kwargs["predicate"] = tuple(tuple(entry) for entry in predicate)
             prefix = filtered_prefix(prefix)
+        if sidecar is not None:
+            if not _accepts_keyword(self.func, "sidecar"):
+                raise FrameError(
+                    f"partition func "
+                    f"{getattr(self.func, '__name__', self.func)!r} "
+                    f"takes no sidecar= keyword; this source does not "
+                    f"support the parsed-chunk sidecar cache (declare "
+                    f"capabilities.chunk_sidecar=True only once its "
+                    f"partition funcs accept a sidecar route)")
+            # Ship a plain tuple, not the SidecarRoute NamedTuple: the graph
+            # layer's container walkers rebuild tuples as type(value)(items),
+            # which would feed a NamedTuple its fields as one argument.  The
+            # constructor call validates the route's arity/field order.
+            kwargs["sidecar"] = tuple(SidecarRoute(*sidecar))
         return self.func, self.args, kwargs, prefix
 
     def materialize(self, columns: Optional[Sequence[str]] = None,
-                    predicate: Optional[Sequence[Tuple[str, str, Any]]] = None
+                    predicate: Optional[Sequence[Tuple[str, str, Any]]] = None,
+                    sidecar: Optional[Sequence[Any]] = None
                     ) -> DataFrame:
         """Eagerly materialize the chunk (tests and non-graph callers).
 
@@ -326,9 +396,10 @@ class SourcePartition:
         projection-capable sources — zero-copy views for
         :class:`InMemorySource`, a projected byte-range parse for the CSV
         sources.  *predicate* filters the chunk's rows for
-        predicate-capable sources.
+        predicate-capable sources.  *sidecar* routes the materialization
+        through the parsed-chunk cache for sidecar-capable sources.
         """
-        func, args, kwargs, _ = self.task_spec(columns, predicate)
+        func, args, kwargs, _ = self.task_spec(columns, predicate, sidecar)
         return func(*args, **kwargs)
 
 
@@ -528,7 +599,7 @@ class CsvSource:
     @property
     def capabilities(self) -> SourceCapabilities:
         return SourceCapabilities(exact=False, projection=True,
-                                  predicates=True)
+                                  predicates=True, chunk_sidecar=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scan.preview
@@ -655,7 +726,7 @@ class MultiFileCsvSource:
     @property
     def capabilities(self) -> SourceCapabilities:
         return SourceCapabilities(exact=False, projection=True,
-                                  predicates=True)
+                                  predicates=True, chunk_sidecar=True)
 
     def schema_preview(self) -> DataFrame:
         return self._scans[0].preview
@@ -880,7 +951,8 @@ class FilteredSource:
     def capabilities(self) -> SourceCapabilities:
         inner = self._source.capabilities
         return SourceCapabilities(exact=False, projection=inner.projection,
-                                  predicates=True)
+                                  predicates=True,
+                                  chunk_sidecar=inner.chunk_sidecar)
 
     def schema_preview(self) -> DataFrame:
         """A bounded preview of the rows that survive the filter.

@@ -26,11 +26,13 @@ amortized across every later filtered call in any process.
 from __future__ import annotations
 
 import json
-import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.frame.dtypes import parse_datetime
+from repro.frame.sidecar import atomic_replace
 
 #: Distinct-value estimates saturate here; beyond this a chunk is simply
 #: "high cardinality" and the exact count stops being useful for planning.
@@ -71,6 +73,17 @@ class ZoneMap:
                 # Every value in this chunk is missing; missing never
                 # matches any comparison, so no conjunct can hold.
                 return False
+            if isinstance(vmin, np.datetime64) and \
+                    not isinstance(value, np.datetime64):
+                # Datetime literals travel through specs as ISO strings
+                # (picklable, tokenizable); numpy refuses to compare
+                # datetime64 against str, which would silently land in the
+                # TypeError no-prune path below — revive the literal so
+                # time-window filters actually skip chunks.
+                revived = parse_datetime(value)
+                if revived is None:
+                    continue    # unparseable literal: cannot prune on it
+                value = revived
             try:
                 if not _range_may_match(vmin, vmax, op, value):
                     return False
@@ -102,14 +115,63 @@ def _range_may_match(vmin: Any, vmax: Any, op: str, value: Any) -> bool:
 
 
 def _scalar(value: Any) -> Any:
-    """Plain-Python form of a chunk statistic (JSON- and pickle-friendly)."""
+    """Canonical scalar form of a chunk statistic.
+
+    Numpy numerics become plain Python (JSON- and pickle-friendly);
+    datetimes stay ``numpy.datetime64`` — normalized to second precision —
+    because the comparison rules need a real datetime, and the JSON
+    boundary tag-encodes them separately (:func:`_encode_stat`).
+    """
     if isinstance(value, np.bool_):
         return bool(value)
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
         return float(value)
+    if isinstance(value, np.datetime64):
+        return value.astype("datetime64[s]")
     return value
+
+
+def _encode_stat(value: Any) -> Any:
+    """JSON-safe form of one min/max statistic.
+
+    ``numpy.datetime64`` is not JSON-serializable — an untagged save used
+    to crash ``json.dump`` with a ``TypeError`` for any CSV holding a
+    datetime column.  Datetimes are written as a tagged pair
+    ``["dt", "2021-01-01T00:00:00"]``; the tag is unambiguous because
+    statistics scalars are never lists.
+    """
+    if isinstance(value, np.datetime64):
+        if np.isnat(value):
+            return None
+        return ["dt", str(value.astype("datetime64[s]"))]
+    return value
+
+
+def _decode_stat(value: Any) -> Any:
+    """Revive a tagged min/max statistic from its JSON form."""
+    if isinstance(value, list) and len(value) == 2 and value[0] == "dt":
+        return np.datetime64(value[1], "s")
+    return value
+
+
+def _encode_columns(columns: Dict[str, ColumnStats]) -> Dict[str, ColumnStats]:
+    """Tag-encode the min/max lists of every column for JSON."""
+    return {name: {"min": [_encode_stat(v) for v in stats["min"]],
+                   "max": [_encode_stat(v) for v in stats["max"]],
+                   "nulls": list(stats["nulls"]),
+                   "distinct": list(stats["distinct"])}
+            for name, stats in columns.items()}
+
+
+def _decode_columns(columns: Dict[str, ColumnStats]) -> Dict[str, ColumnStats]:
+    """Revive the tagged min/max lists of every column from JSON."""
+    return {name: {"min": [_decode_stat(v) for v in stats["min"]],
+                   "max": [_decode_stat(v) for v in stats["max"]],
+                   "nulls": list(stats["nulls"]),
+                   "distinct": list(stats["distinct"])}
+            for name, stats in columns.items()}
 
 
 def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
@@ -196,7 +258,7 @@ def load_zone_map(csv_path: str, stamp: Tuple[int, int],
         return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
                        chunk_rows=int(chunk_rows),
                        n_chunks=int(grid["n_chunks"]),
-                       columns=dict(grid["columns"]))
+                       columns=_decode_columns(grid["columns"]))
     except (KeyError, TypeError, ValueError):
         return None
 
@@ -214,21 +276,17 @@ def save_zone_map(csv_path: str, zone_map: ZoneMap) -> bool:
         payload = {"version": SIDECAR_VERSION, "stamp": stamp, "grids": {}}
     payload["grids"][str(zone_map.chunk_rows)] = {
         "n_chunks": zone_map.n_chunks,
-        "columns": zone_map.columns,
+        # Grids already on disk are in JSON form; only the grid being
+        # written needs encoding (load decodes the grid it extracts).
+        "columns": _encode_columns(zone_map.columns),
     }
-    target = sidecar_path(csv_path)
-    temporary = target + ".tmp"
     try:
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(temporary, target)
-    except OSError:
-        try:
-            os.unlink(temporary)
-        except OSError:
-            pass
+        serialized = json.dumps(payload).encode("utf-8")
+    except (TypeError, ValueError):
+        # Last-resort guard: a statistic the encoder does not know (e.g. a
+        # future dtype) must degrade to "no sidecar", not crash the scan.
         return False
-    return True
+    return atomic_replace(sidecar_path(csv_path), serialized)
 
 
 __all__ = [

@@ -45,7 +45,13 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.graph.graph import TaskGraph
-from repro.graph.task import Task, TaskRef, _callable_name, walk_token
+from repro.graph.task import (
+    NON_SEMANTIC_KWARGS,
+    Task,
+    TaskRef,
+    _callable_name,
+    walk_token,
+)
 
 #: Default byte budget of the global cache (also the Config default).
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
@@ -87,6 +93,11 @@ def _task_cache_key(task: Task, dep_keys: Dict[str, Optional[str]]) -> Optional[
         hasher.update(token.encode())
         hasher.update(b"\x00")
     for arg_name in sorted(task.kwargs):
+        if arg_name in NON_SEMANTIC_KWARGS:
+            # The sidecar route configures where bytes come from, not what
+            # the task returns; hashing it would split cache keys between
+            # otherwise-identical runs (see repro.graph.task).
+            continue
         token = _cache_token(task.kwargs[arg_name], dep_keys)
         if token is None:
             return None

@@ -76,6 +76,16 @@ class ExecutionReport:
     #: ``meta["predicate"]`` / ``Report.predicate_stats``.
     chunks_skipped: int = 0
     rows_filtered: int = 0
+    #: Parsed-chunk disk-sidecar deltas for this batch, attached by the
+    #: compute context from the sidecar's process-local counters
+    #: (:func:`repro.frame.sidecar.stats_snapshot`): partition parses
+    #: served from the binary sidecar, parses that decoded CSV, and the
+    #: CSV bytes the hits avoided.  Coordinator-process counts only; the
+    #: per-call totals live in ``meta["sidecar"]`` /
+    #: ``Report.sidecar_stats``.
+    sidecar_hits: int = 0
+    sidecar_misses: int = 0
+    bytes_decoded_avoided: int = 0
 
     @property
     def sharing_ratio(self) -> float:

@@ -117,7 +117,8 @@ class PartitionedFrame:
     @classmethod
     def from_source(cls, source: Any,
                     columns: Optional[Sequence[str]] = None,
-                    predicate: Optional[Any] = None) -> "PartitionedFrame":
+                    predicate: Optional[Any] = None,
+                    sidecar: Optional[Any] = None) -> "PartitionedFrame":
         """Partition any :class:`~repro.frame.source.FrameSource`.
 
         The source's precomputed :class:`~repro.frame.source.SourcePartition`
@@ -145,6 +146,13 @@ class PartitionedFrame:
         offsets: a filtered partition holds *at most* ``stop - start``
         rows, so indexed reductions (which assume exact global positions)
         must not be planned over a filtered frame.
+
+        *sidecar* — a :class:`~repro.frame.sidecar.SidecarRoute` tuple —
+        routes every partition task through the parsed-chunk binary cache
+        (the source must declare ``capabilities.chunk_sidecar=True``).
+        Unlike the two pushdowns it is non-semantic: the graph layer
+        excludes the keyword from CSE tokens and cross-call cache keys, so
+        enabling or moving the disk cache never changes task identity.
         """
         parts = source.partitions()
         if not parts:
@@ -172,9 +180,18 @@ class PartitionedFrame:
                     f"partition tasks take no predicate= keyword")
             spec = predicate.spec() if hasattr(predicate, "spec") \
                 else tuple(tuple(entry) for entry in predicate)
+        route = None
+        if sidecar is not None:
+            capabilities = getattr(source, "capabilities", None)
+            if not getattr(capabilities, "chunk_sidecar", False):
+                raise GraphError(
+                    f"{type(source).__name__} does not support the "
+                    f"parsed-chunk sidecar cache (capabilities.chunk_sidecar "
+                    f"is False); its partition tasks take no sidecar= keyword")
+            route = tuple(sidecar)
         partitions = []
         for part in parts:
-            func, args, kwargs, prefix = part.task_spec(columns, spec)
+            func, args, kwargs, prefix = part.task_spec(columns, spec, route)
             partitions.append(delayed(func, prefix=prefix)(*args, **kwargs))
         boundaries = [(part.start, part.stop) for part in parts]
         frame_columns = source.columns if columns is None else list(columns)

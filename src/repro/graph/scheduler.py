@@ -65,6 +65,15 @@ class RunStats:
     # executed parse tasks.
     chunks_skipped: int = 0
     rows_filtered: int = 0
+    # Parsed-chunk disk sidecar counters, attached by the compute layer
+    # after the run like the predicate counters above: chunks served from
+    # the binary sidecar instead of decoding CSV, chunks that had to
+    # decode, and the CSV bytes the hits avoided.  Coordinator-process
+    # counts only — ProcessScheduler workers keep their own (see
+    # repro.frame.sidecar).
+    sidecar_hits: int = 0
+    sidecar_misses: int = 0
+    bytes_decoded_avoided: int = 0
 
 
 @dataclass

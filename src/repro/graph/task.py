@@ -89,6 +89,16 @@ def next_key(prefix: str) -> str:
     return f"{prefix}-{next(_COUNTER)}"
 
 
+#: Keyword arguments that configure *where* a task's bytes come from, never
+#: *what* it returns — currently only the parsed-chunk sidecar route
+#: (``sidecar=`` on CSV partition parses).  Both the CSE tokenizer and the
+#: cross-call cache key builder skip them, so toggling the disk cache (or
+#: pointing it at another directory) can never fragment CSE sharing or
+#: poison cache keys: a result computed without the sidecar legitimately
+#: serves a sidecar-enabled run and vice versa.
+NON_SEMANTIC_KWARGS = frozenset({"sidecar"})
+
+
 def tokenize(func: Callable[..., Any], args: Tuple[Any, ...],
              kwargs: Dict[str, Any]) -> str:
     """Structural fingerprint of a call, used for CSE.
@@ -97,13 +107,16 @@ def tokenize(func: Callable[..., Any], args: Tuple[Any, ...],
     object identity for containers and arrays (two tasks that operate on the
     *same* in-memory frame/array share a fingerprint, which is exactly the
     sharing opportunity inside one EDA call).  TaskRef arguments are
-    fingerprinted by the referenced key.
+    fingerprinted by the referenced key.  :data:`NON_SEMANTIC_KWARGS` are
+    excluded — they do not change the task's value.
     """
     hasher = hashlib.sha1()
     hasher.update(_callable_name(func).encode())
     for value in args:
         hasher.update(_token_of(value).encode())
     for name in sorted(kwargs):
+        if name in NON_SEMANTIC_KWARGS:
+            continue
         hasher.update(name.encode())
         hasher.update(_token_of(kwargs[name]).encode())
     return hasher.hexdigest()[:16]

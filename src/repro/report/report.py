@@ -61,6 +61,11 @@ class Report:
     #: spec, chunks the zone maps skipped, rows filtered inside the parse)
     #: — see :meth:`~repro.eda.compute.base.ComputeContext.predicate_stats`.
     predicate_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Parsed-chunk disk-sidecar counters for the whole report (chunk parses
+    #: served from the binary sidecar, parses that decoded CSV, CSV bytes
+    #: avoided) — see
+    #: :meth:`~repro.eda.compute.base.ComputeContext.sidecar_stats`.
+    sidecar_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def section_names(self) -> List[str]:
@@ -193,7 +198,8 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
                   timings=timings, config=cfg,
                   execution_reports=list(context.reports),
                   projection_stats=context.projection_stats(),
-                  predicate_stats=context.predicate_stats())
+                  predicate_stats=context.predicate_stats(),
+                  sidecar_stats=context.sidecar_stats())
 
 
 def _interactions(df: DataFrame, config: Config,

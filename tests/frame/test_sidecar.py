@@ -1,0 +1,369 @@
+"""Parsed-chunk binary sidecar: round trips, keying, eviction, warm scans.
+
+The sidecar is a cache, never a correctness requirement, so the contract
+under test is two-sided: a valid chunk file must round-trip every supported
+dtype bit-for-bit (masks included), and *any* mismatch — stamp, row count,
+delimiter, dtype, missing column, truncated file — must miss (return None)
+rather than serve wrong data.  The end-to-end tests pin the work-avoidance
+claim itself: a warm re-scan decodes zero CSV bytes, in this process and in
+a child process with a cold in-memory cache.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.frame.dtypes import DType
+from repro.frame.frame import DataFrame
+from repro.frame.io import scan_csv, write_csv
+from repro.frame.sidecar import (
+    SidecarRoute,
+    atomic_replace,
+    chunk_dir,
+    chunk_path,
+    load_chunk,
+    reset_stats,
+    stats_snapshot,
+    store_chunk,
+)
+from repro.graph.cache import TaskCache, get_global_cache, set_global_cache
+
+ROUTE = tuple(SidecarRoute())
+
+STAMP = (1234, 5678)
+
+
+def _all_dtype_frame():
+    return DataFrame({
+        "b": [True, False, True, False],
+        "i": [-3, 0, 7, 10 ** 12],
+        "f": [1.5, float("nan"), -2.25, 0.0],
+        "s": ["ash", None, "", "日本語"],
+        "t": ["2021-01-01", None, "2021-06-15 12:30:00", "1999-12-31"],
+    })
+
+
+def _dtypes(frame):
+    return dict(frame.dtypes)
+
+
+def _assert_frames_equal(left, right):
+    assert list(left.columns) == list(right.columns)
+    for name in right.columns:
+        got, want = left.column(name), right.column(name)
+        assert got.dtype is want.dtype, name
+        np.testing.assert_array_equal(got.isna(), want.isna(), err_msg=name)
+        present = ~want.isna()
+        np.testing.assert_array_equal(got.to_numpy()[present],
+                                      want.to_numpy()[present], err_msg=name)
+
+
+# --------------------------------------------------------------------------- #
+# Store/load round trips and keying.
+# --------------------------------------------------------------------------- #
+class TestRoundTrip:
+    def test_every_dtype_round_trips(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        assert store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        back = load_chunk(path, 10, 90, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame), ROUTE)
+        assert back is not None
+        _assert_frames_equal(back, frame)
+
+    def test_projection_loads_subset(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        back = load_chunk(path, 10, 90, STAMP, ("s", "f"),
+                          _dtypes(frame), len(frame), ROUTE)
+        assert list(back.columns) == ["s", "f"]
+        _assert_frames_equal(back, frame[["s", "f"]])
+
+    def test_differently_projected_stores_merge(self, tmp_path):
+        """Two projected scans accumulate columns into one chunk file
+        instead of clobbering each other."""
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame[["i"]], ROUTE)
+        store_chunk(path, 10, 90, STAMP, frame[["s"]], ROUTE)
+        for wanted in (("i",), ("s",), ("i", "s")):
+            back = load_chunk(path, 10, 90, STAMP, wanted, _dtypes(frame),
+                              len(frame), ROUTE)
+            assert back is not None, wanted
+            _assert_frames_equal(back, frame[list(wanted)])
+
+    def test_zero_row_chunk(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame().slice(0, 0)
+        assert store_chunk(path, 10, 10, STAMP, frame, ROUTE)
+        back = load_chunk(path, 10, 10, STAMP, tuple(frame.columns),
+                          _dtypes(frame), 0, ROUTE)
+        assert back is not None and len(back) == 0
+
+
+class TestKeying:
+    def test_wrong_stamp_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        assert load_chunk(path, 10, 90, (1234, 9999), tuple(frame.columns),
+                          _dtypes(frame), len(frame), ROUTE) is None
+
+    def test_wrong_byte_range_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        assert load_chunk(path, 10, 95, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame), ROUTE) is None
+
+    def test_wrong_row_count_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        assert load_chunk(path, 10, 90, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame) + 1, ROUTE) is None
+
+    def test_wrong_delimiter_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE, delimiter=",")
+        assert load_chunk(path, 10, 90, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame), ROUTE,
+                          delimiter=";") is None
+
+    def test_dtype_mismatch_misses(self, tmp_path):
+        """A re-inferred dtype (the CSV changed meaning, not bytes counted
+        by the stamp — or a declared override) must not serve stale arrays."""
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        wrong = dict(_dtypes(frame), i=DType.FLOAT)
+        assert load_chunk(path, 10, 90, STAMP, ("i",), wrong,
+                          len(frame), ROUTE) is None
+
+    def test_missing_column_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame[["i"]], ROUTE)
+        assert load_chunk(path, 10, 90, STAMP, ("i", "f"), _dtypes(frame),
+                          len(frame), ROUTE) is None
+
+    def test_corrupt_file_misses(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        store_chunk(path, 10, 90, STAMP, frame, ROUTE)
+        target = chunk_path(path, SidecarRoute(*ROUTE), 10, 90)
+        with open(target, "r+b") as handle:
+            handle.write(b"garbage!")
+        assert load_chunk(path, 10, 90, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame), ROUTE) is None
+
+    def test_directory_override_isolates_chunks(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        override = str(tmp_path / "cache")
+        route = tuple(SidecarRoute(directory=override))
+        frame = _all_dtype_frame()
+        assert store_chunk(path, 10, 90, STAMP, frame, route)
+        assert not os.path.exists(path + ".chunks")
+        assert chunk_dir(path, SidecarRoute(*route)).startswith(override)
+        back = load_chunk(path, 10, 90, STAMP, tuple(frame.columns),
+                          _dtypes(frame), len(frame), route)
+        assert back is not None
+
+
+# --------------------------------------------------------------------------- #
+# Atomic writes and eviction.
+# --------------------------------------------------------------------------- #
+class TestAtomicReplace:
+    def test_replaces_and_leaves_no_temp(self, tmp_path):
+        target = str(tmp_path / "file.bin")
+        assert atomic_replace(target, b"one")
+        assert atomic_replace(target, b"two")
+        with open(target, "rb") as handle:
+            assert handle.read() == b"two"
+        assert os.listdir(tmp_path) == ["file.bin"]
+
+    def test_failure_cleans_up_and_returns_false(self, tmp_path):
+        target = str(tmp_path / "no" / "such" / "dir" / "file.bin")
+        assert atomic_replace(target, b"payload") is False
+        assert not os.path.exists(str(tmp_path / "no"))
+
+    def test_unreplaceable_target_removes_temp(self, tmp_path):
+        # os.replace over a non-empty directory fails after the temp file
+        # was written: the temp must not leak.
+        target = str(tmp_path / "occupied")
+        os.makedirs(os.path.join(target, "inner"))
+        assert atomic_replace(target, b"payload") is False
+        assert sorted(os.listdir(tmp_path)) == ["occupied"]
+
+
+class TestEviction:
+    def test_lru_by_read_time_under_budget(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        frame = _all_dtype_frame()
+        big_route = tuple(SidecarRoute())
+        ranges = [(0, 100), (100, 200), (200, 300)]
+        for start, stop in ranges:
+            assert store_chunk(path, start, stop, STAMP, frame, big_route)
+        directory = chunk_dir(path, SidecarRoute(*big_route))
+        paths = [chunk_path(path, SidecarRoute(*big_route), start, stop)
+                 for start, stop in ranges]
+        sizes = [os.path.getsize(entry) for entry in paths]
+        # Mark the first chunk as the most recently *read*, the middle as
+        # the coldest, then store once more with a budget that forces one
+        # eviction: the coldest file must go, the recently-read must stay.
+        os.utime(paths[1], (1, 1))
+        os.utime(paths[2], (2, 2))
+        os.utime(paths[0], (3, 3))
+        budget = sum(sizes)     # adding a 4th chunk overflows by ~one file
+        tight_route = tuple(SidecarRoute(budget_bytes=budget))
+        assert store_chunk(path, 300, 400, STAMP, frame, tight_route)
+        remaining = {name for name in os.listdir(directory)}
+        assert "chunk-100-200.bin" not in remaining
+        assert "chunk-0-100.bin" in remaining
+        total = sum(os.path.getsize(os.path.join(directory, name))
+                    for name in remaining)
+        assert total <= budget
+
+
+# --------------------------------------------------------------------------- #
+# End to end: warm re-scans decode zero CSV bytes.
+# --------------------------------------------------------------------------- #
+N_ROWS = 600
+CHUNK_ROWS = 100
+
+CONFIG = {
+    "compute.scheduler": "synchronous",     # exact counters need one process
+}
+
+
+@pytest.fixture
+def eda_csv(tmp_path):
+    rng = np.random.default_rng(11)
+    frame = DataFrame({
+        "x": rng.normal(0, 1, N_ROWS),
+        "word": [f"w{i % 13}" for i in range(N_ROWS)],
+        "when": [str(np.datetime64("2021-01-01")
+                     + np.timedelta64(i % 360, "D")) for i in range(N_ROWS)],
+    })
+    path = str(tmp_path / "eda.csv")
+    write_csv(frame, path)
+    previous = get_global_cache()
+    reset_stats()
+    yield path
+    set_global_cache(previous)
+    reset_stats()
+
+
+def _fresh_scan_plot(path, column="x", **kwargs):
+    from repro import plot
+    set_global_cache(TaskCache())   # cold in-memory cache: tasks re-execute
+    scan = scan_csv(path, chunk_rows=CHUNK_ROWS)
+    return plot(scan, column, mode="intermediates", config=dict(CONFIG),
+                **kwargs)
+
+
+def test_warm_scan_decodes_zero_csv_bytes(eda_csv):
+    cold = _fresh_scan_plot(eda_csv)
+    assert cold.meta["sidecar"]["enabled"] is True
+    assert cold.meta["sidecar"]["sidecar_misses"] == N_ROWS // CHUNK_ROWS
+    assert cold.meta["sidecar"]["sidecar_hits"] == 0
+    assert os.path.isdir(eda_csv + ".chunks")
+
+    reset_stats()
+    warm = _fresh_scan_plot(eda_csv)
+    stats = warm.meta["sidecar"]
+    assert stats["sidecar_misses"] == 0
+    assert stats["sidecar_hits"] == N_ROWS // CHUNK_ROWS
+    assert stats["bytes_decoded_avoided"] > 0
+    assert stats_snapshot()["csv_bytes_decoded"] == 0
+    assert warm.items == cold.items
+
+
+def test_warm_scan_serves_other_projections_and_filters(eda_csv):
+    """Chunks are stored pre-filter with whatever columns the run parsed
+    (an overview run parses them all), so a warm filtered scan over any
+    projection still decodes nothing — the predicate runs on the loaded
+    arrays instead."""
+    from repro import plot
+    set_global_cache(TaskCache())
+    overview = scan_csv(eda_csv, chunk_rows=CHUNK_ROWS)
+    plot(overview, mode="intermediates", config=dict(CONFIG))    # full width
+    reset_stats()
+    filtered = _fresh_scan_plot(eda_csv, column="word",
+                                where=("x", ">", 0.0))
+    assert filtered.meta["sidecar"]["sidecar_misses"] == 0
+    assert filtered.meta["sidecar"]["sidecar_hits"] > 0
+    assert stats_snapshot()["csv_bytes_decoded"] == 0
+
+
+def test_overwritten_file_invalidates_chunks(eda_csv):
+    cold = _fresh_scan_plot(eda_csv)
+    with open(eda_csv) as handle:
+        content = handle.read()
+    with open(eda_csv, "w") as handle:   # same bytes, new mtime_ns stamp
+        handle.write(content)
+    reset_stats()
+    rescan = _fresh_scan_plot(eda_csv)
+    assert rescan.meta["sidecar"]["sidecar_hits"] == 0
+    assert rescan.meta["sidecar"]["sidecar_misses"] == N_ROWS // CHUNK_ROWS
+    assert rescan.items == cold.items
+
+
+def test_disk_cache_disabled_writes_nothing(eda_csv):
+    from repro import plot
+    set_global_cache(TaskCache())
+    scan = scan_csv(eda_csv, chunk_rows=CHUNK_ROWS)
+    result = plot(scan, "x", mode="intermediates",
+                  config={**CONFIG, "cache.disk_enabled": False})
+    assert result.meta["sidecar"] == {
+        "enabled": False, "sidecar_hits": 0, "sidecar_misses": 0,
+        "bytes_decoded_avoided": 0}
+    assert not os.path.exists(eda_csv + ".chunks")
+
+
+def test_disk_dir_override_routes_chunks(eda_csv, tmp_path):
+    from repro import plot
+    override = str(tmp_path / "spill")
+    set_global_cache(TaskCache())
+    scan = scan_csv(eda_csv, chunk_rows=CHUNK_ROWS)
+    plot(scan, "x", mode="intermediates",
+         config={**CONFIG, "cache.disk_dir": override})
+    assert not os.path.exists(eda_csv + ".chunks")
+    assert any(name.endswith(".chunks") for name in os.listdir(override))
+
+
+def test_cross_process_warm_start(eda_csv):
+    """A child process with a cold in-memory cache hits the sidecar this
+    process wrote — the counters are asserted *inside* the child, where
+    they accumulate."""
+    _fresh_scan_plot(eda_csv)       # parent run populates <file>.chunks/
+    child = textwrap.dedent(f"""
+        from repro import plot
+        from repro.frame.io import scan_csv
+        from repro.frame.sidecar import stats_snapshot
+        scan = scan_csv({eda_csv!r}, chunk_rows={CHUNK_ROWS})
+        plot(scan, "x", mode="intermediates",
+             config={{"compute.scheduler": "synchronous"}})
+        stats = stats_snapshot()
+        assert stats["misses"] == 0, stats
+        assert stats["hits"] == {N_ROWS // CHUNK_ROWS}, stats
+        assert stats["csv_bytes_decoded"] == 0, stats
+        print("child-warm-ok")
+    """)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_SCHEDULER", None)
+    completed = subprocess.run([sys.executable, "-c", child], env=env,
+                               capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, completed.stderr
+    assert "child-warm-ok" in completed.stdout

@@ -132,6 +132,115 @@ def test_sidecar_round_trip(data, tmp_path_factory):
     assert load_zone_map(path, (123, 456), chunk_rows + 10 ** 6) is None
 
 
+DATES = [f"2021-01-{day:02d}" for day in range(1, 29)]
+
+
+@st.composite
+def all_dtype_frames(draw):
+    """A frame with one column of every supported DType, cut into chunks.
+
+    Every nullable column mixes missing values in, so the round trip also
+    covers all-null chunks (min/max = None) for every dtype.
+    """
+    n_rows = draw(st.integers(min_value=1, max_value=40))
+    chunk_rows = draw(st.integers(min_value=1, max_value=15))
+
+    def rows(elements):
+        return draw(st.lists(elements, min_size=n_rows, max_size=n_rows))
+
+    frame = DataFrame({
+        "b": rows(st.booleans()),
+        "i": rows(st.integers(min_value=-1000, max_value=1000)),
+        "f": rows(float_values),
+        "s": rows(st.one_of(st.none(), st.sampled_from(WORDS))),
+        "t": rows(st.one_of(st.none(), st.sampled_from(DATES))),
+    })
+    chunks = [frame.slice(start, min(start + chunk_rows, n_rows))
+              for start in range(0, n_rows, chunk_rows)]
+    return frame, chunks, chunk_rows
+
+
+@st.composite
+def all_dtype_predicates(draw):
+    """A 1–2 conjunct spec touching any of the five dtype columns.
+
+    Literals travel in spec form (what the graph ships): plain scalars for
+    bool/int/float/string, ISO strings for datetime.
+    """
+    choices = {
+        "b": st.booleans(),
+        "i": st.integers(min_value=-1000, max_value=1000),
+        "f": float_literals,
+        "s": st.sampled_from(WORDS),
+        "t": st.sampled_from([d + "T00:00:00" for d in DATES]),
+    }
+    spec = []
+    for _ in range(draw(st.integers(min_value=1, max_value=2))):
+        column = draw(st.sampled_from(sorted(choices)))
+        spec.append((column, draw(st.sampled_from(OPS)),
+                     draw(choices[column])))
+    return tuple(spec)
+
+
+@given(data=all_dtype_frames(), spec=all_dtype_predicates())
+@settings(max_examples=60, deadline=None)
+def test_sidecar_round_trip_all_dtypes(data, spec, tmp_path_factory):
+    """Every supported dtype survives the JSON sidecar: the reloaded map
+    makes pruning decisions identical to the in-memory one — datetime
+    statistics included, which used to crash the save with a TypeError."""
+    frame, chunks, chunk_rows = data
+    path = str(tmp_path_factory.mktemp("zm-dtypes") / "data.csv")
+    write_csv(frame, path)
+    zone_map = build_zone_map(chunks, stamp=(7, 8), chunk_rows=chunk_rows)
+    assert save_zone_map(path, zone_map)
+    back = load_zone_map(path, (7, 8), chunk_rows)
+    assert back is not None
+    assert back.columns == zone_map.columns
+    datetime_stats = back.columns["t"]["min"]
+    assert all(stat is None or isinstance(stat, np.datetime64)
+               for stat in datetime_stats)
+    assert back.keep_flags(spec) == zone_map.keep_flags(spec)
+
+
+@given(data=all_dtype_frames(), spec=all_dtype_predicates())
+@settings(max_examples=60, deadline=None)
+def test_all_dtype_pruning_never_drops_a_matching_row(data, spec,
+                                                      tmp_path_factory):
+    """Soundness across every dtype, through the persisted sidecar: a
+    skipped chunk provably holds no matching row for the residual filter
+    (datetime conjuncts compare ISO-string literals against datetime64
+    statistics, which used to no-op the pruning)."""
+    frame, chunks, chunk_rows = data
+    path = str(tmp_path_factory.mktemp("zm-dtypes-sound") / "data.csv")
+    write_csv(frame, path)
+    zone_map = build_zone_map(chunks, stamp=(7, 8), chunk_rows=chunk_rows)
+    assert save_zone_map(path, zone_map)
+    back = load_zone_map(path, (7, 8), chunk_rows)
+    predicate = compile_predicate(spec)
+    for chunk, keep in zip(chunks, back.keep_flags(spec)):
+        if not keep:
+            assert int(predicate.mask(chunk).sum()) == 0, \
+                "reloaded zone map skipped a chunk with a matching row"
+
+
+def test_datetime_zone_map_save_does_not_crash(tmp_path):
+    """The regression pinned directly: saving statistics that hold
+    numpy.datetime64 scalars must succeed (it used to raise TypeError from
+    json.dump, aborting the whole filtered scan)."""
+    path = str(tmp_path / "data.csv")
+    frame = DataFrame({"t": ["2021-01-01", "2021-06-15", None]})
+    write_csv(frame, path)
+    zone_map = build_zone_map([frame], stamp=(1, 2), chunk_rows=10)
+    assert isinstance(zone_map.columns["t"]["min"][0], np.datetime64)
+    assert save_zone_map(path, zone_map) is True
+    back = load_zone_map(path, (1, 2), 10)
+    assert back.columns["t"]["min"] == zone_map.columns["t"]["min"]
+    assert back.columns["t"]["max"] == zone_map.columns["t"]["max"]
+    # The revived statistics prune: everything is before 2022.
+    assert back.keep_flags((("t", ">", "2022-01-01T00:00:00"),)) == [False]
+    assert back.keep_flags((("t", "<", "2021-02-01T00:00:00"),)) == [True]
+
+
 @given(data=chunked_frames())
 @settings(max_examples=20, deadline=None)
 def test_stamp_change_invalidates_sidecar(data, tmp_path_factory):
