@@ -1,117 +1,211 @@
-"""Figure 6(c): report generation on a simulated cluster, varying workers.
+"""Figure 6(c): report generation vs worker count, on real socket workers.
 
-The paper runs create_report on 100M rows stored in HDFS on an 8-node
-cluster and shows wall time dropping as workers are added (the HDFS read is
-split), with the 1-worker cluster slower than the single-node run because of
-the extra read-over-the-network cost.
+The paper runs ``create_report`` on an 8-node cluster reading 100M rows
+from HDFS and shows wall time dropping as workers are added because the
+read is split across nodes.  Earlier revisions of this benchmark *modelled*
+that run with an analytical formula plus a thread-pool simulation; the
+remote execution backend (``compute.scheduler = "remote"``) retires the
+make-believe: the worker-scaling curve below is measured on actual worker
+processes speaking the TCP wire protocol, each parsing its own per-file
+shard of a multi-file scan and shipping back sketch states.
 
-No cluster exists in this environment, so the experiment is reproduced with
-the calibrated :class:`~repro.graph.cluster.ClusterCostModel` (anchored to a
-real single-node measurement from this repository) plus a small
-:class:`~repro.graph.cluster.SimulatedCluster` end-to-end run that exercises
-actual worker threads and simulated I/O latency.
+The analytical :class:`~repro.graph.cluster.ClusterCostModel` still earns
+its keep, but the other way around: its parameters are *fitted* to the
+measured runs (:meth:`ClusterCostModel.calibrate`), the fit error is
+asserted, and only the extrapolation to the paper's 100M-row, 8-worker
+setup — which this machine cannot host — comes from the model.
 """
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import pytest
 
 from benchmarks.conftest import print_header
 from repro.datasets import bitcoin_dataset
-from repro.frame.frame import DataFrame
-from repro.graph.cluster import ClusterCostModel, SimulatedCluster
-from repro.graph.partition import precompute_chunk_sizes
+from repro.frame.io import scan_csv, write_csv
+from repro.graph import TaskCache, set_global_cache
+from repro.graph.cluster import ClusterCostModel
+from repro.graph.remote import RemoteExecutor, shutdown_remote_pools
 from repro.report import create_report
-from repro.stats.descriptive import NumericSummary
 
-#: Worker counts of Figure 6(c).
-WORKER_COUNTS = [1, 2, 4, 8]
+#: Worker counts measured on real socket workers (Figure 6(c)'s x-axis is
+#: 1..8; the local curve stops at 4 and the calibrated model extrapolates).
+MEASURED_WORKER_COUNTS = [1, 2, 4]
+PAPER_WORKER_COUNTS = [1, 2, 4, 8]
 
-#: Row count for the single-node calibration measurement.
-CALIBRATION_ROWS = 100_000
-
-#: Paper target: 100M rows; the analytical model extrapolates to it.
+#: Paper target: 100M rows; the calibrated model extrapolates to it.
 PAPER_ROWS = 100_000_000
 
+#: Rows per CSV part file (4 files make one logical multi-file dataset, so
+#: the per-file shards spread across workers).  Override with
+#: REPRO_BENCH_FIG6C_ROWS for a larger, less noisy curve.
+ROWS_PER_FILE = int(os.environ.get("REPRO_BENCH_FIG6C_ROWS", "25000"))
+N_FILES = 4
+
+#: Chunk granularity: small enough that every worker always has bundles
+#: queued, large enough that per-chunk parse work dominates dispatch.
+CHUNK_ROWS = 6_000
+
+#: (n_workers -> measured seconds), filled by the scaling benchmark and
+#: reused by the calibration benchmark in a whole-file run.
 _STATE: Dict[str, object] = {}
 
 
-def test_fig6c_single_node_calibration(benchmark):
-    """Measure the single-node create_report throughput used to calibrate."""
-    frame = bitcoin_dataset(n_rows=CALIBRATION_ROWS, seed=5)
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
 
-    def run():
+
+@pytest.fixture(scope="module")
+def fig6c_csvs(tmp_path_factory) -> Sequence[str]:
+    """Four bitcoin-shaped CSV part files (one logical dataset)."""
+    directory = tmp_path_factory.mktemp("fig6c_remote")
+    paths = []
+    for index in range(N_FILES):
+        frame = bitcoin_dataset(n_rows=ROWS_PER_FILE, seed=20 + index)
+        path = str(directory / f"bitcoin-part-{index}.csv")
+        write_csv(frame, path)
+        paths.append(path)
+    return paths
+
+
+def _remote_report_seconds(paths: Sequence[str], workers: int) -> float:
+    """One cold multi-file streaming report on *workers* socket workers.
+
+    The worker pool is started and awaited *before* the clock starts —
+    Figure 6(c) measures the report, not python interpreter spawn time —
+    and torn down afterwards so an idle pool never competes for cores with
+    the next measurement.  Fresh intermediate cache and no disk sidecar:
+    every run must do real parse work.
+    """
+    set_global_cache(TaskCache())
+    executor = RemoteExecutor(max_workers=workers, workers=workers)
+    try:
+        connected = executor.pool().wait_for_workers(workers, timeout=120.0)
+        assert connected == workers, \
+            f"only {connected}/{workers} workers connected"
+        scan = scan_csv(list(paths), chunk_rows=CHUNK_ROWS,
+                        inference_rows=2_000)
         started = time.perf_counter()
-        create_report(frame, config={"compute.use_graph": "always",
-                                     "compute.partition_rows": 25_000})
-        elapsed = time.perf_counter() - started
-        _STATE["single_node_seconds"] = elapsed
-        return elapsed
+        create_report(scan, config={"compute.scheduler": "remote",
+                                    "compute.remote.workers": workers,
+                                    "compute.max_workers": workers,
+                                    "cache.enabled": False,
+                                    "cache.disk_enabled": False})
+        return time.perf_counter() - started
+    finally:
+        executor.discard()
 
-    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+
+def _measure_curve(paths: Sequence[str],
+                   worker_counts: Sequence[int]) -> Dict[int, float]:
+    return {workers: _remote_report_seconds(paths, workers)
+            for workers in worker_counts}
 
 
-def test_fig6c_cost_model_sweep(benchmark):
-    """Extrapolate the calibrated model to the paper's 100M-row workload."""
-    if "single_node_seconds" not in _STATE:
-        pytest.skip("run the calibration benchmark first (whole-file run)")
+def _print_curve(times: Dict[int, float]) -> None:
+    base = times[min(times)]
+    print(f"{'workers':>8s} {'seconds':>9s} {'speedup':>8s}")
+    for workers in sorted(times):
+        print(f"{workers:>8d} {times[workers]:>9.2f} "
+              f"{base / max(times[workers], 1e-9):>7.2f}x")
+
+
+def test_fig6c_remote_worker_scaling(benchmark, fig6c_csvs):
+    """Multi-file create_report: 4 socket workers vs 1 (needs >= 4 cores)."""
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"needs >= 4 usable cores to demonstrate scaling, "
+                    f"have {cores}")
 
     def run():
-        measured = float(_STATE["single_node_seconds"])
-        model = ClusterCostModel().calibrate_from_single_node(
-            n_rows=CALIBRATION_ROWS, measured_seconds=measured, io_fraction=0.35)
-        # Reading from HDFS over the network is slower than the local read the
-        # calibration measured; the paper makes the same observation when it
-        # compares the 1-worker cluster with the single-node run.
-        model.hdfs_bandwidth_bytes_per_s /= 3.0
-        model.coordination_overhead_s = measured * 0.2
-        times = model.sweep(PAPER_ROWS, WORKER_COUNTS)
-        _STATE["model_times"] = times
-        return times
+        return _measure_curve(fig6c_csvs, MEASURED_WORKER_COUNTS)
 
-    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    times = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    _STATE["remote_times"] = times
+    print_header("Figure 6(c) — create_report on real socket workers "
+                 f"({N_FILES * ROWS_PER_FILE:,d} rows, {N_FILES} files)")
+    _print_curve(times)
 
-    print_header("Figure 6(c) — create_report on the simulated cluster "
-                 f"({PAPER_ROWS:,} rows, calibrated cost model)")
-    for workers, seconds in zip(WORKER_COUNTS, times):
+    speedup = times[1] / max(times[4], 1e-9)
+    assert speedup >= 2.0, \
+        f"4 workers only {speedup:.2f}x faster than 1 (expected >= 2x)"
+
+
+def test_fig6c_remote_scaling_smoke(benchmark, fig6c_csvs):
+    """CI smoke: 4 socket workers beat 1 by > 1.3x (skipped under 4 cores)."""
+    cores = _usable_cores()
+    if cores < 4:
+        pytest.skip(f"needs >= 4 usable cores, have {cores}")
+
+    def run():
+        return _measure_curve(fig6c_csvs, [1, 4])
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print_header("Figure 6(c) smoke — multi-file report, 1 vs 4 socket workers")
+    _print_curve(times)
+    speedup = times[1] / max(times[4], 1e-9)
+    assert speedup > 1.3, \
+        f"4 workers only {speedup:.2f}x faster than 1 (expected > 1.3x)"
+
+
+def test_fig6c_model_calibration(benchmark, fig6c_csvs):
+    """Fit ClusterCostModel to the measured curve and check the fit error.
+
+    Runs on any core count: when the full scaling benchmark was skipped
+    (fewer than 4 cores) the calibration measures a cheaper 1/2-worker
+    curve itself — the least-squares fit of ``t(w) = c + K/w`` is defined
+    for any two distinct worker counts, scaling or not.
+    """
+    n_rows = N_FILES * ROWS_PER_FILE
+    bytes_per_row = sum(os.path.getsize(path) for path in fig6c_csvs) / n_rows
+
+    def run():
+        times = _STATE.get("remote_times")
+        if times is None:
+            times = _measure_curve(fig6c_csvs, [1, 2])
+        model = ClusterCostModel.calibrate(
+            sorted(times.items()), n_rows=n_rows, bytes_per_row=bytes_per_row)
+        return times, model
+
+    times, model = benchmark.pedantic(run, rounds=1, iterations=1,
+                                      warmup_rounds=0)
+
+    print_header("Figure 6(c) — cost model calibrated from measured runs")
+    print(f"coordination overhead: {model.coordination_overhead_s:.2f} s, "
+          f"scan bandwidth: {model.hdfs_bandwidth_bytes_per_s / 1e6:.1f} MB/s, "
+          f"throughput: {model.worker_throughput_rows_per_s / 1e3:.0f} rows/ms"
+          .replace("rows/ms", "krows/s"))
+    print(f"{'workers':>8s} {'measured[s]':>12s} {'model[s]':>9s} {'error':>7s}")
+    errors = []
+    for workers in sorted(times):
+        measured = times[workers]
+        predicted = model.estimate_seconds(n_rows, workers)
+        errors.append(abs(predicted - measured) / measured)
+        print(f"{workers:>8d} {measured:>12.2f} {predicted:>9.2f} "
+              f"{errors[-1] * 100:>6.1f}%")
+
+    print_header(f"Figure 6(c) — model extrapolated to {PAPER_ROWS:,d} rows")
+    paper_times = model.sweep(PAPER_ROWS, PAPER_WORKER_COUNTS)
+    for workers, seconds in zip(PAPER_WORKER_COUNTS, paper_times):
         print(f"{workers:>2d} worker(s): {seconds:>10.1f} s")
 
-    # Shape: adding workers always helps, and 8 workers beat 1 worker by a
-    # wide margin (paper: ~2400s -> ~400s).
-    assert times == sorted(times, reverse=True)
-    assert times[0] / times[-1] > 2.0
+    # The model must describe the machine it was fitted on: mean relative
+    # error across the measured worker counts stays under 35% (generous —
+    # single-round timings on shared CI cores are noisy).
+    mean_error = sum(errors) / len(errors)
+    assert mean_error < 0.35, \
+        f"calibrated model off by {mean_error * 100:.0f}% on average"
+    # And the extrapolated paper curve keeps Figure 6(c)'s shape: monotone
+    # improvement with more workers.
+    assert paper_times == sorted(paper_times, reverse=True)
 
 
-def test_fig6c_simulated_cluster_execution(benchmark):
-    """End-to-end run on the thread-based simulated cluster (shape check)."""
-    frame = bitcoin_dataset(n_rows=80_000, seed=6)
-    boundaries = precompute_chunk_sizes(len(frame), n_partitions=16)
-    partitions = [frame.slice(start, stop) for start, stop in boundaries]
-    partition_bytes = [partition.memory_bytes() for partition in partitions]
-
-    def profile_partition(partition: DataFrame) -> Dict[str, NumericSummary]:
-        return {name: NumericSummary.from_column(partition.column(name))
-                for name in partition.numeric_columns()}
-
-    def run():
-        elapsed: Dict[int, float] = {}
-        for workers in WORKER_COUNTS:
-            cluster = SimulatedCluster(
-                n_workers=workers, read_bandwidth_bytes_per_s=40e6)
-            _, seconds = cluster.timed_run(partitions, partition_bytes,
-                                           profile_partition)
-            elapsed[workers] = seconds
-        _STATE["cluster_times"] = elapsed
-        return elapsed
-
-    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
-
-    print_header("Figure 6(c) — thread-based simulated cluster (80,000 rows)")
-    for workers in WORKER_COUNTS:
-        print(f"{workers:>2d} worker(s): {elapsed[workers]:>8.2f} s")
-
-    assert elapsed[8] < elapsed[1], "adding workers should reduce wall time"
-    assert elapsed[4] <= elapsed[1]
+def teardown_module() -> None:
+    shutdown_remote_pools()

@@ -614,6 +614,18 @@ class ComputeContext:
             cache.resize(self.config.get("cache.max_bytes"))
         return cache
 
+    def _scheduler_options(self) -> Dict[str, Any]:
+        """Backend-specific scheduler kwargs from the ``compute.remote.*``
+        keys (empty for the in-process backends)."""
+        if self.config.get("compute.scheduler") != "remote":
+            return {}
+        return {
+            "workers": self.config.get("compute.remote.workers"),
+            "bind": self.config.get("compute.remote.bind"),
+            "heartbeat_s": self.config.get("compute.remote.heartbeat_s"),
+            "timeout_s": self.config.get("compute.remote.timeout_s"),
+        }
+
     def _engine_kwargs(self, engine_name: str) -> Dict[str, Any]:
         if engine_name == "lazy":
             return {
@@ -622,11 +634,13 @@ class ComputeContext:
                 "enable_fusion": self.config.get("compute.enable_fusion"),
                 "cache": self.cache,
                 "scheduler": self.config.get("compute.scheduler"),
+                "scheduler_options": self._scheduler_options(),
             }
         if engine_name == "eager":
             return {"max_workers": self.config.get("compute.max_workers"),
                     "cache": self.cache,
-                    "scheduler": self.config.get("compute.scheduler")}
+                    "scheduler": self.config.get("compute.scheduler"),
+                    "scheduler_options": self._scheduler_options()}
         if engine_name == "cluster-rpc":
             # The cluster-RPC model is defined by its per-task dispatch
             # latency on a synchronous scheduler; compute.scheduler does not

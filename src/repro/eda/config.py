@@ -93,6 +93,19 @@ DEFAULTS: Dict[str, Any] = {
     # the process backend.
     "compute.scheduler": "threaded",
     "compute.max_workers": None,           # respected by all schedulers
+    # Remote (socket) backend, compute.scheduler = "remote": a coordinator
+    # binds compute.remote.bind (port 0 = any free port; bind a routable
+    # address to let workers on other hosts attach with
+    # `python -m repro.graph.remote --connect HOST:PORT`), spawns
+    # compute.remote.workers local worker processes (None = compute
+    # .max_workers, REPRO_REMOTE_WORKERS overrides the default), pings
+    # them every compute.remote.heartbeat_s seconds and re-dispatches the
+    # bundles of a worker that disconnects or holds a bundle longer than
+    # compute.remote.timeout_s.
+    "compute.remote.workers": None,
+    "compute.remote.bind": "127.0.0.1:0",
+    "compute.remote.heartbeat_s": 2.0,
+    "compute.remote.timeout_s": 30.0,
     # Projection pushdown: partition tasks parse/slice only the columns the
     # requested reductions declare (e.g. plot(df, "x") over a scanned CSV
     # parses one column per chunk, not the whole table).  Overlapping
@@ -178,7 +191,7 @@ _RATE_KEYS = {
 
 _VALID_GRAPH_MODES = ("auto", "always", "never")
 _VALID_CORRELATION_METHODS = ("pearson", "spearman", "kendall")
-_VALID_SCHEDULERS = ("synchronous", "threaded", "process")
+_VALID_SCHEDULERS = ("synchronous", "threaded", "process", "remote")
 
 
 @dataclass
@@ -207,6 +220,15 @@ class Config:
         if env_scheduler is not None:
             # Environment default; an explicit user key still wins below.
             values["compute.scheduler"] = env_scheduler
+        env_remote_workers = os.environ.get("REPRO_REMOTE_WORKERS")
+        if env_remote_workers is not None:
+            try:
+                values["compute.remote.workers"] = int(env_remote_workers)
+            except ValueError:
+                raise ConfigError(
+                    f"REPRO_REMOTE_WORKERS expects an integer, got "
+                    f"{env_remote_workers!r}", key="compute.remote.workers") \
+                    from None
         if user_config:
             for key, value in user_config.items():
                 if key not in DEFAULTS:
@@ -214,11 +236,14 @@ class Config:
                     raise ConfigError(f"unknown config key {key!r}", key=key,
                                       suggestion=suggestion)
                 values[key] = _validate(key, value)
-        # The scheduler default may come from the REPRO_SCHEDULER environment
-        # variable; validate it even when the user did not pass the key, so a
+        # Scheduler and remote worker-count defaults may come from the
+        # REPRO_SCHEDULER / REPRO_REMOTE_WORKERS environment variables;
+        # validate them even when the user did not pass the keys, so a
         # typo'd environment fails as loudly as a typo'd config dict.
         values["compute.scheduler"] = _validate("compute.scheduler",
                                                 values["compute.scheduler"])
+        values["compute.remote.workers"] = _validate(
+            "compute.remote.workers", values["compute.remote.workers"])
         return cls(values=values,
                    display=list(display) if display is not None else None,
                    provided=frozenset(user_config or ()))
@@ -327,6 +352,30 @@ def _validate(key: str, value: Any) -> Any:
             raise ConfigError(f"config key {key!r} expects None or a positive "
                               f"integer, got {value!r}", key=key)
         return value
+    if key == "compute.remote.workers":
+        # 0 is meaningful: spawn no local workers and rely entirely on
+        # workers attached from other hosts via compute.remote.bind.
+        if value is not None and (not isinstance(value, int)
+                                  or isinstance(value, bool) or value < 0):
+            raise ConfigError(f"config key {key!r} expects None or a "
+                              f"non-negative integer, got {value!r}", key=key)
+        return value
+    if key == "compute.remote.bind":
+        if not isinstance(value, str):
+            raise ConfigError(f"config key {key!r} expects a 'host:port' "
+                              f"string, got {value!r}", key=key)
+        from repro.graph.wire import WireError, parse_address
+        try:
+            parse_address(value)
+        except WireError as error:
+            raise ConfigError(f"config key {key!r}: {error}", key=key) from None
+        return value
+    if key in ("compute.remote.heartbeat_s", "compute.remote.timeout_s"):
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or \
+                float(value) <= 0.0:
+            raise ConfigError(f"config key {key!r} expects a positive number "
+                              f"of seconds, got {value!r}", key=key)
+        return float(value)
     if key == "cache.disk_dir":
         if value is not None and not isinstance(value, str):
             raise ConfigError(f"config key {key!r} expects None or a directory "

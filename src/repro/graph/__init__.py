@@ -27,8 +27,14 @@ does not ship Dask, so this package implements the required subset:
 * :mod:`~repro.graph.engines` — execution strategies compared in Figure 6(a):
   lazy-shared (DataPrep.EDA / Dask), eager per-operation (Modin-like) and
   cluster-RPC with scheduling overhead (Koalas / PySpark-like).
-* :mod:`~repro.graph.cluster` — the simulated multi-worker cluster + HDFS
-  model used to reproduce Figure 6(c).
+* :mod:`~repro.graph.remote` / :mod:`~repro.graph.wire` — the real
+  distributed backend behind Figure 6(c): a coordinator dispatching bundles
+  to socket workers (spawned locally or attached from other hosts) over a
+  checksummed, length-prefixed TCP protocol with heartbeat-based failure
+  detection and bundle re-dispatch.
+* :mod:`~repro.graph.cluster` — the analytical multi-worker cluster + HDFS
+  cost model (now calibrated from measured RemoteScheduler runs) and the
+  deprecated Figure 6(c) thread-pool simulation it replaces.
 * :mod:`~repro.graph.cache` — the cross-call intermediate cache: stable,
   content-addressed task keys plus a bounded LRU store the schedulers
   consult before executing, so interactive sessions that iterate over the
@@ -71,6 +77,19 @@ from repro.graph.engines import (
 )
 from repro.graph.cluster import ClusterCostModel, SimulatedCluster
 
+#: Remote-backend names resolved on first attribute access (PEP 562): an
+#: eager import here would make `python -m repro.graph.remote` — the worker
+#: entry point — execute the module twice (once via this package import,
+#: once as __main__).
+_REMOTE_EXPORTS = ("RemoteExecutor", "RemoteScheduler", "shutdown_remote_pools")
+
+
+def __getattr__(name):
+    if name in _REMOTE_EXPORTS:
+        from repro.graph import remote
+        return getattr(remote, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CacheStats",
     "ClusterCostModel",
@@ -83,6 +102,8 @@ __all__ = [
     "PartitionedFrame",
     "ProcessExecutor",
     "ProcessScheduler",
+    "RemoteExecutor",
+    "RemoteScheduler",
     "Scheduler",
     "SimulatedCluster",
     "SynchronousScheduler",
@@ -108,5 +129,6 @@ __all__ = [
     "precompute_chunk_sizes",
     "precompute_csv_chunks",
     "set_global_cache",
+    "shutdown_remote_pools",
     "tokenize",
 ]

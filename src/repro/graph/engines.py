@@ -86,6 +86,14 @@ class ExecutionReport:
     sidecar_hits: int = 0
     sidecar_misses: int = 0
     bytes_decoded_avoided: int = 0
+    #: Remote-backend wire accounting (``compute.scheduler = "remote"``;
+    #: zero elsewhere): task-frame bytes shipped to socket workers,
+    #: result-frame bytes received back, bundles re-dispatched after a
+    #: worker loss, and per-worker busy fraction of the run.
+    shipped_bytes: int = 0
+    bytes_received: int = 0
+    redispatched: int = 0
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
 
     @property
     def sharing_ratio(self) -> float:
@@ -137,7 +145,11 @@ class Engine:
             cache_hits=run.cache_hits,
             tasks_skipped_by_cache=run.skipped,
             projected_parses=run.projected_parses,
-            full_parses=run.full_parses)
+            full_parses=run.full_parses,
+            shipped_bytes=run.shipped_bytes,
+            bytes_received=run.bytes_received,
+            redispatched=run.redispatched,
+            worker_utilization=dict(run.worker_utilization))
         return results, report
 
 
@@ -153,9 +165,10 @@ class LazyEngine(Engine):
 
     def __init__(self, max_workers: Optional[int] = None, enable_cse: bool = True,
                  enable_fusion: bool = False, cache: Optional[TaskCache] = None,
-                 scheduler: str = "threaded"):
+                 scheduler: str = "threaded",
+                 scheduler_options: Optional[Dict[str, Any]] = None):
         self.scheduler = get_scheduler(scheduler, max_workers=max_workers,
-                                       cache=cache)
+                                       cache=cache, **(scheduler_options or {}))
         self.enable_cse = enable_cse
         self.enable_fusion = enable_fusion
 
@@ -177,11 +190,12 @@ class EagerEngine(Engine):
 
     def __init__(self, max_workers: Optional[int] = None,
                  cache: Optional[TaskCache] = None,
-                 scheduler: str = "threaded"):
+                 scheduler: str = "threaded",
+                 scheduler_options: Optional[Dict[str, Any]] = None):
         # Modin parallelizes inside one operation but cannot co-schedule
         # separate operations; a parallel scheduler per value models that.
         self.scheduler = get_scheduler(scheduler, max_workers=max_workers,
-                                       cache=cache)
+                                       cache=cache, **(scheduler_options or {}))
 
     def compute(self, values: Sequence[Delayed]) -> List[Any]:
         return [compute(value, scheduler=self.scheduler, enable_cse=False)[0]
@@ -196,6 +210,10 @@ class EagerEngine(Engine):
         total_skipped = 0
         total_projected = 0
         total_full = 0
+        total_shipped_bytes = 0
+        total_received = 0
+        total_redispatched = 0
+        utilization: Dict[str, float] = {}
         for value in values:
             self.scheduler.last_run = None
             (result,), stats = compute(value, scheduler=self.scheduler,
@@ -211,12 +229,20 @@ class EagerEngine(Engine):
             total_skipped += run.skipped
             total_projected += run.projected_parses
             total_full += run.full_parses
+            total_shipped_bytes += run.shipped_bytes
+            total_received += run.bytes_received
+            total_redispatched += run.redispatched
+            for worker_id, busy in run.worker_utilization.items():
+                utilization[worker_id] = max(utilization.get(worker_id, 0.0),
+                                             busy)
         report = ExecutionReport(
             engine=self.name, requested=len(values), graphs_built=len(values),
             tasks_executed=total_executed, tasks_before_optimization=total_before,
             shared_tasks=0, cache_hits=total_hits,
             tasks_skipped_by_cache=total_skipped,
-            projected_parses=total_projected, full_parses=total_full)
+            projected_parses=total_projected, full_parses=total_full,
+            shipped_bytes=total_shipped_bytes, bytes_received=total_received,
+            redispatched=total_redispatched, worker_utilization=utilization)
         return results, report
 
 

@@ -74,6 +74,14 @@ class RunStats:
     sidecar_hits: int = 0
     sidecar_misses: int = 0
     bytes_decoded_avoided: int = 0
+    # Remote-backend wire accounting (RemoteScheduler only; zero elsewhere):
+    # bytes of task frames shipped to socket workers, bytes of result frames
+    # received back, bundles re-dispatched after a worker was lost, and the
+    # fraction of the run each worker spent computing ({worker id: 0..1}).
+    shipped_bytes: int = 0
+    bytes_received: int = 0
+    redispatched: int = 0
+    worker_utilization: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -366,6 +374,15 @@ class _PoolScheduler(Scheduler):
         """Fold a finished unit's payload into the state; return newly ready."""
         raise NotImplementedError
 
+    def _inflight_cap(self) -> int:
+        """How many shipped units may be in flight at once.
+
+        The in-process pools keep this at ``max_workers`` (one unit per
+        worker); the remote backend widens it so a worker always has the
+        next bundle queued while its previous result is in transit.
+        """
+        return self.max_workers
+
     def _run_inline(self, unit: WorkUnit, state: _ExecutionState) -> List[str]:
         """Run a non-shipped unit on the coordinator thread."""
         try:
@@ -405,9 +422,10 @@ class _PoolScheduler(Scheduler):
         # so chunks are consumed and released at the rate they are produced.
         ready = state.initial_ready()
         in_flight: Dict[Future, WorkUnit] = {}
+        inflight_cap = self._inflight_cap()
         try:
             while ready or in_flight:
-                while ready and len(in_flight) < self.max_workers:
+                while ready and len(in_flight) < inflight_cap:
                     unit = units[ready.pop()]
                     if unit.ship:
                         try:
@@ -570,18 +588,25 @@ _SCHEDULERS = {
     ProcessScheduler.name: ProcessScheduler,
 }
 
+#: Backends resolved by deferred import: remote.py imports this module for
+#: ProcessScheduler, so registering its class eagerly would be a cycle.
+_LAZY_SCHEDULERS = ("remote",)
+
 
 def available_schedulers() -> List[str]:
     """Names of the registered schedulers (the ``compute.scheduler`` choices)."""
-    return sorted(_SCHEDULERS)
+    return sorted(tuple(_SCHEDULERS) + _LAZY_SCHEDULERS)
 
 
 def get_scheduler(name: str = "threaded", **kwargs: Any) -> Scheduler:
     """Instantiate a scheduler by name.
 
-    ``"synchronous"``, ``"threaded"`` or ``"process"`` — the same choices
-    the ``compute.scheduler`` config key accepts.
+    ``"synchronous"``, ``"threaded"``, ``"process"`` or ``"remote"`` — the
+    same choices the ``compute.scheduler`` config key accepts.
     """
+    if name == "remote" and name not in _SCHEDULERS:
+        from repro.graph.remote import RemoteScheduler
+        _SCHEDULERS[RemoteScheduler.name] = RemoteScheduler
     try:
         factory = _SCHEDULERS[name]
     except KeyError:

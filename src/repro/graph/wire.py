@@ -1,0 +1,172 @@
+"""Wire protocol of the remote execution backend.
+
+The :class:`~repro.graph.remote.RemoteScheduler` talks to its worker
+processes over plain TCP sockets; this module defines the framing both
+sides speak.  It deliberately knows nothing about tasks or schedulers —
+only bytes — so the protocol can be unit-tested against a socketpair and
+reused by any future transport.
+
+Frame layout (all integers big-endian)::
+
+    +-------+------+----------------+----------------+-----------------+
+    | magic | type | payload length | CRC32(payload) | payload bytes   |
+    | 4 B   | 1 B  | 4 B            | 4 B            | length B        |
+    +-------+------+----------------+----------------+-----------------+
+
+* ``magic`` (``b"RWP1"``) names the protocol and its version; a frame
+  with any other magic is rejected immediately, which is what keeps a
+  stray client (or a corrupted stream) from being misread as task
+  traffic.
+* ``type`` is one of the ``MSG_*`` constants below.
+* the CRC32 checksum covers the payload only; a mismatch raises
+  :class:`WireError` — the receiving side treats the connection as
+  poisoned and closes it rather than guessing at intent.
+
+Payloads are pickled python objects (:func:`dump_payload` /
+:func:`load_payload`): the remote backend only ever ships values that
+already satisfy the process backend's picklability contract
+(``can_run_in_worker``), so pickle is both sufficient and the same
+serialization the in-process pool uses.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any, Tuple
+
+from repro.errors import GraphError
+
+#: Protocol name + version.  Bump the digit when the frame layout changes.
+MAGIC = b"RWP1"
+
+_HEADER = struct.Struct("!4sBII")
+
+#: Frames larger than this are rejected without being read: a genuine
+#: result (sketch states, small chunk frames) is megabytes at most, so a
+#: larger announced length is a corrupted or hostile stream.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+# Message types.
+MSG_HELLO = 1      # worker -> coordinator: {"id", "pid", "host"}
+MSG_TASK = 2       # coordinator -> worker: (task_id, func, args)
+MSG_RESULT = 3     # worker -> coordinator: (task_id, ok, value_or_error)
+MSG_PING = 4       # coordinator -> worker: b"" (liveness probe)
+MSG_PONG = 5       # worker -> coordinator: b""
+MSG_SHUTDOWN = 6   # coordinator -> worker: b"" (graceful drain)
+
+_KNOWN_TYPES = frozenset({MSG_HELLO, MSG_TASK, MSG_RESULT, MSG_PING,
+                          MSG_PONG, MSG_SHUTDOWN})
+
+
+class WireError(GraphError):
+    """A malformed, corrupted or oversized frame was received."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the connection (possibly mid-frame)."""
+
+
+def dump_payload(value: Any) -> bytes:
+    """Serialize a message payload (pickle, highest protocol)."""
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(blob: bytes) -> Any:
+    """Deserialize a message payload, wrapping failures as WireError."""
+    try:
+        return pickle.loads(blob)
+    except Exception as error:  # noqa: BLE001 - any unpickling failure
+        raise WireError(f"undecodable payload: {error}") from error
+
+
+def pack_frame(msg_type: int, payload: bytes = b"") -> bytes:
+    """Build one wire frame (header + checksummed payload)."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise WireError(f"payload of {len(payload)} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte frame limit")
+    header = _HEADER.pack(MAGIC, msg_type, len(payload),
+                          zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"") -> int:
+    """Send one frame over *sock*; returns the bytes put on the wire."""
+    frame = pack_frame(msg_type, payload)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    """Read exactly *n_bytes* from *sock* or raise ConnectionClosed."""
+    buffer = io.BytesIO()
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                "connection closed" if buffer.tell() == 0
+                else "connection closed mid-frame")
+        buffer.write(chunk)
+        remaining -= len(chunk)
+    return buffer.getvalue()
+
+
+def recv_frame(sock: socket.socket) -> Tuple[int, bytes]:
+    """Read one complete frame, validating magic, type and checksum.
+
+    Raises :class:`ConnectionClosed` on a clean EOF before the header and
+    :class:`WireError` on any malformation — the caller must treat the
+    connection as unusable after a WireError, because the stream position
+    is no longer trustworthy.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    magic, msg_type, length, checksum = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad magic {magic!r} (expected {MAGIC!r})")
+    if msg_type not in _KNOWN_TYPES:
+        raise WireError(f"unknown message type {msg_type}")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"announced payload of {length} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte frame limit")
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != checksum:
+        raise WireError("payload checksum mismatch")
+    return msg_type, payload
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` string, validating the port range."""
+    host, colon, port_text = address.rpartition(":")
+    if not colon or not host:
+        raise WireError(f"address {address!r} is not of the form host:port")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise WireError(f"address {address!r} has a non-integer port") from None
+    if not 0 <= port <= 65535:
+        raise WireError(f"address {address!r} has an out-of-range port")
+    return host, port
+
+
+__all__ = [
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "MSG_HELLO",
+    "MSG_PING",
+    "MSG_PONG",
+    "MSG_RESULT",
+    "MSG_SHUTDOWN",
+    "MSG_TASK",
+    "ConnectionClosed",
+    "WireError",
+    "dump_payload",
+    "load_payload",
+    "pack_frame",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+]

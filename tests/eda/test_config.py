@@ -9,10 +9,12 @@ from repro.errors import ConfigError
 @pytest.fixture(autouse=True)
 def _clean_scheduler_env(monkeypatch):
     """Pin the library defaults: this suite tests Config itself, so the
-    REPRO_SCHEDULER environment override (used by CI to run everything
-    under the process backend) must not leak in.  The env-specific tests
-    set it back explicitly via monkeypatch."""
+    REPRO_SCHEDULER / REPRO_REMOTE_WORKERS environment overrides (used by
+    CI to run everything under the process and remote backends) must not
+    leak in.  The env-specific tests set them back explicitly via
+    monkeypatch."""
     monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    monkeypatch.delenv("REPRO_REMOTE_WORKERS", raising=False)
 
 
 class TestDefaults:
@@ -107,7 +109,8 @@ class TestValidation:
         with pytest.raises(ConfigError):
             Config.from_user({"compute.max_workers": 0})
 
-    @pytest.mark.parametrize("name", ["synchronous", "threaded", "process"])
+    @pytest.mark.parametrize("name", ["synchronous", "threaded", "process",
+                                      "remote"])
     def test_scheduler_accepts_registered_backends(self, name):
         assert Config.from_user({"compute.scheduler": name}).get(
             "compute.scheduler") == name
@@ -130,6 +133,57 @@ class TestValidation:
             Config.from_user()
         assert "process" in str(excinfo.value)
 
+    def test_scheduler_remote_typo_suggests_remote(self):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({"compute.scheduler": "remot"})
+        assert "remote" in str(excinfo.value)
+
+    def test_remote_workers_validation(self):
+        assert Config.from_user({"compute.remote.workers": 4}).get(
+            "compute.remote.workers") == 4
+        # 0 is valid: attached-only pools spawn no local workers.
+        assert Config.from_user({"compute.remote.workers": 0}).get(
+            "compute.remote.workers") == 0
+        assert Config.from_user().get("compute.remote.workers") is None
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.workers": -1})
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.workers": True})
+
+    def test_remote_workers_env_default_applies_and_user_key_wins(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_WORKERS", "3")
+        assert Config.from_user().get("compute.remote.workers") == 3
+        assert Config.from_user({"compute.remote.workers": 2}).get(
+            "compute.remote.workers") == 2
+
+    def test_remote_workers_env_garbage_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_WORKERS", "many")
+        with pytest.raises(ConfigError):
+            Config.from_user()
+
+    def test_remote_bind_validation(self):
+        assert Config.from_user({"compute.remote.bind": "0.0.0.0:8786"}).get(
+            "compute.remote.bind") == "0.0.0.0:8786"
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.bind": "no-port-here"})
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.bind": "host:99999"})
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.bind": 8786})
+
+    @pytest.mark.parametrize("key", ["compute.remote.heartbeat_s",
+                                     "compute.remote.timeout_s"])
+    def test_remote_interval_validation(self, key):
+        assert Config.from_user({key: 1}).get(key) == 1.0
+        assert Config.from_user({key: 0.5}).get(key) == 0.5
+        with pytest.raises(ConfigError):
+            Config.from_user({key: 0})
+        with pytest.raises(ConfigError):
+            Config.from_user({key: -2.0})
+        with pytest.raises(ConfigError):
+            Config.from_user({key: True})
+
 
 class TestConfigHygiene:
     """Unknown dotted keys must raise with a did-you-mean suggestion.
@@ -150,6 +204,10 @@ class TestConfigHygiene:
         ("memory.chunk_row", "memory.chunk_rows"),
         ("cache.enable", "cache.enabled"),
         ("cache.maxbytes", "cache.max_bytes"),
+        ("compute.remote.worker", "compute.remote.workers"),
+        ("compute.remote.binds", "compute.remote.bind"),
+        ("compute.remote.heartbeat", "compute.remote.heartbeat_s"),
+        ("compute.remote.timeout", "compute.remote.timeout_s"),
     ])
     def test_typoed_key_suggests_real_key(self, typo, expected):
         with pytest.raises(ConfigError) as excinfo:

@@ -71,7 +71,7 @@ CONFIG = {"scatter.sample_size": N_ROWS + 1,
           "correlation.scatter_sample_size": N_ROWS + 1}
 
 
-@pytest.fixture(params=["synchronous", "threaded", "process"])
+@pytest.fixture(params=["synchronous", "threaded", "process", "remote"])
 def config(request):
     """The suite config crossed with every execution backend.
 

@@ -94,7 +94,7 @@ def source_kind(request):
     return request.param
 
 
-@pytest.fixture(params=["synchronous", "threaded", "process"])
+@pytest.fixture(params=["synchronous", "threaded", "process", "remote"])
 def scheduler_name(request):
     return request.param
 

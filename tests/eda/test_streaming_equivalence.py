@@ -61,7 +61,7 @@ def csv_path(tmp_path_factory):
     return str(path)
 
 
-@pytest.fixture(params=["synchronous", "threaded", "process"])
+@pytest.fixture(params=["synchronous", "threaded", "process", "remote"])
 def scheduler_name(request):
     """Every registered execution backend; results must not depend on it."""
     return request.param

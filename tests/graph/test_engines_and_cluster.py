@@ -104,6 +104,61 @@ class TestClusterCostModel:
         with pytest.raises(GraphError):
             ClusterCostModel().calibrate_from_single_node(10, 5.0, io_fraction=1.5)
 
+    def test_calibrate_recovers_synthetic_curve(self):
+        # Wall times generated from a known t(w) = c + K/w must be
+        # recovered exactly: overhead c, divisible seconds K, and hence
+        # every prediction on the measured worker counts.
+        overhead, divisible = 3.0, 24.0
+        measurements = [(w, overhead + divisible / w) for w in (1, 2, 4, 8)]
+        model = ClusterCostModel.calibrate(measurements, n_rows=1_000_000,
+                                           bytes_per_row=50.0,
+                                           io_fraction=0.25)
+        assert model.coordination_overhead_s == pytest.approx(overhead)
+        for workers, seconds in measurements:
+            assert model.estimate_seconds(1_000_000, workers) == \
+                pytest.approx(seconds)
+        # io_fraction splits K: 25% scan at 50 B/row, 75% compute.
+        assert model.hdfs_bandwidth_bytes_per_s == \
+            pytest.approx(1_000_000 * 50.0 / (divisible * 0.25))
+        assert model.worker_throughput_rows_per_s == \
+            pytest.approx(1_000_000 / (divisible * 0.75))
+
+    def test_calibrate_flat_curve_predicts_no_speedup(self):
+        # A machine where extra workers do not help (1 core, contention)
+        # must calibrate to an almost-all-overhead model instead of
+        # inventing a speedup that the fit's negative slope disproves.
+        model = ClusterCostModel.calibrate([(1, 10.0), (2, 11.0), (4, 10.5)],
+                                           n_rows=100_000)
+        one = model.estimate_seconds(100_000, 1)
+        eight = model.estimate_seconds(100_000, 8)
+        assert one / eight < 1.15
+        assert model.coordination_overhead_s > 0.0
+
+    def test_calibrate_superlinear_curve_clamps_overhead(self):
+        # Superlinear scaling (cache effects) would fit a negative
+        # overhead; the clamp keeps every component non-negative while
+        # still predicting improvement with workers.
+        model = ClusterCostModel.calibrate([(1, 20.0), (4, 2.0)],
+                                           n_rows=100_000)
+        assert model.coordination_overhead_s == 0.0
+        times = model.sweep(100_000, [1, 2, 4, 8])
+        assert times == sorted(times, reverse=True)
+
+    def test_calibrate_validation(self):
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(1, 10.0)], n_rows=100)
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(1, 10.0), (1, 11.0)], n_rows=100)
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(1, 10.0), (2, -1.0)], n_rows=100)
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(0, 10.0), (2, 5.0)], n_rows=100)
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(1, 10.0), (2, 6.0)], n_rows=0)
+        with pytest.raises(GraphError):
+            ClusterCostModel.calibrate([(1, 10.0), (2, 6.0)], n_rows=100,
+                                       io_fraction=1.0)
+
 
 class TestSimulatedCluster:
     def test_results_preserve_order(self):
