@@ -624,6 +624,7 @@ class ComputeContext:
             "bind": self.config.get("compute.remote.bind"),
             "heartbeat_s": self.config.get("compute.remote.heartbeat_s"),
             "timeout_s": self.config.get("compute.remote.timeout_s"),
+            "authkey": self.config.get("compute.remote.authkey"),
         }
 
     def _engine_kwargs(self, engine_name: str) -> Dict[str, Any]:

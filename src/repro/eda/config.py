@@ -100,12 +100,20 @@ DEFAULTS: Dict[str, Any] = {
     # compute.remote.workers local worker processes (None = compute
     # .max_workers, REPRO_REMOTE_WORKERS overrides the default), pings
     # them every compute.remote.heartbeat_s seconds and re-dispatches the
-    # bundles of a worker that disconnects or holds a bundle longer than
-    # compute.remote.timeout_s.
+    # bundles of a worker that disconnects or holds an executing bundle
+    # longer than compute.remote.timeout_s.  Connections authenticate
+    # with an HMAC challenge-response over compute.remote.authkey
+    # (REPRO_REMOTE_AUTHKEY overrides the default); None mints a random
+    # per-pool secret, which locks the pool to its own spawned workers —
+    # attaching workers from other hosts requires an explicit shared key
+    # exported as REPRO_REMOTE_AUTHKEY on the worker side.  The key
+    # authenticates but does not encrypt: bind routable addresses only on
+    # trusted networks.
     "compute.remote.workers": None,
     "compute.remote.bind": "127.0.0.1:0",
     "compute.remote.heartbeat_s": 2.0,
     "compute.remote.timeout_s": 30.0,
+    "compute.remote.authkey": None,
     # Projection pushdown: partition tasks parse/slice only the columns the
     # requested reductions declare (e.g. plot(df, "x") over a scanned CSV
     # parses one column per chunk, not the whole table).  Overlapping
@@ -229,6 +237,9 @@ class Config:
                     f"REPRO_REMOTE_WORKERS expects an integer, got "
                     f"{env_remote_workers!r}", key="compute.remote.workers") \
                     from None
+        env_authkey = os.environ.get("REPRO_REMOTE_AUTHKEY")
+        if env_authkey is not None:
+            values["compute.remote.authkey"] = env_authkey
         if user_config:
             for key, value in user_config.items():
                 if key not in DEFAULTS:
@@ -244,6 +255,8 @@ class Config:
                                                 values["compute.scheduler"])
         values["compute.remote.workers"] = _validate(
             "compute.remote.workers", values["compute.remote.workers"])
+        values["compute.remote.authkey"] = _validate(
+            "compute.remote.authkey", values["compute.remote.authkey"])
         return cls(values=values,
                    display=list(display) if display is not None else None,
                    provided=frozenset(user_config or ()))
@@ -369,6 +382,14 @@ def _validate(key: str, value: Any) -> Any:
             parse_address(value)
         except WireError as error:
             raise ConfigError(f"config key {key!r}: {error}", key=key) from None
+        return value
+    if key == "compute.remote.authkey":
+        # None = a random per-pool secret (spawned workers only); attach
+        # mode needs an explicit non-empty shared key.
+        if value is not None and (not isinstance(value, str) or not value):
+            # Deliberately not echoing the value: it is a secret.
+            raise ConfigError(f"config key {key!r} expects None or a "
+                              f"non-empty secret string", key=key)
         return value
     if key in ("compute.remote.heartbeat_s", "compute.remote.timeout_s"):
         if not isinstance(value, (int, float)) or isinstance(value, bool) or \

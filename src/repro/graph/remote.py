@@ -10,12 +10,18 @@ other hosts, or both.
 Topology
 --------
 The coordinator (the process calling ``plot``/``create_report``) binds a
-listening socket.  Workers connect *to* it, introduce themselves with a
-``HELLO`` frame, and then serve ``TASK`` frames until they receive
-``SHUTDOWN`` or the connection drops.  Local workers are spawned with
-``python -m repro.graph.remote --connect HOST:PORT``; a worker on another
-machine is attached by running the exact same command against a coordinator
-bound to a routable address (``compute.remote.bind``).
+listening socket.  Workers connect *to* it, pass an HMAC
+challenge-response handshake (``CHALLENGE``/``HELLO``/``WELCOME``, see
+the trust model in :mod:`repro.graph.wire`), and then serve ``TASK``
+frames until they receive ``SHUTDOWN`` or the connection drops.  Local
+workers are spawned with ``python -m repro.graph.remote --connect
+HOST:PORT`` and inherit the pool's secret via the
+``REPRO_REMOTE_AUTHKEY`` environment variable; a worker on another
+machine is attached by running the exact same command — with the same
+key exported — against a coordinator bound to a routable address
+(``compute.remote.bind`` + ``compute.remote.authkey``).  Authentication
+proves the key, it does not encrypt: only bind routable addresses on
+networks you trust.
 
 What ships is exactly what the in-process pool ships: the
 ``can_run_in_worker`` contract of :mod:`repro.graph.executor` decides which
@@ -24,15 +30,21 @@ tasks are value-picklable, and shippable chunk parses travel as bundles
 come back over the wire.  Multi-file sources shard **per file**: a bundle
 whose parse task names a path is pinned to the worker that served that path
 before, so each worker re-reads (and keeps the disk-sidecar warm set of)
-its own file subset.
+its own file subset.  Pinning only engages when the scan actually spans
+multiple files (a single-file scan round-robins its chunks across every
+worker) and spills to the least-loaded worker when the pinned owner's
+queue backs up, so affinity never serializes a run.
 
 Failure semantics
 -----------------
 * every frame is length-prefixed and checksummed; a malformed frame from a
   worker poisons only that connection, and a stray client that fails the
-  ``HELLO`` handshake is rejected without disturbing the run;
-* the coordinator pings workers on a heartbeat and treats silence (or a
-  task outliving ``compute.remote.timeout_s``) as a dead/wedged worker:
+  challenge-response handshake is rejected before anything it sent is
+  deserialized and without disturbing the run;
+* the coordinator pings workers on a heartbeat and treats silence (or an
+  *executing* task — the worker reports execution start with a
+  ``STARTED`` frame — outliving ``compute.remote.timeout_s``) as a
+  dead/wedged worker:
   the connection is closed, a spawned worker is respawned, and the
   worker's in-flight bundles are **re-dispatched** to a live worker.
   Bundles are pure functions of their arguments (the same idempotent
@@ -57,6 +69,7 @@ import atexit
 import itertools
 import os
 import queue
+import secrets
 import socket
 import subprocess
 import sys
@@ -72,7 +85,7 @@ from repro.graph import wire
 from repro.graph.cache import TaskCache
 from repro.graph.executor import Executor, _portable_error, run_task_bundle
 from repro.graph.scheduler import ProcessScheduler, WorkUnit, _ExecutionState
-from repro.utils import default_worker_count
+from repro.utils import classify_parse_key, default_worker_count
 
 #: Default coordinator bind address; port 0 means "any free port".  Bind to
 #: a routable address (e.g. ``"0.0.0.0:8786"``) to let workers on other
@@ -95,6 +108,17 @@ MAX_ATTEMPTS = 3
 #: Bounded wait for in-flight results during a graceful shutdown.
 DRAIN_TIMEOUT_S = 10.0
 
+#: Environment variable carrying the shared handshake secret.  Spawned
+#: workers inherit the pool's key through it automatically; workers
+#: attached from other hosts must export the coordinator's configured
+#: ``compute.remote.authkey`` under this name.
+AUTHKEY_ENV = "REPRO_REMOTE_AUTHKEY"
+
+#: A pinned (file-affinity) bundle whose owner already has this many
+#: bundles in flight spills to the least-loaded worker instead of queuing
+#: behind its warm-cache owner.
+AFFINITY_SPILL_INFLIGHT = 4
+
 
 class RemoteExecutionError(GraphError):
     """The remote pool could not complete a dispatched bundle."""
@@ -103,15 +127,31 @@ class RemoteExecutionError(GraphError):
 # --------------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------------- #
-def worker_main(host: str, port: int, worker_id: Optional[str] = None) -> None:
+def worker_main(host: str, port: int, worker_id: Optional[str] = None,
+                authkey: Optional[str] = None) -> None:
     """Run one worker: connect to the coordinator and serve task frames.
+
+    The handshake is mutual: the worker answers the coordinator's
+    ``CHALLENGE`` inside its ``HELLO`` and refuses to serve a coordinator
+    whose ``WELCOME`` cannot answer the worker's counter-nonce — task
+    frames carry pickled callables, so an unauthenticated "coordinator"
+    would mean arbitrary code execution on the worker.
 
     The receive loop runs on a background thread so PINGs are answered even
     while a task computes; the main thread executes tasks strictly in
-    arrival order.  Any wire-level failure (coordinator gone, corrupted
-    stream) ends the worker — the coordinator re-dispatches whatever this
-    worker still owed.
+    arrival order, reporting each execution start with a ``STARTED`` frame
+    (which is what scopes the coordinator's per-task timeout to the task
+    actually running, not to queue wait).  Any wire-level failure
+    (coordinator gone, corrupted stream) ends the worker — the coordinator
+    re-dispatches whatever this worker still owed.
     """
+    if authkey is None:
+        authkey = os.environ.get(AUTHKEY_ENV)
+    if not authkey:
+        raise SystemExit(
+            f"remote worker: no shared secret; set the {AUTHKEY_ENV} "
+            f"environment variable to the coordinator's "
+            f"compute.remote.authkey")
     try:
         sock = socket.create_connection((host, port), timeout=30.0)
     except OSError as error:
@@ -121,12 +161,35 @@ def worker_main(host: str, port: int, worker_id: Optional[str] = None) -> None:
             f"remote worker: cannot reach coordinator at "
             f"{host}:{port}: {error}") from None
     sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-    sock.settimeout(None)
     send_lock = threading.Lock()
     name = worker_id or f"worker-{os.getpid()}"
-    with send_lock:
-        wire.send_frame(sock, wire.MSG_HELLO, wire.dump_payload(
-            {"id": name, "pid": os.getpid(), "host": socket.gethostname()}))
+    try:
+        sock.settimeout(30.0)
+        msg_type, nonce = wire.recv_frame(sock)
+        if msg_type != wire.MSG_CHALLENGE:
+            raise wire.WireError("coordinator did not open with CHALLENGE")
+        counter_nonce = secrets.token_bytes(wire.NONCE_BYTES)
+        with send_lock:
+            wire.send_frame(sock, wire.MSG_HELLO, wire.dump_json(
+                {"id": name, "pid": os.getpid(),
+                 "host": socket.gethostname(),
+                 "digest": wire.compute_digest(authkey, nonce),
+                 "nonce": counter_nonce.hex()}))
+        msg_type, payload = wire.recv_frame(sock)
+        welcome = wire.load_json(payload) if msg_type == wire.MSG_WELCOME \
+            else None
+        if not isinstance(welcome, dict) or not wire.verify_digest(
+                authkey, counter_nonce, welcome.get("digest")):
+            raise wire.WireError("coordinator failed authentication")
+    except (wire.WireError, OSError) as error:
+        try:
+            sock.close()
+        except OSError:
+            pass
+        raise SystemExit(
+            f"remote worker: handshake with {host}:{port} failed: "
+            f"{error}") from None
+    sock.settimeout(None)
     tasks: "queue.SimpleQueue[Optional[bytes]]" = queue.SimpleQueue()
 
     def receive() -> None:
@@ -164,6 +227,12 @@ def worker_main(host: str, port: int, worker_id: Optional[str] = None) -> None:
             except wire.WireError:
                 return                      # stream no longer trustworthy
             try:
+                with send_lock:
+                    wire.send_frame(sock, wire.MSG_STARTED,
+                                    wire.dump_json({"task": task_id}))
+            except OSError:
+                return
+            try:
                 value = func(*args)
                 blob = wire.dump_payload((task_id, True, value))
             except BaseException as error:  # noqa: BLE001 - reported upstream
@@ -188,7 +257,10 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(
         prog="python -m repro.graph.remote",
         description="Start one repro remote-execution worker and attach it "
-                    "to a coordinator.")
+                    "to a coordinator.  The shared handshake secret is read "
+                    f"from the {AUTHKEY_ENV} environment variable (export "
+                    "the coordinator's compute.remote.authkey; never passed "
+                    "on the command line, where it would leak via ps).")
     parser.add_argument("--connect", required=True, metavar="HOST:PORT",
                         help="address the coordinator is listening on")
     parser.add_argument("--id", default=None,
@@ -222,7 +294,7 @@ class _PendingTask:
     """One submitted callable, tracked until its future resolves."""
 
     __slots__ = ("task_id", "func", "args", "future", "affinity",
-                 "dispatched_at", "attempts", "worker")
+                 "dispatched_at", "started_at", "attempts", "worker")
 
     def __init__(self, task_id: int, func: Callable[..., Any],
                  args: Tuple[Any, ...], affinity: Optional[str]):
@@ -232,6 +304,7 @@ class _PendingTask:
         self.future: Future = Future()
         self.affinity = affinity
         self.dispatched_at = 0.0
+        self.started_at = 0.0       # set by the worker's STARTED frame
         self.attempts = 0
         self.worker: Optional[str] = None
 
@@ -240,7 +313,7 @@ class _WorkerLink:
     """Coordinator-side state of one connected worker."""
 
     __slots__ = ("id", "sock", "send_lock", "process", "alive", "last_seen",
-                 "inflight")
+                 "last_ping", "inflight")
 
     def __init__(self, worker_id: str, sock: socket.socket,
                  process: Optional[subprocess.Popen]):
@@ -250,6 +323,7 @@ class _WorkerLink:
         self.process = process
         self.alive = True
         self.last_seen = time.monotonic()
+        self.last_ping = 0.0
         self.inflight: Dict[int, _PendingTask] = {}
 
 
@@ -273,10 +347,17 @@ class _RemotePool:
 
     def __init__(self, spawn_workers: int, bind: str = DEFAULT_BIND,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
-                 timeout_s: float = DEFAULT_TIMEOUT_S):
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 authkey: Optional[str] = None):
         self.spawn_workers = int(spawn_workers)
         self.heartbeat_s = float(heartbeat_s)
         self.timeout_s = float(timeout_s)
+        # Without a configured key the pool mints a random one: spawned
+        # workers inherit it via the environment, and nothing else can
+        # pass the handshake — locked-down by default.  Attach mode needs
+        # an explicit shared key on both sides (compute.remote.authkey on
+        # the coordinator, REPRO_REMOTE_AUTHKEY on the workers).
+        self.authkey = authkey or secrets.token_hex(32)
         self.stats = PoolStats()
         self._lock = threading.Lock()
         self._workers_changed = threading.Condition(self._lock)
@@ -321,6 +402,7 @@ class _RemotePool:
                                 if entry and entry != src_root]
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(entries)
+        env[AUTHKEY_ENV] = self.authkey
         name = f"local-{os.getpid()}-{next(self._spawn_seq)}"
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.graph.remote",
@@ -342,15 +424,31 @@ class _RemotePool:
             self._handshake(conn)
 
     def _handshake(self, conn: socket.socket) -> None:
-        """Admit a worker (valid HELLO) or reject the connection."""
+        """Admit a worker (authenticated HELLO) or reject the connection.
+
+        Nothing a client sends is unpickled before it proves the shared
+        key: the HELLO answer to our CHALLENGE nonce is JSON, and a
+        missing or wrong HMAC digest rejects the connection outright.
+        The WELCOME reply answers the worker's counter-nonce so the
+        worker, in turn, never accepts task frames (pickled callables!)
+        from a coordinator that does not hold the key.
+        """
         try:
             conn.settimeout(5.0)
+            nonce = secrets.token_bytes(wire.NONCE_BYTES)
+            wire.send_frame(conn, wire.MSG_CHALLENGE, nonce)
             msg_type, payload = wire.recv_frame(conn)
             if msg_type != wire.MSG_HELLO:
                 raise wire.WireError("first frame must be HELLO")
-            hello = wire.load_payload(payload)
+            hello = wire.load_json(payload)
+            if not isinstance(hello, dict) or not wire.verify_digest(
+                    self.authkey, nonce, hello.get("digest")):
+                raise wire.WireError("authentication failed")
             declared = str(hello["id"])
-        except (wire.WireError, OSError, KeyError, TypeError):
+            counter_nonce = bytes.fromhex(str(hello["nonce"]))
+            wire.send_frame(conn, wire.MSG_WELCOME, wire.dump_json(
+                {"digest": wire.compute_digest(self.authkey, counter_nonce)}))
+        except (wire.WireError, OSError, KeyError, TypeError, ValueError):
             with self._lock:
                 self.stats.rejected_connections += 1
             try:
@@ -404,7 +502,7 @@ class _RemotePool:
                         self._pending.pop(task_id, None)
                         self.stats.worker_busy_s[link.id] = \
                             self.stats.worker_busy_s.get(link.id, 0.0) + \
-                            (now - task.dispatched_at)
+                            (now - (task.started_at or task.dispatched_at))
                         self.stats.worker_tasks[link.id] = \
                             self.stats.worker_tasks.get(link.id, 0) + 1
                         self._pump_locked()
@@ -412,6 +510,21 @@ class _RemotePool:
                 # no-op, which is the at-most-once absorption guarantee.
                 if task is not None:
                     _resolve_future(task.future, ok, value)
+            elif msg_type == wire.MSG_STARTED:
+                try:
+                    started = wire.load_json(payload)
+                    task_id = started["task"]
+                except (wire.WireError, KeyError, TypeError) as error:
+                    with self._lock:
+                        self._lose_worker_locked(link, str(error))
+                    return
+                with self._lock:
+                    link.last_seen = time.monotonic()
+                    # Absent after a timeout re-dispatch moved the task
+                    # elsewhere; a stale start notice is not an error.
+                    task = link.inflight.get(task_id)
+                    if task is not None:
+                        task.started_at = link.last_seen
             elif msg_type == wire.MSG_PONG:
                 with self._lock:
                     link.last_seen = time.monotonic()
@@ -482,14 +595,21 @@ class _RemotePool:
                             ) -> Optional[_WorkerLink]:
         if not self._workers:
             return None
+        least = min(self._workers.values(), key=lambda w: len(w.inflight))
         if affinity is not None:
             owner = self._affinity.get(affinity)
             if owner is not None and owner in self._workers:
-                return self._workers[owner]
-        link = min(self._workers.values(), key=lambda w: len(w.inflight))
-        if affinity is not None:
-            self._affinity[affinity] = link.id
-        return link
+                link = self._workers[owner]
+                # Honor the pin while the owner keeps up; once its queue
+                # backs up, spill to the least-loaded worker (without
+                # re-pinning — later bundles of the file return to the
+                # owner's warm caches when it drains).
+                if len(link.inflight) < AFFINITY_SPILL_INFLIGHT or \
+                        len(least.inflight) >= len(link.inflight):
+                    return link
+                return least
+            self._affinity[affinity] = least.id
+        return least
 
     def _pump_locked(self) -> None:
         """Assign queued tasks to live workers (affinity, then least-loaded)."""
@@ -504,6 +624,7 @@ class _RemotePool:
         task.attempts += 1
         task.worker = link.id
         task.dispatched_at = time.monotonic()
+        task.started_at = 0.0       # not executing until STARTED arrives
         link.inflight[task.task_id] = task
         try:
             blob = wire.dump_payload((task.task_id, task.func, task.args))
@@ -527,6 +648,8 @@ class _RemotePool:
 
     # -- liveness --------------------------------------------------------- #
     def _monitor_loop(self) -> None:
+        # The short sleep keeps timeout detection timely; PINGs themselves
+        # go out at the configured heartbeat cadence (last_ping below).
         while not self._closed:
             time.sleep(min(self.heartbeat_s, 0.5))
             now = time.monotonic()
@@ -535,8 +658,13 @@ class _RemotePool:
                 if self._closed:
                     return
                 for link in list(self._workers.values()):
+                    # Only a task the worker reported as *executing* can
+                    # trip the timeout — workers run their queue serially,
+                    # so a bundle waiting behind a slow-but-healthy one
+                    # accrues queue time, not execution time.
                     overdue = [task for task in link.inflight.values()
-                               if now - task.dispatched_at > self.timeout_s]
+                               if task.started_at
+                               and now - task.started_at > self.timeout_s]
                     if overdue:
                         self._lose_worker_locked(
                             link, f"task exceeded the {self.timeout_s:.1f}s "
@@ -545,6 +673,9 @@ class _RemotePool:
                     if now - link.last_seen > dead_after:
                         self._lose_worker_locked(link, "heartbeat timeout")
                         continue
+                    if now - link.last_ping < self.heartbeat_s:
+                        continue
+                    link.last_ping = now
                     try:
                         with link.send_lock:
                             wire.send_frame(link.sock, wire.MSG_PING)
@@ -584,6 +715,11 @@ class _RemotePool:
     def worker_ids(self) -> List[str]:
         with self._lock:
             return sorted(self._workers)
+
+    def worker_count(self) -> int:
+        """How many workers are connected right now (spawned + attached)."""
+        with self._lock:
+            return len(self._workers)
 
     def stats_snapshot(self) -> PoolStats:
         with self._lock:
@@ -645,8 +781,9 @@ _SHARED_LOCK = threading.Lock()
 
 
 def _pool_key(workers: int, bind: str, heartbeat_s: float,
-              timeout_s: float) -> Tuple:
-    return (int(workers), str(bind), float(heartbeat_s), float(timeout_s))
+              timeout_s: float, authkey: Optional[str]) -> Tuple:
+    return (int(workers), str(bind), float(heartbeat_s), float(timeout_s),
+            authkey)
 
 
 def shutdown_remote_pools() -> None:
@@ -677,14 +814,16 @@ class RemoteExecutor(Executor):
     def __init__(self, max_workers: Optional[int] = None,
                  workers: Optional[int] = None, bind: str = DEFAULT_BIND,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
-                 timeout_s: float = DEFAULT_TIMEOUT_S):
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 authkey: Optional[str] = None):
         super().__init__(max_workers)
         self.workers = self.max_workers if workers is None else int(workers)
         self.bind = str(bind)
         self.heartbeat_s = float(heartbeat_s)
         self.timeout_s = float(timeout_s)
+        self.authkey = authkey
         self._key = _pool_key(self.workers, self.bind, self.heartbeat_s,
-                              self.timeout_s)
+                              self.timeout_s, self.authkey)
 
     def pool(self, create: bool = True) -> Optional[_RemotePool]:
         """The shared pool backing this executor (started on demand)."""
@@ -693,7 +832,8 @@ class RemoteExecutor(Executor):
             if pool is None and create:
                 pool = _RemotePool(self.workers, bind=self.bind,
                                    heartbeat_s=self.heartbeat_s,
-                                   timeout_s=self.timeout_s)
+                                   timeout_s=self.timeout_s,
+                                   authkey=self.authkey)
                 _SHARED_POOLS[self._key] = pool
             return pool
 
@@ -721,10 +861,17 @@ def _bundle_affinity(task: Any) -> Optional[str]:
     Multi-file sources emit one parse task per (file, byte range); pinning
     every bundle of a file to one worker keeps that worker's OS page cache
     and parsed-chunk disk sidecar warm for exactly its file subset.
+
+    Only genuine partition-parse tasks qualify (their key prefix is a
+    :data:`~repro.utils.PARSE_TASK_PREFIXES` variant and the path is
+    always their first positional argument) — matching any slash-bearing
+    string would mis-pin bundles on arguments like date-format strings.
+    In-memory partition slices carry a frame, not a path, and return None.
     """
-    for value in task.args:
-        if isinstance(value, str) and ("/" in value or "\\" in value):
-            return value
+    if classify_parse_key(task.key) is None:
+        return None
+    if task.args and isinstance(task.args[0], str):
+        return task.args[0]
     return None
 
 
@@ -746,7 +893,8 @@ class RemoteScheduler(ProcessScheduler):
                  cache: Optional[TaskCache] = None,
                  workers: Optional[int] = None, bind: str = DEFAULT_BIND,
                  heartbeat_s: float = DEFAULT_HEARTBEAT_S,
-                 timeout_s: float = DEFAULT_TIMEOUT_S):
+                 timeout_s: float = DEFAULT_TIMEOUT_S,
+                 authkey: Optional[str] = None):
         if workers is None:
             workers = max_workers if max_workers is not None \
                 else default_worker_count()
@@ -754,18 +902,31 @@ class RemoteScheduler(ProcessScheduler):
         self.bind = str(bind)
         self.heartbeat_s = float(heartbeat_s)
         self.timeout_s = float(timeout_s)
+        self.authkey = authkey
+        self._affinity_active = False
 
     def _make_executor(self) -> Executor:
         return RemoteExecutor(max_workers=self.max_workers,
                               workers=self.max_workers, bind=self.bind,
                               heartbeat_s=self.heartbeat_s,
-                              timeout_s=self.timeout_s)
+                              timeout_s=self.timeout_s,
+                              authkey=self.authkey)
 
     def _inflight_cap(self) -> int:
         # Keep every worker fed while results are in transit: one bundle
         # computing plus one queued per worker, instead of the in-process
-        # pools' one-in-flight-per-worker window.
-        return max(2, 2 * self.max_workers)
+        # pools' one-in-flight-per-worker window.  The count is the live
+        # connected-worker population, not the spawn request — in
+        # attach-only mode (workers=0) the spawn count is zero while real
+        # workers keep joining from other hosts, and the driver loop
+        # re-reads the cap every iteration so it widens as they do.
+        live = 0
+        executor = self._executor
+        if isinstance(executor, RemoteExecutor):
+            pool = executor.pool(create=False)
+            if pool is not None:
+                live = pool.worker_count()
+        return max(2, 2 * max(self.max_workers, live))
 
     def _submit_unit(self, unit: WorkUnit, state: _ExecutionState) -> Future:
         graph = state.graph
@@ -774,13 +935,20 @@ class RemoteScheduler(ProcessScheduler):
         root = graph[unit.root]
         executor = self.executor()
         assert isinstance(executor, RemoteExecutor)
+        affinity = _bundle_affinity(root) if self._affinity_active else None
         return executor.submit(
             run_task_bundle, root, [graph[key] for key in unit.members],
-            unit.return_root, affinity=_bundle_affinity(root))
+            unit.return_root, affinity=affinity)
 
     def execute(self, graph: Any, outputs: Any) -> Dict[str, Any]:
         executor = self.executor()
         assert isinstance(executor, RemoteExecutor)
+        # Per-file pinning only pays when there are files to shard: a
+        # single-file scan (or an in-memory source) must round-robin its
+        # bundles across the whole pool, not serialize on one worker.
+        paths = {path for path in map(_bundle_affinity, graph.tasks())
+                 if path is not None}
+        self._affinity_active = len(paths) > 1
         before = executor.stats_snapshot()
         started = time.monotonic()
         results = super().execute(graph, outputs)
@@ -799,6 +967,8 @@ class RemoteScheduler(ProcessScheduler):
 
 
 __all__ = [
+    "AFFINITY_SPILL_INFLIGHT",
+    "AUTHKEY_ENV",
     "CONNECT_TIMEOUT_S",
     "DEFAULT_BIND",
     "DEFAULT_HEARTBEAT_S",

@@ -422,9 +422,11 @@ class _PoolScheduler(Scheduler):
         # so chunks are consumed and released at the rate they are produced.
         ready = state.initial_ready()
         in_flight: Dict[Future, WorkUnit] = {}
-        inflight_cap = self._inflight_cap()
         try:
             while ready or in_flight:
+                # Re-read the cap every round: the remote backend widens it
+                # as workers attach mid-run (attach-only pools start at 0).
+                inflight_cap = self._inflight_cap()
                 while ready and len(in_flight) < inflight_cap:
                     unit = units[ready.pop()]
                     if unit.ship:

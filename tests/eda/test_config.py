@@ -15,6 +15,7 @@ def _clean_scheduler_env(monkeypatch):
     monkeypatch."""
     monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
     monkeypatch.delenv("REPRO_REMOTE_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_REMOTE_AUTHKEY", raising=False)
 
 
 class TestDefaults:
@@ -183,6 +184,29 @@ class TestValidation:
             Config.from_user({key: -2.0})
         with pytest.raises(ConfigError):
             Config.from_user({key: True})
+
+    def test_remote_authkey_validation(self):
+        assert Config.from_user().get("compute.remote.authkey") is None
+        assert Config.from_user({"compute.remote.authkey": "s3cret"}).get(
+            "compute.remote.authkey") == "s3cret"
+        with pytest.raises(ConfigError):
+            Config.from_user({"compute.remote.authkey": ""})
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({"compute.remote.authkey": b"bytes-key"})
+        # The validation error must not echo the (secret) value.
+        assert "bytes-key" not in str(excinfo.value)
+
+    def test_remote_authkey_env_default_applies_and_user_key_wins(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_REMOTE_AUTHKEY", "from-env")
+        assert Config.from_user().get("compute.remote.authkey") == "from-env"
+        assert Config.from_user({"compute.remote.authkey": "explicit"}).get(
+            "compute.remote.authkey") == "explicit"
+
+    def test_remote_authkey_typo_suggests_key(self):
+        with pytest.raises(ConfigError) as excinfo:
+            Config.from_user({"compute.remote.authky": "s3cret"})
+        assert "compute.remote.authkey" in str(excinfo.value)
 
 
 class TestConfigHygiene:

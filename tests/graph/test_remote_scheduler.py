@@ -5,11 +5,15 @@ dispatch, ``can_run_in_worker``), so these tests pin what is genuinely new:
 
 * **wire protocol** — length-prefixed, checksummed framing that rejects
   corruption, bad magic, unknown types and oversized frames;
+* **authentication** — nothing a client sends is unpickled before it
+  answers the coordinator's HMAC challenge; a stray or wrong-key client
+  is rejected without disturbing the pool, and a correct-key handshake
+  (the attach-mode contract) is admitted;
 * **failure semantics** — a worker killed mid-bundle gets its bundles
   re-dispatched to a live worker (counted in ``RunStats.redispatched``)
   and the run completes with correct results; a wedged worker is detected
-  via the per-task timeout; a stray client failing the HELLO handshake is
-  rejected without disturbing the pool;
+  via the per-task timeout, which starts at the worker's STARTED frame so
+  queue wait behind a slow-but-healthy bundle never trips it;
 * **accounting** — shipped/received wire bytes and per-worker utilization
   reach ``RunStats``, and a warm-cache replay ships zero bundles and zero
   bytes.
@@ -19,6 +23,7 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 import time
 
 import pytest
@@ -33,6 +38,7 @@ from repro.graph import (
 )
 from repro.graph import wire
 from repro.graph.remote import (
+    AFFINITY_SPILL_INFLIGHT,
     RemoteExecutor,
     RemoteScheduler,
     _bundle_affinity,
@@ -84,6 +90,17 @@ def stall_once(marker_path, values):
             pass
         time.sleep(30.0)
     return sum(values)
+
+
+def sleep_then_sum(seconds, values):
+    """A healthy-but-slow task: sleeps, then reduces."""
+    time.sleep(seconds)
+    return sum(values)
+
+
+def path_length(path, offset):
+    """A parse-shaped task: path first, like a CSV byte-range parse."""
+    return len(path) + offset
 
 
 def chunked_graph(n_chunks=4, chunk_func=square_sum):
@@ -217,11 +234,167 @@ class TestRemoteSchedulerBasics:
         assert excinfo.value.key == bad.key
         assert "boom in remote worker" in str(excinfo.value.cause)
 
-    def test_bundle_affinity_picks_the_path_argument(self):
-        task = Task("partition-0", make_values,
+    def test_bundle_affinity_picks_the_parse_path_argument(self):
+        task = Task("read_csv_partition-0", make_values,
                     ("/data/part-0.csv", 0, 4096), {})
         assert _bundle_affinity(task) == "/data/part-0.csv"
+        # Projected/filtered parse variants still classify.
+        task = Task("read_csv_partition.proj.filt-3", make_values,
+                    ("data/part-1.csv", 0, 4096), {})
+        assert _bundle_affinity(task) == "data/part-1.csv"
         assert _bundle_affinity(Task("chunk-0", make_values, (7,), {})) is None
+
+    def test_bundle_affinity_ignores_non_parse_and_non_path_args(self):
+        # A slash-bearing string in a non-parse task (e.g. a date format)
+        # must not pin the bundle to a worker.
+        task = Task("sketch-1", make_values, ("%m/%d/%Y",), {})
+        assert _bundle_affinity(task) is None
+        # A parse task whose first argument is not a path (in-memory
+        # slices carry the frame itself) has no file to shard by.
+        task = Task("partition-2", make_values, (object(), 0, 100), {})
+        assert _bundle_affinity(task) is None
+
+    def test_single_path_scan_does_not_pin(self, scheduler):
+        # Every bundle of a single-file scan must round-robin across the
+        # pool: with pinning active they would all land on one worker and
+        # the remote backend would run serially.
+        chunks = [delayed(path_length, prefix="read_csv_partition")(
+            "/data/only.csv", offset) for offset in range(4)]
+        total = delayed(combine_sum, prefix="combine")(chunks)
+        total.compute(scheduler=scheduler)
+        assert scheduler._affinity_active is False
+
+        # Two distinct paths in the parse tasks switch pinning on.
+        chunks = [delayed(path_length, prefix="read_csv_partition")(path, 0)
+                  for path in ("/data/a.csv", "/data/b.csv")]
+        total = delayed(combine_sum, prefix="combine")(chunks)
+        total.compute(scheduler=scheduler)
+        assert scheduler._affinity_active is True
+
+    def test_pinned_bundles_spill_when_owner_backs_up(self, scheduler):
+        executor = scheduler.executor()
+        assert isinstance(executor, RemoteExecutor)
+        pool = executor.pool()
+        assert pool.wait_for_workers(2, timeout=60.0) >= 2
+        # Saturate the affinity owner with slow pinned tasks; once its
+        # queue reaches the spill threshold, further pinned submissions
+        # must land on the other (idle) worker instead of queueing.
+        futures = [pool.submit(sleep_then_sum, 0.4, [1],
+                               affinity="/data/hot.csv")
+                   for _ in range(AFFINITY_SPILL_INFLIGHT + 2)]
+        with pool._lock:
+            owner = pool._affinity["/data/hot.csv"]
+            spread = {task.worker
+                      for link in pool._workers.values()
+                      for task in link.inflight.values()}
+        assert owner in spread
+        assert len(spread) > 1, "overflow beyond the spill threshold must " \
+                                "reach a second worker"
+        assert all(f.result(timeout=60.0) == 1 for f in futures)
+
+
+# --------------------------------------------------------------------------- #
+# Authentication
+# --------------------------------------------------------------------------- #
+class TestAuthentication:
+    def test_wrong_key_rejected_without_unpickling(self, scheduler):
+        executor = scheduler.executor()
+        assert isinstance(executor, RemoteExecutor)
+        pool = executor.pool()
+        pool.wait_for_workers(1, timeout=60.0)
+        before = pool.stats_snapshot().rejected_connections
+        host, port = wire.parse_address(pool.address)
+        with socket.create_connection((host, port), timeout=5.0) as sock:
+            sock.settimeout(10.0)
+            msg_type, nonce = wire.recv_frame(sock)
+            assert msg_type == wire.MSG_CHALLENGE
+            assert len(nonce) == wire.NONCE_BYTES
+            wire.send_frame(sock, wire.MSG_HELLO, wire.dump_json(
+                {"id": "intruder", "pid": 1, "host": "elsewhere",
+                 "digest": wire.compute_digest("not-the-key", nonce),
+                 "nonce": "00" * wire.NONCE_BYTES}))
+            # No WELCOME: the coordinator hangs up on a wrong digest.
+            with pytest.raises(wire.ConnectionClosed):
+                wire.recv_frame(sock)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if pool.stats_snapshot().rejected_connections > before:
+                break
+            time.sleep(0.05)
+        assert pool.stats_snapshot().rejected_connections > before
+        assert "intruder" not in pool.worker_ids()
+        # The pool still serves real work afterwards.
+        assert pool.submit(square_sum, [1, 2]).result(timeout=30.0) == 5
+
+    def test_shared_key_handshake_admits_attached_client(self):
+        # The attach-mode contract: a client holding the configured key
+        # passes the challenge-response and joins the pool; the WELCOME
+        # digest proves the coordinator holds the key too.
+        executor = RemoteExecutor(workers=0, authkey="s3cret-handshake")
+        pool = executor.pool()
+        try:
+            host, port = wire.parse_address(pool.address)
+            with socket.create_connection((host, port), timeout=5.0) as sock:
+                sock.settimeout(10.0)
+                msg_type, nonce = wire.recv_frame(sock)
+                assert msg_type == wire.MSG_CHALLENGE
+                counter_nonce = os.urandom(wire.NONCE_BYTES)
+                wire.send_frame(sock, wire.MSG_HELLO, wire.dump_json(
+                    {"id": "attached", "pid": 0, "host": "elsewhere",
+                     "digest": wire.compute_digest("s3cret-handshake", nonce),
+                     "nonce": counter_nonce.hex()}))
+                msg_type, payload = wire.recv_frame(sock)
+                assert msg_type == wire.MSG_WELCOME
+                assert wire.verify_digest(
+                    "s3cret-handshake", counter_nonce,
+                    wire.load_json(payload).get("digest"))
+                assert pool.wait_for_workers(1, timeout=10.0) == 1
+                assert pool.worker_ids() == ["attached"]
+        finally:
+            executor.discard()
+
+    def test_worker_refuses_unauthenticated_coordinator(self):
+        # TASK frames carry pickled callables, so a worker must hang up on
+        # a "coordinator" that cannot answer its counter-nonce.
+        from repro.graph.remote import worker_main
+        server = socket.create_server(("127.0.0.1", 0))
+        server.settimeout(10.0)
+        host, port = server.getsockname()[:2]
+        outcome = {}
+
+        def run_worker():
+            try:
+                worker_main(host, port, worker_id="w", authkey="worker-key")
+            except SystemExit as error:
+                outcome["exit"] = str(error)
+
+        thread = threading.Thread(target=run_worker, daemon=True)
+        thread.start()
+        try:
+            conn, _ = server.accept()
+            conn.settimeout(10.0)
+            wire.send_frame(conn, wire.MSG_CHALLENGE,
+                            b"\x00" * wire.NONCE_BYTES)
+            msg_type, payload = wire.recv_frame(conn)
+            assert msg_type == wire.MSG_HELLO
+            hello = wire.load_json(payload)
+            wire.send_frame(conn, wire.MSG_WELCOME, wire.dump_json(
+                {"digest": wire.compute_digest(
+                    "not-the-workers-key", bytes.fromhex(hello["nonce"]))}))
+            # The worker must disconnect instead of serving tasks.
+            with pytest.raises(wire.ConnectionClosed):
+                wire.recv_frame(conn)
+            conn.close()
+        finally:
+            server.close()
+        thread.join(timeout=10.0)
+        assert "handshake" in outcome["exit"]
+
+    def test_worker_without_key_exits_early(self, monkeypatch):
+        from repro.graph.remote import AUTHKEY_ENV, worker_main
+        monkeypatch.delenv(AUTHKEY_ENV, raising=False)
+        with pytest.raises(SystemExit, match=AUTHKEY_ENV):
+            worker_main("127.0.0.1", 1, worker_id="w")
 
 
 # --------------------------------------------------------------------------- #
@@ -263,6 +436,22 @@ class TestFailureSemantics:
             assert scheduler.last_run.redispatched >= 1
         finally:
             scheduler.close()
+
+    def test_queue_wait_does_not_trip_the_task_timeout(self):
+        # Workers execute their queue serially, so the last of four 0.5s
+        # bundles dispatched to one worker waits ~1.5s — past timeout_s —
+        # before it runs.  The timeout must clock from the worker's
+        # STARTED frame, not from dispatch: every bundle completes on the
+        # original worker with zero re-dispatches.
+        executor = RemoteExecutor(workers=1, heartbeat_s=0.2, timeout_s=1.0)
+        pool = executor.pool()
+        try:
+            futures = [pool.submit(sleep_then_sum, 0.5, [i])
+                       for i in range(4)]
+            assert [f.result(timeout=60.0) for f in futures] == [0, 1, 2, 3]
+            assert pool.stats_snapshot().redispatched == 0
+        finally:
+            executor.discard()
 
     def test_malformed_handshake_rejected_pool_unharmed(self, scheduler):
         executor = scheduler.executor()
