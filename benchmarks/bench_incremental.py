@@ -1,0 +1,138 @@
+"""Incremental append-aware refresh: re-parse only the delta.
+
+The claim: when a profiled CSV *grows*, ``report.refresh()`` recognises the
+append, keeps every pre-append chunk's per-chunk content stamp — and with
+them the chunks' cached parse and sketch results — and executes only the
+appended tail.  Two gates, sized so CI can smoke them on every push:
+
+1. **Chunk reuse** — after appending ~1% of rows, the refreshed report's
+   ``incremental_stats`` show ≥95% of parse chunks answered from the
+   cross-call cache, and the refreshed report equals a cold report over the
+   grown file section by section.
+2. **Refresh latency** — at full benchmark size the refresh costs at most
+   10% of the cold report's wall time (skipped at CI smoke sizes, where
+   fixed planning/render overhead dominates the delta).
+
+Results land in ``BENCH_incremental.json`` next to the working directory
+for trend tracking.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro import create_report, scan_csv
+from repro.graph import TaskCache, set_global_cache
+
+N_ROWS = int(os.environ.get("REPRO_BENCH_INCREMENTAL_ROWS", "60000"))
+CHUNK_ROWS = 2_000
+#: The appended delta: ~1% of the base rows.
+APPEND_ROWS = max(1, N_ROWS // 100)
+
+#: CI gate: fraction of parse chunks the refresh must reuse.
+MIN_REUSE_RATIO = 0.95
+
+#: Full-size gate: refresh wall time as a fraction of the cold report.
+MAX_REFRESH_RATIO = 0.10
+#: The latency gate only makes sense once the delta dwarfs the fixed
+#: planning/render overhead; CI smoke runs (15k rows) skip it.
+LATENCY_GATE_MIN_ROWS = 60_000
+
+CONFIG = {"compute.scheduler": "threaded", "compute.max_workers": 2}
+
+
+def _write_rows(writer, rng, start, count):
+    block = 10_000
+    written = 0
+    origin = np.datetime64("2021-01-01T00:00:00")
+    while written < count:
+        rows = min(block, count - written)
+        price = rng.normal(250_000, 60_000, rows).round(2)
+        size = rng.normal(1_800, 400, rows).round(1)
+        rating = rng.integers(1, 6, rows)
+        city = rng.choice(["vancouver", "toronto", "montreal"], rows)
+        listed = [str(origin + np.timedelta64(
+            (start + written + i) % 360, "D")) for i in range(rows)]
+        writer.writerows(zip(price.tolist(), size.tolist(),
+                             rating.tolist(), city, listed))
+        written += rows
+
+
+@pytest.fixture(scope="module")
+def growing_csv(tmp_path_factory) -> str:
+    rng = np.random.default_rng(11)
+    path = str(tmp_path_factory.mktemp("incremental_bench") / "grow.csv")
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["price", "size", "rating", "city", "listed"])
+        _write_rows(writer, rng, 0, N_ROWS)
+    return path
+
+
+def test_incremental_refresh_chunk_reuse(growing_csv):
+    """CI smoke: ≥95% chunk reuse on refresh after a 1% append."""
+    set_global_cache(TaskCache())
+    scan = scan_csv(growing_csv, chunk_rows=CHUNK_ROWS)
+    started = time.perf_counter()
+    cold = create_report(scan, config=dict(CONFIG))
+    cold_seconds = time.perf_counter() - started
+
+    rng = np.random.default_rng(13)
+    with open(growing_csv, "a", newline="") as handle:
+        _write_rows(csv.writer(handle), rng, N_ROWS, APPEND_ROWS)
+
+    started = time.perf_counter()
+    refreshed = cold.refresh()
+    refresh_seconds = time.perf_counter() - started
+
+    stats = refreshed.incremental_stats
+    total = stats["chunks_reused"] + stats["chunks_new"]
+    reuse_ratio = stats["chunks_reused"] / max(total, 1)
+    ratio = refresh_seconds / max(cold_seconds, 1e-9)
+
+    print_header(f"Incremental refresh — {N_ROWS} rows + {APPEND_ROWS} "
+                 f"appended, chunks of {CHUNK_ROWS}")
+    print(f"cold report    {cold_seconds:6.2f} s")
+    print(f"refresh        {refresh_seconds:6.2f} s  ({ratio * 100:5.1f}% of "
+          f"cold, required ≤ {MAX_REFRESH_RATIO * 100:.0f}% at full size)")
+    print(f"chunk reuse    {stats['chunks_reused']}/{total} "
+          f"({reuse_ratio * 100:5.1f}%, required ≥ "
+          f"{MIN_REUSE_RATIO * 100:.0f}%)")
+    print(f"bytes reparsed {stats['bytes_reparsed']}")
+
+    payload = {
+        "rows": N_ROWS,
+        "append_rows": APPEND_ROWS,
+        "chunk_rows": CHUNK_ROWS,
+        "cold_seconds": round(cold_seconds, 4),
+        "refresh_seconds": round(refresh_seconds, 4),
+        "chunks_reused": stats["chunks_reused"],
+        "chunks_new": stats["chunks_new"],
+        "bytes_reparsed": stats["bytes_reparsed"],
+        "reuse_ratio": round(reuse_ratio, 4),
+    }
+    with open("BENCH_incremental.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+    # The refreshed report must match a cold report over the grown file.
+    set_global_cache(TaskCache())
+    verify = create_report(scan_csv(growing_csv, chunk_rows=CHUNK_ROWS),
+                           config=dict(CONFIG))
+    assert refreshed.section_names == verify.section_names
+    for name in verify.section_names:
+        assert set(refreshed.sections[name].items) == \
+            set(verify.sections[name].items), name
+
+    assert stats["enabled"]
+    assert stats["chunks_new"] >= math.ceil(APPEND_ROWS / CHUNK_ROWS)
+    assert reuse_ratio >= MIN_REUSE_RATIO
+    if N_ROWS >= LATENCY_GATE_MIN_ROWS:
+        assert ratio <= MAX_REFRESH_RATIO

@@ -47,6 +47,7 @@ from repro.frame import (
     write_csv,
 )
 from repro.eda import Config, plot, plot_correlation, plot_missing
+from repro.frame.source import refresh_input
 from repro.graph import clear_global_cache, get_global_cache
 from repro.report import Report, create_report
 
@@ -56,6 +57,24 @@ __version__ = "0.1.0"
 def cache_stats() -> Dict[str, Any]:
     """Counters of the process-wide intermediate cache (hits, misses, bytes)."""
     return get_global_cache().stats.as_dict()
+
+
+def refresh(handle: Any) -> Any:
+    """Re-resolve an EDA handle against the current on-disk state.
+
+    ``refresh(report)`` recomputes a :class:`Report` from its remembered
+    source (equivalent to ``report.refresh()``); any other handle — a
+    ``scan_csv`` result, a streaming source, a filtered view — is
+    re-resolved in place of its files.  Appends are recognised as growth:
+    the refreshed handle's unchanged chunks keep their per-chunk content
+    stamps, so the next EDA call reuses their cached sketch states and
+    executes only the new chunks (``meta["incremental"]`` /
+    ``Report.incremental_stats`` count the reuse).  In-memory inputs pass
+    through unchanged.
+    """
+    if isinstance(handle, Report):
+        return handle.refresh()
+    return refresh_input(handle)
 
 
 def clear_cache() -> None:
@@ -93,6 +112,8 @@ __all__ = [
     "plot_correlation",
     "plot_missing",
     "read_csv",
+    "refresh",
+    "refresh_input",
     "scan_csv",
     "write_csv",
     "__version__",

@@ -513,6 +513,16 @@ class ComputeContext:
             "sidecar_misses": 0,
             "bytes_decoded_avoided": 0,
         }
+        #: Incremental-refresh counters accumulated across every resolve():
+        #: parse chunks answered by their per-chunk-stamp cache keys,
+        #: chunks that executed, and the file bytes those executions read.
+        #: After ``refresh()`` of an appended source these show ~old chunks
+        #: reused and ~new chunks executed (the delta-merge win).
+        self.incremental_counts: Dict[str, int] = {
+            "chunks_reused": 0,
+            "chunks_new": 0,
+            "bytes_reparsed": 0,
+        }
         if engine is not None:
             self.engine = engine
         else:
@@ -771,6 +781,18 @@ class ComputeContext:
         """
         return {"enabled": self.sidecar_route is not None,
                 **self.sidecar_counts}
+
+    def incremental_stats(self) -> Dict[str, Any]:
+        """Incremental-refresh counters for this call (plus enabled flag).
+
+        Enabled whenever the source streams from storage with a cross-call
+        cache attached — that combination gives every chunk a stable
+        per-chunk-stamp cache key, which is what makes appended-file
+        refreshes reuse the old chunks' sketch states.
+        """
+        return {"enabled": bool(not self.exact_results
+                                and self.cache is not None),
+                **self.incremental_counts}
 
     # ------------------------------------------------------------------ #
     # The planner dispatch
@@ -1077,6 +1099,9 @@ class ComputeContext:
             self.sidecar_counts["sidecar_misses"] += report.sidecar_misses
             self.sidecar_counts["bytes_decoded_avoided"] += \
                 report.bytes_decoded_avoided
+            self.incremental_counts["chunks_reused"] += report.chunks_reused
+            self.incremental_counts["chunks_new"] += report.chunks_new
+            self.incremental_counts["bytes_reparsed"] += report.bytes_reparsed
             last_run = getattr(getattr(self.engine, "scheduler", None),
                                "last_run", None)
             if last_run is not None:
@@ -1110,6 +1135,7 @@ class ComputeContext:
         intermediates.meta["projection"] = self.projection_stats()
         intermediates.meta["predicate"] = self.predicate_stats()
         intermediates.meta["sidecar"] = self.sidecar_stats()
+        intermediates.meta["incremental"] = self.incremental_stats()
         return intermediates
 
     def column(self, name: str) -> Column:

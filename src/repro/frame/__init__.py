@@ -41,8 +41,15 @@ from repro.frame.source import (
     SourceCapabilities,
     SourcePartition,
     as_source,
+    refresh_input,
 )
-from repro.frame.zonemap import ZoneMap, build_zone_map, load_zone_map, save_zone_map
+from repro.frame.zonemap import (
+    ZoneMap,
+    build_zone_map,
+    load_zone_entries,
+    save_zone_entries,
+    zone_map_from_stats,
+)
 
 __all__ = [
     "Column",
@@ -63,8 +70,10 @@ __all__ = [
     "as_source",
     "build_zone_map",
     "compile_predicate",
-    "load_zone_map",
-    "save_zone_map",
+    "load_zone_entries",
+    "refresh_input",
+    "save_zone_entries",
+    "zone_map_from_stats",
     "concat_rows",
     "crosstab",
     "fingerprint_array",

@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import math
 import re
-from datetime import datetime
+from datetime import datetime, timezone
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,9 +30,13 @@ from repro.errors import DTypeError
 MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "missing", "?"})
 
 #: Accepted textual datetime formats, tried in order during inference.
+#: Offset-aware values (``%z`` matches ``+02:00``, ``-0500`` and ``Z``) are
+#: normalised to UTC and stored as naive ``datetime64[s]``.
 DATETIME_FORMATS = (
     "%Y-%m-%d %H:%M:%S",
     "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M:%S%z",
+    "%Y-%m-%dT%H:%M:%S%z",
     "%Y-%m-%d",
     "%Y/%m/%d",
     "%m/%d/%Y",
@@ -124,22 +128,36 @@ def parse_bool(value: Any) -> Optional[bool]:
 #: Cheap prescreen matching every shape DATETIME_FORMATS can parse; strings
 #: that cannot match skip the (expensive) strptime attempts entirely.
 _DATETIME_CANDIDATE = re.compile(
-    r"^\d{1,4}[-/]\d{1,2}[-/]\d{1,4}((\s+|T)\d{1,2}:\d{1,2}:\d{1,2})?$")
+    r"^\d{1,4}[-/]\d{1,2}[-/]\d{1,4}"
+    r"((\s+|T)\d{1,2}:\d{1,2}:\d{1,2}(Z|[+-]\d{2}:?\d{2})?)?$")
+
+
+def _to_naive_utc(value: datetime) -> datetime:
+    """Collapse an offset-aware datetime onto the naive UTC timeline."""
+    if value.tzinfo is not None:
+        return value.astimezone(timezone.utc).replace(tzinfo=None)
+    return value
 
 
 def parse_datetime(value: Any) -> Optional[np.datetime64]:
-    """Parse a scalar as a datetime, returning None when parsing fails."""
+    """Parse a scalar as a datetime, returning None when parsing fails.
+
+    Offset-aware inputs — ``datetime`` objects with a ``tzinfo`` or strings
+    with an ISO offset suffix (``...+02:00``, ``...-0500``, ``...Z``) — are
+    converted to UTC before being stored as naive ``datetime64[s]``, so the
+    same instant written with different offsets compares equal.
+    """
     if isinstance(value, np.datetime64):
         return value.astype("datetime64[s]")
     if isinstance(value, datetime):
-        return np.datetime64(value.replace(tzinfo=None), "s")
+        return np.datetime64(_to_naive_utc(value), "s")
     if isinstance(value, str):
         text = value.strip()
         if not _DATETIME_CANDIDATE.match(text):
             return None
         for fmt in DATETIME_FORMATS:
             try:
-                return np.datetime64(datetime.strptime(text, fmt), "s")
+                return np.datetime64(_to_naive_utc(datetime.strptime(text, fmt)), "s")
             except ValueError:
                 continue
     return None

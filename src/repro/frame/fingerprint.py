@@ -110,21 +110,29 @@ def fingerprint_column(column: "Column") -> str:
     return hasher.hexdigest()
 
 
-def fingerprint_file_stamps(stamps: Iterable[Tuple[str, int, int]]) -> str:
-    """Fingerprint of on-disk inputs from ``(path, size, mtime_ns)`` stamps.
+def fingerprint_file_stamps(stamps: Iterable[Tuple]) -> str:
+    """Fingerprint of on-disk inputs from per-file stamp tuples.
+
+    Each stamp is ``(path, size, mtime_ns, *extra)`` where the optional
+    extra elements are integers — the CSV scans append a content CRC drawn
+    from their per-chunk probes, so even an in-place rewrite that preserves
+    both size and mtime_ns (an editor restoring timestamps, or appends
+    inside one mtime resolution) still changes the fingerprint.
 
     File-backed frame sources (:mod:`repro.frame.source`) identify their
-    content by stat stamps instead of reading the bytes: the fingerprint is
-    stable across processes and sessions while every file is unchanged —
-    which is what keeps cross-call cache keys warm over re-scans — and any
-    in-place overwrite bumps the mtime (and usually the size) and with it
-    the fingerprint.  The order of *stamps* is significant: the same files
-    concatenated in a different order are a different logical frame.
+    content by these stamps instead of reading the bytes: the fingerprint
+    is stable across processes and sessions while every file is unchanged —
+    which is what keeps cross-call cache keys warm over re-scans.  The
+    order of *stamps* is significant: the same files concatenated in a
+    different order are a different logical frame.
     """
     hasher = hashlib.sha1()
-    for path, size, mtime_ns in stamps:
-        for part in (str(path), str(int(size)), str(int(mtime_ns))):
-            hasher.update(part.encode())
+    for stamp in stamps:
+        path, *numbers = stamp
+        hasher.update(str(path).encode())
+        hasher.update(b"\x00")
+        for number in numbers:
+            hasher.update(str(int(number)).encode())
             hasher.update(b"\x00")
     return hasher.hexdigest()
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import csv
 import io
 import os
+import zlib
 from typing import (
     Any,
     Dict,
@@ -59,6 +60,14 @@ PARSE_OVERHEAD_FACTOR = 12
 #: Never shrink chunks below this many rows — per-chunk numpy work must still
 #: dominate the python/scheduler overhead.
 MIN_CHUNK_ROWS = 256
+
+#: Bytes CRC-probed at the head and at the tail of every chunk's byte range
+#: to form its content stamp.  Two probes per chunk keep stamping O(chunks)
+#: instead of O(bytes); the trust model (an interior edit that touches
+#: neither probe window goes unnoticed) is documented in
+#: ``docs/architecture.md`` and backstopped by the per-chunk
+#: ``expected_rows`` validation at parse time.
+CHUNK_PROBE_BYTES = 4096
 
 
 def read_csv(path_or_buffer: PathOrBuffer,
@@ -232,23 +241,73 @@ def _format_cell(value: Any) -> str:
 # --------------------------------------------------------------------------- #
 # Streaming scan
 # --------------------------------------------------------------------------- #
+def _scan_records(handle, chunk_rows: int
+                  ) -> Tuple[List[int], List[int], int, int, bool]:
+    """Count CSV records from the handle's current byte position.
+
+    A record ends only on a line where the cumulative quote count is even
+    (``""`` escapes toggle twice, so parity is preserved); completely blank
+    records are not counted, matching :func:`read_csv`.  A chunk boundary
+    is committed every *chunk_rows* records.  Returns ``(boundary offsets,
+    committed row counts, trailing rows past the last boundary, end byte,
+    clean_eof)`` — *clean_eof* is False when the file ends inside an open
+    quoted field (the trailing record is still counted, since
+    ``csv.reader`` yields it), which makes the layout unsafe to extend
+    in place by a later incremental refresh.
+    """
+    byte_offsets: List[int] = []
+    row_counts: List[int] = []
+    rows_in_chunk = 0
+    quotes = 0
+    record_blank = True
+    for line in handle:
+        quotes += line.count(b'"')
+        if line.strip(b"\r\n"):
+            record_blank = False
+        if quotes % 2 == 1:
+            continue                      # still inside a quoted field
+        if not record_blank:
+            rows_in_chunk += 1
+            if rows_in_chunk == chunk_rows:
+                byte_offsets.append(handle.tell())
+                row_counts.append(rows_in_chunk)
+                rows_in_chunk = 0
+        record_blank = True
+    clean_eof = quotes % 2 == 0
+    if not clean_eof and not record_blank:
+        # A final record whose quoted field is never closed: the csv
+        # parser still yields it as a row, so count it — otherwise
+        # n_rows disagrees with what the chunks actually parse.
+        rows_in_chunk += 1
+    return byte_offsets, row_counts, rows_in_chunk, handle.tell(), clean_eof
+
+
+def _ranges_from_counts(byte_offsets: List[int], row_counts: List[int]
+                        ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """``(row boundaries, byte ranges)`` from committed offsets and counts."""
+    byte_ranges = [(byte_offsets[index], byte_offsets[index + 1])
+                   for index in range(len(row_counts))]
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    for count in row_counts:
+        boundaries.append((start, start + count))
+        start += count
+    return boundaries, byte_ranges
+
+
 def _scan_csv_layout(path: Union[str, os.PathLike], chunk_rows: int,
-                     delimiter: str = ",") -> Tuple[List[str], List[Tuple[int, int]],
-                                                    List[Tuple[int, int]]]:
+                     delimiter: str = ","
+                     ) -> Tuple[List[str], List[Tuple[int, int]],
+                                List[Tuple[int, int]], bool]:
     """One quote-aware pass over the file recording chunk byte boundaries.
 
-    A CSV *record* may span several physical lines when a quoted field
-    contains newlines; a record ends only on a line where the cumulative
-    count of quote characters is even (``""`` escapes toggle twice, so
-    parity is preserved).  Records that are completely blank are not counted,
-    matching :func:`read_csv`.  Returns ``(column names, row boundaries,
-    byte ranges)`` where every byte range starts and ends on a record
-    boundary, so each chunk is independently parseable.
+    Returns ``(column names, row boundaries, byte ranges, clean_eof)``
+    where every byte range starts and ends on a record boundary, so each
+    chunk is independently parseable; *clean_eof* is False when the file
+    ends inside an open quoted field (see :func:`_scan_records`).
     """
     if chunk_rows <= 0:
         raise FrameError("chunk_rows must be positive")
-    byte_offsets: List[int] = []
-    row_counts: List[int] = []
     with open(path, "rb") as handle:
         header_lines: List[bytes] = []
         quotes = 0
@@ -261,43 +320,48 @@ def _scan_csv_layout(path: Union[str, os.PathLike], chunk_rows: int,
         header_rows = list(csv.reader(io.StringIO(header_text),
                                       delimiter=delimiter))
         if not header_rows:
-            return [], [(0, 0)], [(handle.tell(), handle.tell())]
+            return [], [(0, 0)], [(handle.tell(), handle.tell())], True
         columns = [name.strip() for name in header_rows[0]]
 
-        byte_offsets.append(handle.tell())
-        rows_in_chunk = 0
-        quotes = 0
-        record_blank = True
-        for line in handle:
-            quotes += line.count(b'"')
-            if line.strip(b"\r\n"):
-                record_blank = False
-            if quotes % 2 == 1:
-                continue                      # still inside a quoted field
-            if not record_blank:
-                rows_in_chunk += 1
-                if rows_in_chunk == chunk_rows:
-                    byte_offsets.append(handle.tell())
-                    row_counts.append(rows_in_chunk)
-                    rows_in_chunk = 0
-            record_blank = True
-        if quotes % 2 == 1 and not record_blank:
-            # A final record whose quoted field is never closed: the csv
-            # parser still yields it as a row, so count it — otherwise
-            # n_rows disagrees with what the chunks actually parse.
-            rows_in_chunk += 1
-        end_of_file = handle.tell()
+        data_start = handle.tell()
+        byte_offsets, row_counts, rows_in_chunk, end_of_file, clean_eof = \
+            _scan_records(handle, chunk_rows)
+    byte_offsets = [data_start] + byte_offsets
     if rows_in_chunk or not row_counts:
         byte_offsets.append(end_of_file)
         row_counts.append(rows_in_chunk)
-    byte_ranges = [(byte_offsets[index], byte_offsets[index + 1])
-                   for index in range(len(row_counts))]
-    boundaries: List[Tuple[int, int]] = []
-    start = 0
-    for count in row_counts:
-        boundaries.append((start, start + count))
-        start += count
-    return columns, boundaries, byte_ranges
+    boundaries, byte_ranges = _ranges_from_counts(byte_offsets, row_counts)
+    return columns, boundaries, byte_ranges, clean_eof
+
+
+def compute_chunk_stamps(path: Union[str, os.PathLike],
+                         byte_ranges: Sequence[Tuple[int, int]]
+                         ) -> List[Tuple[int, int]]:
+    """``(head_crc, tail_crc)`` content stamp of every chunk byte range.
+
+    Each stamp CRC32s the first and last :data:`CHUNK_PROBE_BYTES` of the
+    chunk's byte range (the whole range when it is smaller), so it is
+    computable in O(chunks) regardless of file size.  These stamps replace
+    the whole-file ``(size, mtime_ns)`` stamp in chunk-level cache keys:
+    appending to a file leaves every old chunk's bytes — and therefore its
+    stamp, its cross-call cache key, its zone-map entry and its binary
+    sidecar — untouched, while a mutated prefix fails the CRC probes and
+    invalidates exactly the chunks it touched.
+    """
+    stamps: List[Tuple[int, int]] = []
+    with open(path, "rb") as handle:
+        for start, stop in byte_ranges:
+            span = max(0, int(stop) - int(start))
+            probe = min(span, CHUNK_PROBE_BYTES)
+            handle.seek(int(start))
+            head = handle.read(probe)
+            if span > probe:
+                handle.seek(int(stop) - probe)
+                tail = handle.read(probe)
+            else:
+                tail = head
+            stamps.append((zlib.crc32(head), zlib.crc32(tail)))
+    return stamps
 
 
 def _estimate_csv_row_bytes(path: Union[str, os.PathLike],
@@ -357,7 +421,13 @@ class ScannedFrame:
                  file_stamp: Tuple[int, int], chunk_rows: int,
                  preview: DataFrame, delimiter: str = ",",
                  budget_bytes: int = DEFAULT_BUDGET_BYTES,
-                 budget_concurrency: Optional[int] = None):
+                 budget_concurrency: Optional[int] = None,
+                 chunk_stamps: Optional[Sequence[Tuple[int, int]]] = None,
+                 clean_eof: bool = True,
+                 requested_chunk_rows: Optional[int] = None,
+                 inference_rows: int = 10_000,
+                 user_dtypes: Optional[Dict[str, DType]] = None,
+                 validate_dtype_keys: bool = True):
         self.path = str(path)
         self._columns = list(columns)
         self._dtypes = dict(dtypes)
@@ -374,6 +444,32 @@ class ScannedFrame:
         self.budget_concurrency = int(budget_concurrency
                                       if budget_concurrency is not None
                                       else default_worker_count())
+        #: Per-chunk ``(head_crc, tail_crc)`` content stamps.  Captured at
+        #: scan time — NOT lazily — so a later :meth:`refreshed` compares
+        #: today's bytes against what the layout was actually computed
+        #: from; stamping after a mutation would trust the mutated prefix.
+        if chunk_stamps is not None:
+            self._chunk_stamps: Optional[List[Tuple[int, int]]] = \
+                [tuple(stamp) for stamp in chunk_stamps]
+        else:
+            try:
+                self._chunk_stamps = compute_chunk_stamps(
+                    self.path, self._byte_ranges)
+            except OSError:
+                # Hand-constructed handles over absent files (tests, remote
+                # metadata) stay usable; refresh then falls back to rescan.
+                self._chunk_stamps = None
+        #: Whether the layout scan ended outside any quoted field; an open
+        #: quote at EOF makes appended bytes part of the dangling record,
+        #: so refresh must rescan instead of extending.
+        self.clean_eof = bool(clean_eof)
+        #: The scan_csv arguments that produced this handle, retained so
+        #: :meth:`refreshed` can re-derive the layout under the exact same
+        #: settings when extension is not safe.
+        self._requested_chunk_rows = requested_chunk_rows
+        self._inference_rows = int(inference_rows)
+        self._user_dtypes = dict(user_dtypes) if user_dtypes else None
+        self._validate_dtype_keys = bool(validate_dtype_keys)
         self._rechunks: Dict[int, "ScannedFrame"] = {}
         self._zone_map: Optional[Any] = None
 
@@ -416,21 +512,58 @@ class ScannedFrame:
         return int(self.file_stamp[0])
 
     @property
+    def chunk_stamps(self) -> List[Tuple[int, int]]:
+        """Per-chunk ``(head_crc, tail_crc)`` content stamps.
+
+        Captured when the layout was scanned; chunk ``index`` of this
+        layout is keyed by ``chunk_stamps[index]`` in the cross-call cache,
+        the zone-map sidecar and the parsed-chunk binary sidecar.  Computed
+        on demand only for hand-built handles that skipped stamping.
+        """
+        if self._chunk_stamps is None:
+            self._chunk_stamps = compute_chunk_stamps(self.path,
+                                                      self._byte_ranges)
+        return list(self._chunk_stamps)
+
+    def chunk_stamp(self, index: int) -> Tuple[int, int]:
+        """The content stamp of chunk *index*."""
+        if self._chunk_stamps is None:
+            self._chunk_stamps = compute_chunk_stamps(self.path,
+                                                      self._byte_ranges)
+        return tuple(self._chunk_stamps[index])
+
+    def content_crc(self) -> int:
+        """One CRC folding every chunk stamp — the file-level content probe.
+
+        Changes whenever any chunk's head/tail probe changes, so the
+        whole-file fingerprint below detects in-place rewrites even when
+        they preserve both size and mtime_ns (the stamp-granularity hazard:
+        editors restoring timestamps, appends within one mtime resolution).
+        """
+        crc = 0
+        for head, tail in self.chunk_stamps:
+            crc = zlib.crc32(f"{head}:{tail};".encode(), crc)
+        return crc
+
+    @property
     def preview(self) -> DataFrame:
         """The bounded preview frame dtypes and semantic types come from."""
         return self._preview
 
     def fingerprint(self) -> str:
-        """Content fingerprint from the ``(path, size, mtime_ns)`` stamp.
+        """Content fingerprint from ``(path, size, mtime_ns, content CRC)``.
 
         Stable across processes while the file is unchanged, so a scan
         handle used as a task argument produces cross-call cache keys that
         survive re-scanning (the same contract
-        :class:`~repro.frame.source.CsvSource` exposes).
+        :class:`~repro.frame.source.CsvSource` exposes).  The trailing
+        content CRC folds every per-chunk probe, so a same-size same-mtime
+        rewrite still changes the fingerprint.
         """
         from repro.frame.fingerprint import fingerprint_file_stamps
         return fingerprint_file_stamps(
-            [(self.path, self.file_stamp[0], self.file_stamp[1])])
+            [(self.path, self.file_stamp[0], self.file_stamp[1],
+              self.content_crc())])
 
     def __repr__(self) -> str:
         return (f"ScannedFrame(path={self.path!r}, rows={self.n_rows}, "
@@ -480,26 +613,41 @@ class ScannedFrame:
     def zone_map(self):
         """The per-chunk zone map of this scan, building it if needed.
 
-        Loads the persisted sidecar when its ``(size, mtime_ns)`` stamp and
-        chunk granularity match; otherwise parses the file once to compute
-        per-chunk min/max/null/distinct statistics
-        (:mod:`repro.frame.zonemap`) and persists them for every later
-        filtered call in any process.  Memoized on this handle.
+        The sidecar holds one entry per chunk byte range, each keyed by
+        that chunk's ``(head_crc, tail_crc)`` content stamp
+        (:mod:`repro.frame.zonemap`): only chunks whose entry is missing or
+        whose stamp mismatches are parsed to compute their
+        min/max/null/distinct statistics, and only those entries are
+        written back.  After an append, the old chunks' entries survive
+        verbatim and the build pays for the new chunks alone; a mutated
+        chunk rebuilds individually.  Memoized on this handle.
         """
         from repro.frame.zonemap import (
-            build_zone_map,
-            load_zone_map,
-            save_zone_map,
+            chunk_column_stats,
+            chunk_key,
+            decode_zone_entry,
+            encode_zone_entry,
+            load_zone_entries,
+            save_zone_entries,
+            zone_map_from_stats,
         )
         if self._zone_map is not None:
             return self._zone_map
-        loaded = load_zone_map(self.path, self.file_stamp, self.chunk_rows)
-        if loaded is not None and loaded.n_chunks == self.n_chunks:
-            self._zone_map = loaded
-            return loaded
-        built = build_zone_map(self.chunks(), self.file_stamp,
-                               self.chunk_rows)
-        save_zone_map(self.path, built)
+        entries = load_zone_entries(self.path)
+        stamps = self.chunk_stamps
+        per_chunk: List[Dict[str, Tuple[Any, Any, int, int]]] = []
+        fresh: Dict[str, Dict[str, Any]] = {}
+        for index, byte_range in enumerate(self._byte_ranges):
+            key = chunk_key(*byte_range)
+            stats = decode_zone_entry(entries.get(key), stamps[index])
+            if stats is None:
+                stats = chunk_column_stats(self.read_chunk(index))
+                fresh[key] = encode_zone_entry(stats, stamps[index])
+            per_chunk.append(stats)
+        if fresh:
+            save_zone_entries(self.path, fresh)
+        built = zone_map_from_stats(per_chunk, self.file_stamp,
+                                    self.chunk_rows)
         self._zone_map = built
         return built
 
@@ -518,7 +666,7 @@ class ScannedFrame:
         start, stop = self._boundaries[index]
         return _read_csv_slice(self.path, byte_start, byte_stop,
                                tuple(self._columns), self._dtypes,
-                               tuple(self.file_stamp), self.delimiter,
+                               self.chunk_stamp(index), self.delimiter,
                                expected_rows=stop - start)
 
     def chunks(self) -> Iterator[DataFrame]:
@@ -573,15 +721,151 @@ class ScannedFrame:
         cached = self._rechunks.get(chunk_rows)
         if cached is not None:
             return cached
-        columns, boundaries, byte_ranges = _scan_csv_layout(
+        columns, boundaries, byte_ranges, clean_eof = _scan_csv_layout(
             self.path, chunk_rows, delimiter=self.delimiter)
         rechunked = ScannedFrame(self.path, columns, self._dtypes, boundaries,
                                  byte_ranges, self.file_stamp, chunk_rows,
                                  self._preview, delimiter=self.delimiter,
                                  budget_bytes=self.budget_bytes,
-                                 budget_concurrency=self.budget_concurrency)
+                                 budget_concurrency=self.budget_concurrency,
+                                 clean_eof=clean_eof,
+                                 requested_chunk_rows=self._requested_chunk_rows,
+                                 inference_rows=self._inference_rows,
+                                 user_dtypes=self._user_dtypes,
+                                 validate_dtype_keys=self._validate_dtype_keys)
         self._rechunks[chunk_rows] = rechunked
         return rechunked
+
+    # ------------------------------------------------------------------ #
+    # Incremental refresh
+    # ------------------------------------------------------------------ #
+    def refreshed(self) -> "ScannedFrame":
+        """Re-resolve this scan against the file's current on-disk state.
+
+        Returns ``self`` (the same object) when the file's ``(size,
+        mtime_ns)`` stamp is unchanged.  When the file *grew* and the old
+        byte region still matches every per-chunk CRC probe — an append —
+        the existing layout is extended from the last committed record
+        boundary: the old chunks keep their byte ranges and content
+        stamps, so their cross-call cache keys, zone-map entries and
+        binary sidecars all stay valid, and only the appended bytes are
+        layout-scanned and stamped.  Any other change (shrink, mutation,
+        schema drift in the preview window, a layout that ended inside an
+        open quote) falls back to a full rescan under the original
+        ``scan_csv`` arguments.
+        """
+        try:
+            file_stat = os.stat(self.path)
+        except OSError:
+            return self
+        stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
+        if stamp == self.file_stamp:
+            return self
+        if stamp[0] > self.file_stamp[0] and self._prefix_intact():
+            extended = self._extend_layout(stamp)
+            if extended is not None:
+                return extended
+        return _scan_csv_file(self.path,
+                              chunk_rows=self._requested_chunk_rows,
+                              budget_bytes=self.budget_bytes,
+                              dtypes=self._user_dtypes,
+                              inference_rows=self._inference_rows,
+                              delimiter=self.delimiter,
+                              validate_dtype_keys=self._validate_dtype_keys)
+
+    def _prefix_intact(self) -> bool:
+        """Whether the scanned byte region still holds exactly the old data.
+
+        Extension is trusted only when (a) the old layout ended cleanly —
+        no open quote at EOF and a record-terminating newline as the last
+        scanned byte, so appended bytes start a fresh record — and (b)
+        every chunk's head/tail CRC probe still matches what was captured
+        at scan time, so a mutated-then-grown prefix rescans instead of
+        extending over a stale layout.
+        """
+        if not self._columns or not self.clean_eof \
+                or self._chunk_stamps is None or not self._byte_ranges:
+            return False
+        scanned_end = int(self._byte_ranges[-1][1])
+        if scanned_end < 1:
+            return False
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(scanned_end - 1)
+                if handle.read(1) != b"\n":
+                    return False
+            return compute_chunk_stamps(self.path, self._byte_ranges) == \
+                self._chunk_stamps
+        except OSError:
+            return False
+
+    def _extend_layout(self, stamp: Tuple[int, int]
+                       ) -> Optional["ScannedFrame"]:
+        """Append-only layout extension; None when a full rescan is needed.
+
+        Re-runs preview dtype inference over the grown file first: when the
+        appended rows change any inferred column dtype (they entered the
+        inference window), the chunks would disagree on storage types, so
+        the caller rescans instead.  When the intact prefix already holds
+        the full ``inference_rows`` window, the preview bytes are unchanged
+        by construction and the old preview (and its dtypes) is reused —
+        the refresh then reads only the appended tail plus the CRC probes.
+        """
+        scanned_end = int(self._byte_ranges[-1][1])
+        try:
+            if self.n_rows >= self._inference_rows:
+                preview = self._preview
+            else:
+                preview, inferred = _scan_preview(
+                    self.path, self._user_dtypes, self._inference_rows,
+                    self.delimiter, self._validate_dtype_keys)
+                new_dtypes = {name: inferred.get(name, DType.STRING)
+                              for name in self._columns}
+                if new_dtypes != self._dtypes:
+                    return None
+            with open(self.path, "rb") as handle:
+                handle.seek(scanned_end)
+                offsets, counts, trailing, end, clean_eof = \
+                    _scan_records(handle, self.chunk_rows)
+        except (OSError, FrameError, ColumnNotFoundError):
+            return None
+        byte_offsets = [scanned_end] + offsets
+        row_counts = list(counts)
+        if trailing:
+            byte_offsets.append(end)
+            row_counts.append(trailing)
+        old_boundaries = list(self._boundaries)
+        old_ranges = [tuple(byte_range) for byte_range in self._byte_ranges]
+        old_stamps = [tuple(chunk) for chunk in self._chunk_stamps]
+        if self.n_rows == 0:
+            # The placeholder empty chunk of a zero-row scan is replaced by
+            # the real appended chunks instead of lingering at index 0.
+            old_boundaries, old_ranges, old_stamps = [], [], []
+        row = old_boundaries[-1][1] if old_boundaries else 0
+        boundaries = old_boundaries
+        byte_ranges = old_ranges
+        for index, count in enumerate(row_counts):
+            boundaries.append((row, row + count))
+            byte_ranges.append((byte_offsets[index], byte_offsets[index + 1]))
+            row += count
+        if not boundaries:
+            boundaries = [(0, 0)]
+            byte_ranges = [(scanned_end, scanned_end)]
+        try:
+            chunk_stamps = old_stamps + compute_chunk_stamps(
+                self.path, byte_ranges[len(old_stamps):])
+        except OSError:
+            return None
+        return ScannedFrame(self.path, self._columns, self._dtypes,
+                            boundaries, byte_ranges, stamp, self.chunk_rows,
+                            preview, delimiter=self.delimiter,
+                            budget_bytes=self.budget_bytes,
+                            budget_concurrency=self.budget_concurrency,
+                            chunk_stamps=chunk_stamps, clean_eof=clean_eof,
+                            requested_chunk_rows=self._requested_chunk_rows,
+                            inference_rows=self._inference_rows,
+                            user_dtypes=self._user_dtypes,
+                            validate_dtype_keys=self._validate_dtype_keys)
 
 
 def scan_csv(path: Union[str, os.PathLike, Sequence[Union[str, os.PathLike]]],
@@ -640,10 +924,15 @@ def scan_csv(path: Union[str, os.PathLike, Sequence[Union[str, os.PathLike]]],
 
     if isinstance(path, (list, tuple)) or glob_module.has_magic(os.fspath(path)):
         from repro.frame.source import MultiFileCsvSource, expand_scan_paths
+        # A glob pattern is remembered so refresh() can re-expand it and
+        # absorb newly matching files as appended partitions; an explicit
+        # list is a closed set and only its members are refreshed.
+        pattern = None if isinstance(path, (list, tuple)) else os.fspath(path)
         return MultiFileCsvSource.scan(
             expand_scan_paths(path), chunk_rows=chunk_rows,
             budget_bytes=budget_bytes, dtypes=dtypes,
-            inference_rows=inference_rows, delimiter=delimiter)
+            inference_rows=inference_rows, delimiter=delimiter,
+            pattern=pattern)
     return _scan_csv_file(path, chunk_rows=chunk_rows,
                           budget_bytes=budget_bytes, dtypes=dtypes,
                           inference_rows=inference_rows, delimiter=delimiter)
@@ -670,6 +959,48 @@ def _scan_csv_file(path: Union[str, os.PathLike],
     if budget <= 0:
         raise FrameError("budget_bytes must be positive")
 
+    preview, inferred = _scan_preview(path, dtypes, inference_rows, delimiter,
+                                      validate_dtype_keys)
+
+    file_stat = os.stat(path)
+    file_stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
+
+    # Cap the chunk size by the budget using cheap row-size estimates (the
+    # parsed preview plus a 64 KiB on-disk probe), then scan the layout once
+    # at the final granularity.  The formula deliberately mirrors
+    # ScannedFrame.chunk_rows_for_budget with the default worker count, so
+    # the worker-aware re-derivation in ComputeContext usually agrees and no
+    # second layout pass is needed.
+    parsed_row = preview.memory_bytes() / len(preview) if len(preview) else 64.0
+    csv_row = _estimate_csv_row_bytes(path)
+    row_cost = max(1.0, csv_row * PARSE_OVERHEAD_FACTOR + parsed_row)
+    budget_rows = max(MIN_CHUNK_ROWS,
+                      int(budget / default_worker_count() // row_cost))
+    effective_rows = min(requested_rows, budget_rows)
+
+    columns, boundaries, byte_ranges, clean_eof = _scan_csv_layout(
+        path, effective_rows, delimiter=delimiter)
+    column_dtypes = {name: inferred.get(name, DType.STRING) for name in columns}
+    return ScannedFrame(str(path), columns, column_dtypes, boundaries,
+                        byte_ranges, file_stamp, effective_rows, preview,
+                        delimiter=delimiter, budget_bytes=budget,
+                        clean_eof=clean_eof, requested_chunk_rows=chunk_rows,
+                        inference_rows=inference_rows, user_dtypes=dtypes,
+                        validate_dtype_keys=validate_dtype_keys)
+
+
+def _scan_preview(path: Union[str, os.PathLike],
+                  dtypes: Optional[Dict[str, DType]],
+                  inference_rows: int,
+                  delimiter: str,
+                  validate_dtype_keys: bool) -> Tuple["DataFrame", Dict[str, DType]]:
+    """Parse the preview rows and resolve inferred + overridden dtypes.
+
+    Shared by the cold scan and by ``ScannedFrame.refreshed``: an
+    append-extension must re-run the same inference over the grown file so
+    it can detect appended rows changing a column's inferred dtype (in
+    which case the refresh falls back to a full rescan).
+    """
     preview = read_csv(path, delimiter=delimiter, max_rows=inference_rows)
     inferred = preview.dtypes
     if dtypes:
@@ -691,26 +1022,4 @@ def _scan_csv_file(path: Union[str, os.PathLike],
                           if name in preview_columns}
         preview = read_csv(path, delimiter=delimiter, dtypes=preview_dtypes,
                            max_rows=inference_rows, lenient=True)
-
-    file_stat = os.stat(path)
-    file_stamp = (int(file_stat.st_size), int(file_stat.st_mtime_ns))
-
-    # Cap the chunk size by the budget using cheap row-size estimates (the
-    # parsed preview plus a 64 KiB on-disk probe), then scan the layout once
-    # at the final granularity.  The formula deliberately mirrors
-    # ScannedFrame.chunk_rows_for_budget with the default worker count, so
-    # the worker-aware re-derivation in ComputeContext usually agrees and no
-    # second layout pass is needed.
-    parsed_row = preview.memory_bytes() / len(preview) if len(preview) else 64.0
-    csv_row = _estimate_csv_row_bytes(path)
-    row_cost = max(1.0, csv_row * PARSE_OVERHEAD_FACTOR + parsed_row)
-    budget_rows = max(MIN_CHUNK_ROWS,
-                      int(budget / default_worker_count() // row_cost))
-    effective_rows = min(requested_rows, budget_rows)
-
-    columns, boundaries, byte_ranges = _scan_csv_layout(
-        path, effective_rows, delimiter=delimiter)
-    column_dtypes = {name: inferred.get(name, DType.STRING) for name in columns}
-    return ScannedFrame(str(path), columns, column_dtypes, boundaries,
-                        byte_ranges, file_stamp, effective_rows, preview,
-                        delimiter=delimiter, budget_bytes=budget)
+    return preview, inferred

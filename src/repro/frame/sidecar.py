@@ -10,11 +10,16 @@ compact binary file next to the CSV (``<file>.chunks/``) so any later scan
 arrays directly and decodes zero CSV bytes.
 
 Keying mirrors the zone-map sidecar (:mod:`repro.frame.zonemap`): a chunk
-file answers only for the exact ``(size, mtime_ns)`` stamp, byte range,
-delimiter and per-column dtypes it was written under, so an overwritten
-file can never serve stale rows.  Like zone maps, the sidecar is a cache,
-never a correctness requirement — every read or write failure degrades to
-"parse the CSV again".
+file answers only for the exact content stamp — the chunk's per-range
+``(head_crc, tail_crc)`` probe pair from
+:func:`repro.frame.io.compute_chunk_stamps` — byte range, delimiter and
+per-column dtypes it was written under, so an overwritten file can never
+serve stale rows.  The stamp is opaque two-int data to this module; keying
+per chunk rather than per file is what lets an *append* keep every old
+chunk's binary sidecar valid (their byte ranges and probes are untouched)
+while a mutated chunk fails its probe and re-parses.  Like zone maps, the
+sidecar is a cache, never a correctness requirement — every read or write
+failure degrades to "parse the CSV again".
 
 On-disk format (version :data:`SIDECAR_VERSION`)::
 

@@ -15,9 +15,16 @@ satisfy to feed that pipeline, plus the three built-in implementations:
   into one logical frame.  ``repro.scan_csv`` returns one for a list or
   glob of paths.  All files share the first file's inferred dtypes (plus
   user overrides) so every partition agrees on storage types, and the
-  fingerprint covers every file's ``(path, size, mtime_ns)`` stamp so the
-  cross-call intermediate cache stays warm across sessions as long as the
-  files are unchanged.
+  fingerprint covers every file's ``(path, size, mtime_ns, content CRC)``
+  stamp so the cross-call intermediate cache stays warm across sessions as
+  long as the files are unchanged.
+
+Sources are *refreshable*: ``refreshed()`` re-resolves the on-disk state
+and returns an updated source (or ``self`` when nothing changed).  CSV
+appends are recognised as growth — the old chunks keep their byte ranges
+and per-chunk content stamps, so their partition tasks' cross-call cache
+keys survive and only the appended chunks execute on the next EDA call.
+:func:`refresh_input` is the user-facing dispatcher over any handle.
 
 A source declares :class:`SourceCapabilities`; the reduction planner in
 :mod:`repro.eda.compute.base` picks exact vs. sketch chunk/combine/finalize
@@ -128,9 +135,15 @@ def _read_csv_slice(path: str, byte_start: int, byte_stop: int,
                     ) -> DataFrame:
     """Parse one byte range of a CSV file into a DataFrame partition.
 
-    *file_stamp* (size, mtime_ns of the file at graph-build time) is not
-    used here — it exists so the task's cross-call cache key changes when
-    the file is overwritten in place, even with identical byte boundaries.
+    *file_stamp* is the chunk's content stamp — the ``(head_crc, tail_crc)``
+    probe pair captured at scan time (see
+    :func:`repro.frame.io.compute_chunk_stamps`).  It is not parsed here —
+    it exists so the task's cross-call cache key changes when the chunk's
+    bytes change, even with identical byte boundaries, while *surviving*
+    file growth: an append leaves the old chunks' byte ranges and probes
+    untouched, so their cache keys (and any tree-combine ancestors built
+    purely from them) stay warm and a refresh re-executes only the new
+    chunks.  The binary chunk sidecar validates the same opaque pair.
 
     *columns* projects the parse onto a column subset: the other columns'
     cells are skipped before collection and dtype coercion (the hot path of
@@ -508,6 +521,10 @@ class InMemorySource:
             return self
         return InMemorySource(self._frame, partition_rows=chunk_rows)
 
+    def refreshed(self) -> "InMemorySource":
+        """In-memory data has no on-disk state to re-resolve."""
+        return self
+
     def to_frame(self) -> DataFrame:
         return self._frame
 
@@ -530,16 +547,23 @@ def _row_boundaries(n_rows: int, partition_rows: int) -> List[Tuple[int, int]]:
 # CSV scans
 # --------------------------------------------------------------------------- #
 def _scan_partitions(scan: ScannedFrame, offset: int) -> List[SourcePartition]:
-    """Partition tasks of one layout scan, shifted to global *offset* rows."""
+    """Partition tasks of one layout scan, shifted to global *offset* rows.
+
+    Each task carries its chunk's *own* content stamp (the head/tail CRC
+    probe pair) instead of the whole-file stamp: appending to the file
+    leaves the old chunks' args — and therefore their cross-call cache
+    keys — byte-identical, which is what lets a refresh reuse every
+    already-sketched chunk and execute only the appended ones.
+    """
     columns = tuple(scan.columns)
     dtypes = scan.dtypes
-    stamp = tuple(scan.file_stamp)
+    stamps = scan.chunk_stamps
     return [SourcePartition(offset + start, offset + stop, _read_csv_slice,
                             (scan.path, byte_start, byte_stop, columns, dtypes,
                              stamp, scan.delimiter, stop - start),
                             prefix="read_csv_partition")
-            for (byte_start, byte_stop), (start, stop)
-            in zip(scan.byte_ranges, scan.boundaries)]
+            for (byte_start, byte_stop), (start, stop), stamp
+            in zip(scan.byte_ranges, scan.boundaries, stamps)]
 
 
 def _rechunk_scan(scan: ScannedFrame, chunk_rows: Optional[int],
@@ -627,6 +651,16 @@ class CsvSource:
                                   concurrency)
         return self if rechunked is self._scan else CsvSource(rechunked)
 
+    def refreshed(self) -> "CsvSource":
+        """Re-resolve the scan against the file's current on-disk state.
+
+        Returns ``self`` when the file is unchanged; an appended file
+        yields a source whose old chunks keep their stamps (and cache
+        keys) with only the new bytes layout-scanned.
+        """
+        scan = self._scan.refreshed()
+        return self if scan is self._scan else CsvSource(scan)
+
     def to_frame(self) -> DataFrame:
         return self._scan.to_frame()
 
@@ -650,7 +684,9 @@ class MultiFileCsvSource:
     the first file's columns are rejected up front.
     """
 
-    def __init__(self, scans: Sequence[ScannedFrame]):
+    def __init__(self, scans: Sequence[ScannedFrame],
+                 pattern: Optional[str] = None,
+                 scan_kwargs: Optional[Dict[str, Any]] = None):
         scans = list(scans)
         if not scans:
             raise FrameError("MultiFileCsvSource requires at least one file")
@@ -664,6 +700,13 @@ class MultiFileCsvSource:
             if scan.delimiter != scans[0].delimiter:
                 raise FrameError("CSV files disagree on the delimiter")
         self._scans = scans
+        #: The glob pattern this source was built from, when it was — a
+        #: refresh re-expands it and absorbs newly matching files as
+        #: appended partitions.  None for explicit path lists (closed set).
+        self._pattern = pattern
+        #: The scan_csv keyword arguments, so absorbed files are scanned
+        #: with the same chunking/budget/inference settings.
+        self._scan_kwargs = dict(scan_kwargs or {})
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -674,7 +717,8 @@ class MultiFileCsvSource:
              budget_bytes: Optional[int] = None,
              dtypes: Optional[Dict[str, DType]] = None,
              inference_rows: int = 10_000,
-             delimiter: str = ",") -> "MultiFileCsvSource":
+             delimiter: str = ",",
+             pattern: Optional[str] = None) -> "MultiFileCsvSource":
         """Layout-scan every file, sharing the first file's inferred dtypes.
 
         The first file is scanned with normal preview inference (plus any
@@ -696,7 +740,10 @@ class MultiFileCsvSource:
                                  delimiter=delimiter,
                                  validate_dtype_keys=False)
                 for path in paths[1:]]
-        return cls([first] + rest)
+        scan_kwargs = {"chunk_rows": chunk_rows, "budget_bytes": budget_bytes,
+                       "inference_rows": inference_rows,
+                       "delimiter": delimiter}
+        return cls([first] + rest, pattern=pattern, scan_kwargs=scan_kwargs)
 
     # ------------------------------------------------------------------ #
     # Schema
@@ -732,9 +779,15 @@ class MultiFileCsvSource:
         return self._scans[0].preview
 
     def fingerprint(self) -> str:
-        """Stable across processes while every file's stamp is unchanged."""
+        """Stable across processes while every file's content is unchanged.
+
+        Folds each file's content CRC in next to its size/mtime stamp, so
+        an in-place rewrite that preserves both (the stamp-granularity
+        hazard) still changes the fingerprint.
+        """
         return fingerprint_file_stamps(
-            [(scan.path, scan.file_stamp[0], scan.file_stamp[1])
+            [(scan.path, scan.file_stamp[0], scan.file_stamp[1],
+              scan.content_crc())
              for scan in self._scans])
 
     def footprint_bytes(self) -> int:
@@ -759,7 +812,40 @@ class MultiFileCsvSource:
                      for scan in self._scans]
         if all(new is old for new, old in zip(rechunked, self._scans)):
             return self
-        return MultiFileCsvSource(rechunked)
+        return MultiFileCsvSource(rechunked, pattern=self._pattern,
+                                  scan_kwargs=self._scan_kwargs)
+
+    def refreshed(self) -> "MultiFileCsvSource":
+        """Re-resolve every file and absorb newly matching glob files.
+
+        Each existing scan refreshes individually (appends extend, other
+        changes rescan).  When this source was built from a glob pattern,
+        the pattern is re-expanded and previously unseen files are scanned
+        — pinned to the first file's *current* dtype map, like any later
+        file at cold-scan time — and appended in sorted order as new
+        partitions.  Returns ``self`` when nothing changed.
+        """
+        refreshed = [scan.refreshed() for scan in self._scans]
+        new_scans: List[ScannedFrame] = []
+        if self._pattern:
+            known = {scan.path for scan in self._scans}
+            try:
+                matches = sorted(glob_module.glob(self._pattern))
+            except OSError:
+                matches = []
+            shared_dtypes = refreshed[0].dtypes
+            for path in matches:
+                if str(path) in known or _is_bytecode_artifact(path):
+                    continue
+                new_scans.append(_scan_csv_file(
+                    path, dtypes=shared_dtypes, validate_dtype_keys=False,
+                    **self._scan_kwargs))
+        if not new_scans and \
+                all(new is old for new, old in zip(refreshed, self._scans)):
+            return self
+        return MultiFileCsvSource(refreshed + new_scans,
+                                  pattern=self._pattern,
+                                  scan_kwargs=self._scan_kwargs)
 
     def to_frame(self) -> DataFrame:
         """Materialize every file (escape hatch; needs the full memory)."""
@@ -1047,6 +1133,13 @@ class FilteredSource:
             return self
         return FilteredSource(inner, self._predicate, prune=self._prune)
 
+    def refreshed(self) -> "FilteredSource":
+        """The same filtered view over the refreshed inner source."""
+        inner = refresh_input(self._source)
+        if inner is self._source:
+            return self
+        return FilteredSource(inner, self._predicate, prune=self._prune)
+
     def to_frame(self) -> DataFrame:
         """Materialize the inner source, then apply the predicate mask."""
         frame = self._source.to_frame()
@@ -1060,18 +1153,32 @@ class FilteredSource:
 # --------------------------------------------------------------------------- #
 # Adapters
 # --------------------------------------------------------------------------- #
+def _is_bytecode_artifact(path: Union[str, os.PathLike]) -> bool:
+    """Whether a walked path is Python bytecode litter, never data.
+
+    Every directory walk in this package (glob expansion, glob re-expansion
+    on refresh) filters these: a broad user pattern like ``data/*`` must
+    not absorb ``__pycache__`` directories or ``.pyc`` files as scan
+    members.
+    """
+    text = str(path)
+    return text.endswith(".pyc") or "__pycache__" in text.split(os.sep)
+
+
 def expand_scan_paths(path: Union[str, os.PathLike, Sequence]) -> List[str]:
     """Resolve a ``scan_csv`` path argument into an explicit file list.
 
     Lists/tuples pass through; a string containing glob magic (``*``,
-    ``?``, ``[``) expands to the sorted matches.  Raises when a glob
+    ``?``, ``[``) expands to the sorted matches (bytecode artifacts —
+    ``__pycache__``, ``*.pyc`` — are never matched).  Raises when a glob
     matches nothing, so a typo cannot silently scan zero files.
     """
     if isinstance(path, (list, tuple)):
         return [str(item) for item in path]
     text = str(path)
     if glob_module.has_magic(text):
-        matches = sorted(glob_module.glob(text))
+        matches = sorted(match for match in glob_module.glob(text)
+                         if not _is_bytecode_artifact(match))
         if not matches:
             raise FrameError(f"glob pattern {text!r} matched no files")
         return matches
@@ -1099,6 +1206,25 @@ def as_source(data: Any) -> FrameSource:
         f"FrameSource implementation, got {type(data).__name__}")
 
 
+def refresh_input(data: Any) -> Any:
+    """Re-resolve any EDA input handle against its current on-disk state.
+
+    ``ScannedFrame`` handles and the streaming sources return an updated
+    handle of the same type (``data`` itself when nothing changed); appends
+    are recognised as growth, so the refreshed handle's unchanged chunks
+    keep their cross-call cache keys and only new chunks execute.  Inputs
+    with no on-disk state (a ``DataFrame``, an :class:`InMemorySource`)
+    pass through unchanged.  This is what ``repro.refresh`` and
+    ``Report.refresh()`` call.
+    """
+    if isinstance(data, ScannedFrame):
+        return data.refreshed()
+    refreshed = getattr(data, "refreshed", None)
+    if callable(refreshed):
+        return refreshed()
+    return data
+
+
 __all__ = [
     "CsvSource",
     "FilteredSource",
@@ -1109,4 +1235,5 @@ __all__ = [
     "SourcePartition",
     "as_source",
     "expand_scan_paths",
+    "refresh_input",
 ]

@@ -15,12 +15,17 @@ matches — so a chunk whose values are all missing for a filtered column is
 always skippable.
 
 Zone maps are persisted as a JSON *sidecar* next to the CSV
-(``<file>.zones.json``), keyed by the same ``(size, mtime_ns)`` stamp the
-scan layout uses, plus the chunk granularity: a sidecar written for one
-``chunk_rows`` does not answer for another, and any change to the file
-invalidates every grid at once.  Building a zone map costs one parse of the
-file, so it happens lazily on the first *filtered* plan over a scan and is
-amortized across every later filtered call in any process.
+(``<file>.zones.json``) holding one entry per chunk *byte range*, each
+validated by that chunk's ``(head_crc, tail_crc)`` content stamp
+(:func:`repro.frame.io.compute_chunk_stamps`).  Appending to the CSV leaves
+the old chunks' byte ranges and stamps untouched, so their entries answer
+verbatim after a refresh and only the appended chunks parse to build their
+statistics; a mutated chunk fails its stamp probe and rebuilds
+individually.  Different chunk granularities coexist naturally — their byte
+ranges differ, so their entries occupy distinct keys.  Building a zone map
+costs one parse of the chunks that lack entries, so it happens lazily on
+the first *filtered* plan over a scan and is amortized across every later
+filtered call in any process.
 """
 
 from __future__ import annotations
@@ -38,8 +43,10 @@ from repro.frame.sidecar import atomic_replace
 #: "high cardinality" and the exact count stops being useful for planning.
 DISTINCT_CAP = 256
 
-#: Sidecar schema version; bump on incompatible format changes.
-SIDECAR_VERSION = 1
+#: Sidecar schema version; bump on incompatible format changes.  Version 2
+#: replaced the whole-file-stamp grids with per-chunk byte-range entries so
+#: appends keep the old chunks' statistics warm.
+SIDECAR_VERSION = 2
 
 #: Per-column stat vectors, one entry per chunk.
 ColumnStats = Dict[str, List[Any]]
@@ -156,24 +163,6 @@ def _decode_stat(value: Any) -> Any:
     return value
 
 
-def _encode_columns(columns: Dict[str, ColumnStats]) -> Dict[str, ColumnStats]:
-    """Tag-encode the min/max lists of every column for JSON."""
-    return {name: {"min": [_encode_stat(v) for v in stats["min"]],
-                   "max": [_encode_stat(v) for v in stats["max"]],
-                   "nulls": list(stats["nulls"]),
-                   "distinct": list(stats["distinct"])}
-            for name, stats in columns.items()}
-
-
-def _decode_columns(columns: Dict[str, ColumnStats]) -> Dict[str, ColumnStats]:
-    """Revive the tagged min/max lists of every column from JSON."""
-    return {name: {"min": [_decode_stat(v) for v in stats["min"]],
-                   "max": [_decode_stat(v) for v in stats["max"]],
-                   "nulls": list(stats["nulls"]),
-                   "distinct": list(stats["distinct"])}
-            for name, stats in columns.items()}
-
-
 def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
     """``(min, max, nulls, distinct)`` per column of one parsed chunk.
 
@@ -201,20 +190,37 @@ def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
 def build_zone_map(chunks: Iterable[Any], stamp: Tuple[int, int],
                    chunk_rows: int) -> ZoneMap:
     """Build a :class:`ZoneMap` from an iterable of parsed chunk frames."""
+    return zone_map_from_stats([chunk_column_stats(frame) for frame in chunks],
+                               stamp, chunk_rows)
+
+
+def zone_map_from_stats(stats_list: Sequence[Dict[str, Tuple[Any, Any, int, int]]],
+                        stamp: Tuple[int, int],
+                        chunk_rows: int) -> ZoneMap:
+    """Assemble a :class:`ZoneMap` from per-chunk statistics dictionaries.
+
+    *stats_list* holds one :func:`chunk_column_stats`-shaped mapping per
+    chunk, in chunk order — what the incremental build collects from a mix
+    of sidecar hits and fresh parses.  Only columns present in *every*
+    chunk's statistics enter the map: a column with gaps cannot be safely
+    indexed per chunk, and dropping it merely disables pruning on it.
+    """
     columns: Dict[str, ColumnStats] = {}
-    n_chunks = 0
-    for frame in chunks:
-        per_column = chunk_column_stats(frame)
-        for name, (vmin, vmax, nulls, distinct) in per_column.items():
+    shared: Optional[set] = None
+    for per_column in stats_list:
+        names = set(per_column)
+        shared = names if shared is None else (shared & names)
+    for per_column in stats_list:
+        for name in (shared or ()):
+            vmin, vmax, nulls, distinct = per_column[name]
             entry = columns.setdefault(
                 name, {"min": [], "max": [], "nulls": [], "distinct": []})
             entry["min"].append(vmin)
             entry["max"].append(vmax)
             entry["nulls"].append(nulls)
             entry["distinct"].append(distinct)
-        n_chunks += 1
     return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
-                   chunk_rows=int(chunk_rows), n_chunks=n_chunks,
+                   chunk_rows=int(chunk_rows), n_chunks=len(stats_list),
                    columns=columns)
 
 
@@ -226,62 +232,72 @@ def sidecar_path(csv_path: str) -> str:
     return csv_path + ".zones.json"
 
 
-def _load_sidecar(csv_path: str) -> Optional[Dict[str, Any]]:
-    try:
-        with open(sidecar_path(csv_path), "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError):
-        return None
-    if not isinstance(payload, dict) or \
-            payload.get("version") != SIDECAR_VERSION:
-        return None
-    return payload
+def chunk_key(byte_start: int, byte_stop: int) -> str:
+    """The sidecar key of one chunk byte range."""
+    return f"{int(byte_start)}-{int(byte_stop)}"
 
 
-def load_zone_map(csv_path: str, stamp: Tuple[int, int],
-                  chunk_rows: int) -> Optional[ZoneMap]:
-    """Load the persisted zone map for *(csv_path, stamp, chunk_rows)*.
+def encode_zone_entry(stats: Dict[str, Tuple[Any, Any, int, int]],
+                      stamp: Tuple[int, int]) -> Dict[str, Any]:
+    """JSON form of one chunk's statistics, guarded by its content stamp."""
+    return {"stamp": [int(stamp[0]), int(stamp[1])],
+            "columns": {name: [_encode_stat(vmin), _encode_stat(vmax),
+                               int(nulls), int(distinct)]
+                        for name, (vmin, vmax, nulls, distinct)
+                        in stats.items()}}
 
-    Returns None when there is no sidecar, the sidecar's ``(size,
-    mtime_ns)`` stamp does not match (the file changed), or no grid exists
-    at this chunk granularity — the caller then rebuilds from the data.
+
+def decode_zone_entry(entry: Any, stamp: Tuple[int, int]
+                      ) -> Optional[Dict[str, Tuple[Any, Any, int, int]]]:
+    """Revive one chunk's statistics; None on stamp mismatch or bad shape.
+
+    The stamp check is what invalidates a mutated chunk: its head/tail CRC
+    probes change, the persisted entry stops answering, and the caller
+    re-parses that chunk alone.
     """
-    payload = _load_sidecar(csv_path)
-    if payload is None:
-        return None
-    if tuple(payload.get("stamp", ())) != (int(stamp[0]), int(stamp[1])):
-        return None
-    grid = payload.get("grids", {}).get(str(int(chunk_rows)))
-    if not isinstance(grid, dict):
+    if not isinstance(entry, dict):
         return None
     try:
-        return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
-                       chunk_rows=int(chunk_rows),
-                       n_chunks=int(grid["n_chunks"]),
-                       columns=_decode_columns(grid["columns"]))
+        if tuple(entry["stamp"]) != (int(stamp[0]), int(stamp[1])):
+            return None
+        stats: Dict[str, Tuple[Any, Any, int, int]] = {}
+        for name, packed in entry["columns"].items():
+            vmin, vmax, nulls, distinct = packed
+            stats[name] = (_decode_stat(vmin), _decode_stat(vmax),
+                           int(nulls), int(distinct))
+        return stats
     except (KeyError, TypeError, ValueError):
         return None
 
 
-def save_zone_map(csv_path: str, zone_map: ZoneMap) -> bool:
-    """Persist *zone_map* into the sidecar, merging other granularities.
-
-    Grids from a different stamp are discarded (the file changed, so they
-    are stale).  Returns False — without raising — when the directory is
-    not writable; zone maps are a cache, never a correctness requirement.
-    """
-    payload = _load_sidecar(csv_path)
-    stamp = [int(zone_map.stamp[0]), int(zone_map.stamp[1])]
-    if payload is None or payload.get("stamp") != stamp:
-        payload = {"version": SIDECAR_VERSION, "stamp": stamp, "grids": {}}
-    payload["grids"][str(zone_map.chunk_rows)] = {
-        "n_chunks": zone_map.n_chunks,
-        # Grids already on disk are in JSON form; only the grid being
-        # written needs encoding (load decodes the grid it extracts).
-        "columns": _encode_columns(zone_map.columns),
-    }
+def load_zone_entries(csv_path: str) -> Dict[str, Any]:
+    """All persisted chunk entries of *csv_path* (empty on any problem)."""
     try:
-        serialized = json.dumps(payload).encode("utf-8")
+        with open(sidecar_path(csv_path), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict) or \
+            payload.get("version") != SIDECAR_VERSION or \
+            not isinstance(payload.get("chunks"), dict):
+        return {}
+    return payload["chunks"]
+
+
+def save_zone_entries(csv_path: str, entries: Dict[str, Any]) -> bool:
+    """Merge *entries* into the sidecar's chunk table.
+
+    Entries already on disk are kept (stale byte ranges are harmless — the
+    table is a cache probed by byte range *and* content stamp, so they are
+    simply never consulted again).  Returns False — without raising — when
+    the directory is not writable or an entry does not serialize; zone
+    maps are a cache, never a correctness requirement.
+    """
+    merged = load_zone_entries(csv_path)
+    merged.update(entries)
+    try:
+        serialized = json.dumps(
+            {"version": SIDECAR_VERSION, "chunks": merged}).encode("utf-8")
     except (TypeError, ValueError):
         # Last-resort guard: a statistic the encoder does not know (e.g. a
         # future dtype) must degrade to "no sidecar", not crash the scan.
@@ -294,7 +310,11 @@ __all__ = [
     "ZoneMap",
     "build_zone_map",
     "chunk_column_stats",
-    "load_zone_map",
-    "save_zone_map",
+    "chunk_key",
+    "decode_zone_entry",
+    "encode_zone_entry",
+    "load_zone_entries",
+    "save_zone_entries",
     "sidecar_path",
+    "zone_map_from_stats",
 ]

@@ -86,6 +86,15 @@ class ExecutionReport:
     sidecar_hits: int = 0
     sidecar_misses: int = 0
     bytes_decoded_avoided: int = 0
+    #: Incremental-refresh accounting over partition parse tasks: chunks
+    #: whose per-chunk-stamp cache key answered without running, chunks
+    #: that executed, and the file bytes those executions read.  After a
+    #: ``refresh()`` following an append, ``chunks_reused`` covers the old
+    #: chunks and ``chunks_new`` the appended ones; the per-call totals
+    #: live in ``meta["incremental"]`` / ``Report.incremental_stats``.
+    chunks_reused: int = 0
+    chunks_new: int = 0
+    bytes_reparsed: int = 0
     #: Remote-backend wire accounting (``compute.scheduler = "remote"``;
     #: zero elsewhere): task-frame bytes shipped to socket workers,
     #: result-frame bytes received back, bundles re-dispatched after a
@@ -146,6 +155,9 @@ class Engine:
             tasks_skipped_by_cache=run.skipped,
             projected_parses=run.projected_parses,
             full_parses=run.full_parses,
+            chunks_reused=run.chunks_reused,
+            chunks_new=run.chunks_new,
+            bytes_reparsed=run.bytes_reparsed,
             shipped_bytes=run.shipped_bytes,
             bytes_received=run.bytes_received,
             redispatched=run.redispatched,
@@ -210,6 +222,9 @@ class EagerEngine(Engine):
         total_skipped = 0
         total_projected = 0
         total_full = 0
+        total_reused = 0
+        total_new = 0
+        total_reparsed = 0
         total_shipped_bytes = 0
         total_received = 0
         total_redispatched = 0
@@ -229,6 +244,9 @@ class EagerEngine(Engine):
             total_skipped += run.skipped
             total_projected += run.projected_parses
             total_full += run.full_parses
+            total_reused += run.chunks_reused
+            total_new += run.chunks_new
+            total_reparsed += run.bytes_reparsed
             total_shipped_bytes += run.shipped_bytes
             total_received += run.bytes_received
             total_redispatched += run.redispatched
@@ -241,6 +259,8 @@ class EagerEngine(Engine):
             shared_tasks=0, cache_hits=total_hits,
             tasks_skipped_by_cache=total_skipped,
             projected_parses=total_projected, full_parses=total_full,
+            chunks_reused=total_reused, chunks_new=total_new,
+            bytes_reparsed=total_reparsed,
             shipped_bytes=total_shipped_bytes, bytes_received=total_received,
             redispatched=total_redispatched, worker_utilization=utilization)
         return results, report

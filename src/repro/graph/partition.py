@@ -77,7 +77,8 @@ def precompute_csv_chunks(path: str,
 
     if partition_rows <= 0:
         raise GraphError("partition_rows must be positive")
-    return _scan_csv_layout(path, partition_rows)
+    columns, boundaries, byte_ranges, _ = _scan_csv_layout(path, partition_rows)
+    return columns, boundaries, byte_ranges
 
 
 class PartitionedFrame:

@@ -43,7 +43,11 @@ from repro.graph.executor import (
     run_task_bundle,
 )
 from repro.graph.graph import TaskGraph
-from repro.utils import classify_parse_key, default_worker_count
+from repro.utils import (
+    classify_parse_key,
+    default_worker_count,
+    parse_task_byte_span,
+)
 
 
 @dataclass
@@ -74,6 +78,15 @@ class RunStats:
     sidecar_hits: int = 0
     sidecar_misses: int = 0
     bytes_decoded_avoided: int = 0
+    # Incremental-refresh accounting over the partition parse tasks only:
+    # chunks whose stable (per-chunk content stamp) cache key answered
+    # without running, chunks that did execute, and the file bytes those
+    # executions read.  After an append+refresh, chunks_reused ≈ the old
+    # chunks and chunks_new ≈ the appended ones — the observable form of
+    # "re-parse only the delta".
+    chunks_reused: int = 0
+    chunks_new: int = 0
+    bytes_reparsed: int = 0
     # Remote-backend wire accounting (RemoteScheduler only; zero elsewhere):
     # bytes of task frames shipped to socket workers, bytes of result frames
     # received back, bundles re-dispatched after a worker was lost, and the
@@ -164,6 +177,13 @@ class _ExecutionState:
                 run.projected_parses += 1
             elif kind == "full":
                 run.full_parses += 1
+            if kind is not None:
+                # Every parse that reaches complete() actually ran (cache
+                # hits are prefilled, never completed) — the delta side of
+                # the chunks_reused subtraction in plan_with_cache.
+                run.chunks_new += 1
+                run.bytes_reparsed += parse_task_byte_span(
+                    self.graph[key].args)
         newly_ready: List[str] = []
         for consumer in self.dependents.get(key, ()):
             if consumer not in self.remaining:
@@ -240,10 +260,18 @@ class Scheduler:
                     continue
             plan.needed.add(key)
             pending.extend(graph.dependencies(key))
+        # chunks_reused counts by subtraction over the whole graph, not by
+        # visited hits: a combine-level cache hit skips its parse subtree
+        # without the walk ever visiting those parse keys.
+        parse_total = sum(1 for key in graph.keys()
+                          if classify_parse_key(key) is not None)
+        parse_needed = sum(1 for key in plan.needed
+                           if classify_parse_key(key) is not None)
         self.last_run = RunStats(
             planned=total, executed=len(plan.needed),
             cache_hits=len(plan.results),
-            skipped=total - len(plan.needed) - len(plan.results))
+            skipped=total - len(plan.needed) - len(plan.results),
+            chunks_reused=parse_total - parse_needed)
         return plan
 
     def store_result(self, plan: Optional[CachePlan], key: str, value: Any) -> None:

@@ -66,6 +66,39 @@ class Report:
     #: avoided) — see
     #: :meth:`~repro.eda.compute.base.ComputeContext.sidecar_stats`.
     sidecar_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Incremental-refresh counters for the whole report (parse chunks whose
+    #: per-chunk-stamp cache keys answered without running, chunks executed,
+    #: file bytes those executions read) — see
+    #: :meth:`~repro.eda.compute.base.ComputeContext.incremental_stats`.
+    incremental_stats: Dict[str, Any] = field(default_factory=dict)
+    #: The input handle the report was computed from (pre-``where``), kept
+    #: so :meth:`refresh` can re-resolve it against the current file state.
+    source: Any = None
+    #: The ``where=`` filter the report was computed with, re-applied by
+    #: :meth:`refresh`.
+    where: Any = None
+
+    def refresh(self) -> "Report":
+        """Recompute this report against the source's current on-disk state.
+
+        Re-resolves the input handle (:func:`repro.frame.source.refresh_input`)
+        and regenerates the report under the same config, title and
+        ``where`` filter.  When the underlying CSVs only *grew*, the old
+        chunks keep their per-chunk content stamps — so their partition
+        tasks, sketch states and tree-combine ancestors answer from the
+        cross-call cache and only the appended chunks execute; the refreshed
+        report's :attr:`incremental_stats` records ``chunks_reused`` /
+        ``chunks_new`` / ``bytes_reparsed``.  Any other change (shrink,
+        mutation) degrades safely to a full recompute.  The original report
+        is left untouched; the refreshed one is returned.
+        """
+        from repro.frame.source import refresh_input
+        overrides: Optional[Dict[str, Any]] = None
+        if self.config is not None:
+            overrides = {key: self.config.values[key]
+                         for key in self.config.provided}
+        return create_report(refresh_input(self.source), config=overrides,
+                             title=self.title, where=self.where)
 
     @property
     def section_names(self) -> List[str]:
@@ -153,6 +186,7 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
     except FrameError as error:
         raise EDAError(f"create_report expects an EDA input: {error}") from None
     from repro.eda.api import _apply_where
+    original = df
     df = _apply_where(df, where)
     cfg = Config.from_user(config)
     title = title or cfg.get("report.title")
@@ -199,7 +233,9 @@ def create_report(df: DataFrame, config: Optional[Mapping[str, Any]] = None,
                   execution_reports=list(context.reports),
                   projection_stats=context.projection_stats(),
                   predicate_stats=context.predicate_stats(),
-                  sidecar_stats=context.sidecar_stats())
+                  sidecar_stats=context.sidecar_stats(),
+                  incremental_stats=context.incremental_stats(),
+                  source=original, where=where)
 
 
 def _interactions(df: DataFrame, config: Config,

@@ -69,6 +69,21 @@ def is_filtered_parse_key(key: str) -> bool:
     return classify_parse_key(key) is not None
 
 
+def parse_task_byte_span(args: tuple) -> int:
+    """Bytes an executed partition-parse task read, from its positional args.
+
+    CSV partition tasks lead with ``(path, byte_start, byte_stop, ...)``;
+    the span is what the incremental-refresh counters report as
+    ``bytes_reparsed``.  In-memory slice tasks (``(frame, start, stop)``)
+    and anything else shaped differently report zero bytes — they still
+    count as executed chunks, they just read no file bytes.
+    """
+    if len(args) >= 3 and isinstance(args[0], str) \
+            and type(args[1]) is int and type(args[2]) is int:
+        return max(0, args[2] - args[1])
+    return 0
+
+
 def default_worker_count() -> int:
     """Default execution concurrency: bounded CPU count.
 

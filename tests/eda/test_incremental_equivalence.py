@@ -1,0 +1,266 @@
+"""Incremental refresh must be invisible in the results.
+
+The contract: ``refresh()`` after an append produces *bit-identical*
+intermediates to a cold scan of the grown file — for every compute kind,
+over both a single-file scan and a glob-backed multi-file source, under all
+four execution schedulers.  The refreshed handle's extended chunk layout
+generally differs from the cold rescan's (the old last chunk stays partial,
+new chunks follow it), so this suite is also the proof that every reduction
+is split-invariant.
+
+On top of equivalence, the warm runs must actually *be* incremental: the
+``meta["incremental"]`` / ``Report.incremental_stats`` counters record that
+the pre-append chunks answered from the cross-call cache.
+"""
+
+from __future__ import annotations
+
+import glob as glob_module
+import math
+
+import numpy as np
+import pytest
+
+import repro
+from repro import create_report, plot, plot_correlation, plot_missing
+from repro.frame.io import scan_csv
+from repro.graph import TaskCache, get_global_cache, set_global_cache
+
+N_BASE = 600
+N_APPEND = 30
+N_TOTAL = N_BASE + N_APPEND
+CHUNK_ROWS = 100
+
+
+def _rows(start, stop, rng):
+    lines = []
+    for index in range(start, stop):
+        price = "" if rng.random() < 0.08 else f"{rng.normal(250_000, 60_000):.2f}"
+        size = f"{rng.normal(1_800, 400):.2f}"
+        city = rng.choice(["vancouver", "toronto", "montreal"])
+        lines.append(f"{price},{size},{city}\n")
+    return "".join(lines)
+
+
+@pytest.fixture()
+def grown_csv(tmp_path):
+    """A single CSV plus an ``append()`` closure adding N_APPEND rows."""
+    rng = np.random.default_rng(42)
+    path = str(tmp_path / "houses.csv")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("price,size,city\n")
+        handle.write(_rows(0, N_BASE, rng))
+
+    def append():
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(_rows(N_BASE, N_TOTAL, rng))
+
+    return path, append
+
+
+@pytest.fixture()
+def grown_glob(tmp_path):
+    """Two part files matching a glob, plus an ``append()`` closure that
+    grows one member *and* drops a third matching file."""
+    rng = np.random.default_rng(43)
+    boundaries = (0, 250, N_BASE)
+    for index in range(2):
+        with open(tmp_path / f"part-{index}.csv", "w", encoding="utf-8") as handle:
+            handle.write("price,size,city\n")
+            handle.write(_rows(boundaries[index], boundaries[index + 1], rng))
+    pattern = str(tmp_path / "part-*.csv")
+
+    def append():
+        split = N_BASE + N_APPEND // 2
+        with open(tmp_path / "part-1.csv", "a", encoding="utf-8") as handle:
+            handle.write(_rows(N_BASE, split, rng))
+        with open(tmp_path / "part-2.csv", "w", encoding="utf-8") as handle:
+            handle.write("price,size,city\n")
+            handle.write(_rows(split, N_TOTAL, rng))
+
+    return pattern, append
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    yield
+    set_global_cache(previous)
+
+
+#: Sampling cutoffs above the dataset size keep sample-derived items
+#: bit-comparable (same convention as the streaming-equivalence suite).
+CONFIG = {"scatter.sample_size": N_TOTAL + 1,
+          "correlation.scatter_sample_size": N_TOTAL + 1}
+
+
+@pytest.fixture(params=["synchronous", "threaded", "process", "remote"])
+def config(request):
+    return dict(CONFIG, **{"compute.scheduler": request.param,
+                           "compute.max_workers": 2})
+
+
+EXCLUDED_KEYS = {"memory_bytes"}
+
+
+def assert_equivalent(warm, cold, path="items"):
+    if isinstance(cold, dict):
+        assert isinstance(warm, dict), path
+        keys_cold = set(cold) - EXCLUDED_KEYS
+        keys_warm = set(warm) - EXCLUDED_KEYS
+        assert keys_warm == keys_cold, f"{path}: {keys_warm ^ keys_cold}"
+        for key in keys_cold:
+            assert_equivalent(warm[key], cold[key], f"{path}.{key}")
+        return
+    if isinstance(cold, (list, tuple)):
+        assert len(warm) == len(cold), path
+        for index, (left, right) in enumerate(zip(warm, cold)):
+            assert_equivalent(left, right, f"{path}[{index}]")
+        return
+    if isinstance(cold, float) or isinstance(warm, float):
+        left, right = float(warm), float(cold)
+        if math.isnan(left) and math.isnan(right):
+            return
+        assert left == pytest.approx(right, rel=1e-6, abs=1e-9), path
+        return
+    assert warm == cold, path
+
+
+#: The compute kinds of the grid, each a (name, callable) pair.
+CALLS = [
+    ("overview", lambda df, cfg: plot(df, config=cfg, mode="intermediates")),
+    ("univariate-num", lambda df, cfg: plot(df, "price", config=cfg,
+                                            mode="intermediates")),
+    ("univariate-cat", lambda df, cfg: plot(df, "city", config=cfg,
+                                            mode="intermediates")),
+    ("bivariate", lambda df, cfg: plot(df, "price", "size", config=cfg,
+                                       mode="intermediates")),
+    ("correlation", lambda df, cfg: plot_correlation(df, config=cfg,
+                                                     mode="intermediates")),
+    ("missing", lambda df, cfg: plot_missing(df, config=cfg,
+                                             mode="intermediates")),
+]
+
+
+def _refresh_grid(handle_factory, append, config, call):
+    """Cold run → append → refresh → warm run; compare against a genuinely
+    cold run over the grown data and return the warm result."""
+    handle = handle_factory()
+    call(handle, config)                      # populate the cross-call cache
+    append()
+    warm = call(repro.refresh(handle), config)
+    set_global_cache(TaskCache())             # reference run must be cold
+    cold = call(handle_factory(), config)
+    assert_equivalent(warm.items, cold.items)
+    warm_kinds = sorted((i.kind, i.column) for i in warm.insights)
+    cold_kinds = sorted((i.kind, i.column) for i in cold.insights)
+    assert warm_kinds == cold_kinds
+    return warm
+
+
+def _expects_chunk_reuse(name, config):
+    """Whether the warm run must show parse-chunk reuse for this cell.
+
+    The nullity sketch is indexed against the *total* row count (its
+    spectrum bins span every row), so an append rewrites every nullity
+    chunk key; synchronous/threaded still reuse the coordinator-cached
+    parse chunks, but the process/remote schedulers bundle parse+sketch
+    inside workers (chunk results never reach the coordinator cache), so
+    the missing kind legitimately re-parses there.
+    """
+    bundling = config["compute.scheduler"] in ("process", "remote")
+    return not (name == "missing" and bundling)
+
+
+@pytest.mark.parametrize("name,call", CALLS, ids=[c[0] for c in CALLS])
+def test_refresh_equals_cold_single_file(grown_csv, config, name, call):
+    path, append = grown_csv
+    warm = _refresh_grid(lambda: scan_csv(path, chunk_rows=CHUNK_ROWS),
+                         append, config, call)
+    incremental = warm.meta["incremental"]
+    assert incremental["enabled"]
+    if _expects_chunk_reuse(name, config):
+        # The pre-append chunks answered from the cache: the warm run
+        # reused more parse chunks than it executed.
+        assert incremental["chunks_reused"] > incremental["chunks_new"] > 0
+
+
+@pytest.mark.parametrize("name,call", CALLS, ids=[c[0] for c in CALLS])
+def test_refresh_equals_cold_multifile(grown_glob, config, name, call):
+    pattern, append = grown_glob
+
+    def factory():
+        return scan_csv(sorted(glob_module.glob(pattern)),
+                        chunk_rows=CHUNK_ROWS)
+
+    handle = scan_csv(pattern, chunk_rows=CHUNK_ROWS)
+    call(handle, config)
+    append()
+    warm = call(repro.refresh(handle), config)
+    set_global_cache(TaskCache())
+    cold = call(factory(), config)
+    assert_equivalent(warm.items, cold.items)
+    incremental = warm.meta["incremental"]
+    assert incremental["enabled"]
+    if _expects_chunk_reuse(name, config):
+        assert incremental["chunks_reused"] > 0
+
+
+def test_report_refresh_equals_cold_report(grown_csv):
+    path, append = grown_csv
+    config = dict(CONFIG, **{"compute.scheduler": "threaded",
+                             "compute.max_workers": 2})
+    report = create_report(scan_csv(path, chunk_rows=CHUNK_ROWS),
+                           config=config)
+    append()
+    warm = report.refresh()
+    set_global_cache(TaskCache())
+    cold = create_report(scan_csv(path, chunk_rows=CHUNK_ROWS), config=config)
+
+    assert warm.section_names == cold.section_names
+    for name in cold.section_names:
+        assert_equivalent(warm.sections[name].items,
+                          cold.sections[name].items, path=name)
+    assert sorted(warm.interactions) == sorted(cold.interactions)
+    for key in cold.interactions:
+        assert_equivalent(warm.interactions[key], cold.interactions[key],
+                          path=f"interactions.{key}")
+    # The refreshed report reused nearly every pre-append chunk; the cold
+    # one reused nothing beyond its own intra-report sharing.
+    stats = warm.incremental_stats
+    assert stats["enabled"]
+    assert stats["chunks_reused"] > stats["chunks_new"] > 0
+    assert stats["bytes_reparsed"] > 0
+    ratio = stats["chunks_reused"] / (stats["chunks_reused"] + stats["chunks_new"])
+    assert ratio >= 0.8
+
+
+def test_top_level_refresh_dispatches_reports_and_sources(grown_csv):
+    path, append = grown_csv
+    scan = scan_csv(path, chunk_rows=CHUNK_ROWS)
+    report = create_report(scan, config={"compute.scheduler": "synchronous"})
+    append()
+    assert isinstance(repro.refresh(report), repro.Report)
+    refreshed_scan = repro.refresh(scan)
+    assert refreshed_scan.n_rows == N_TOTAL
+    frame = repro.DataFrame({"x": [1, 2]})
+    assert repro.refresh(frame) is frame
+
+
+def test_refresh_preserves_where_filter(grown_csv):
+    path, append = grown_csv
+    report = create_report(scan_csv(path, chunk_rows=CHUNK_ROWS),
+                           config={"compute.scheduler": "synchronous"},
+                           where=("size", ">", 1_800))
+    append()
+    warm = report.refresh()
+    set_global_cache(TaskCache())
+    cold = create_report(scan_csv(path, chunk_rows=CHUNK_ROWS),
+                         config={"compute.scheduler": "synchronous"},
+                         where=("size", ">", 1_800))
+    assert warm.section_names == cold.section_names
+    for name in cold.section_names:
+        assert_equivalent(warm.sections[name].items,
+                          cold.sections[name].items, path=name)
+    assert warm.where == ("size", ">", 1_800)

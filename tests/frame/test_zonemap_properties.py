@@ -7,9 +7,10 @@ Three invariants, fuzzed with hypothesis:
   be empty after the residual filter, skipped chunks never lose a row);
 * **Equivalence** — materializing a filtered source with pruning enabled
   yields exactly the rows of the plain boolean-mask filter;
-* **Persistence** — a zone map survives the JSON sidecar round trip
-  bit-for-bit, and a sidecar written under one ``(size, mtime_ns)`` stamp
-  never answers for another (file changed ⇒ rebuild).
+* **Persistence** — per-chunk statistics survive the JSON sidecar round
+  trip bit-for-bit, and an entry written under one ``(head_crc, tail_crc)``
+  content stamp never answers for another (chunk changed ⇒ rebuild that
+  chunk).
 """
 
 from __future__ import annotations
@@ -26,9 +27,14 @@ from repro.frame.source import CsvSource, FilteredSource
 from repro.frame.zonemap import (
     ZoneMap,
     build_zone_map,
-    load_zone_map,
-    save_zone_map,
+    chunk_column_stats,
+    chunk_key,
+    decode_zone_entry,
+    encode_zone_entry,
+    load_zone_entries,
+    save_zone_entries,
     sidecar_path,
+    zone_map_from_stats,
 )
 from repro.graph.partition import PartitionedFrame
 
@@ -113,23 +119,34 @@ def test_sidecar_round_trip(data, tmp_path_factory):
     frame, chunks, chunk_rows = data
     path = str(tmp_path_factory.mktemp("zm-sidecar") / "data.csv")
     write_csv(frame, path)
-    zone_map = build_zone_map(chunks, stamp=(123, 456), chunk_rows=chunk_rows)
-    assert save_zone_map(path, zone_map)
-    back = load_zone_map(path, (123, 456), chunk_rows)
-    assert back is not None
-    assert back.stamp == zone_map.stamp
-    assert back.chunk_rows == zone_map.chunk_rows
-    assert back.n_chunks == zone_map.n_chunks
-    assert back.columns == zone_map.columns
-    # A second granularity merges into the same sidecar without clobbering.
-    other = build_zone_map([frame], stamp=(123, 456),
-                           chunk_rows=len(frame) + 1)
-    assert save_zone_map(path, other)
-    assert load_zone_map(path, (123, 456), chunk_rows) is not None
-    assert load_zone_map(path, (123, 456), len(frame) + 1) is not None
-    # Wrong stamp or unknown granularity: no answer.
-    assert load_zone_map(path, (123, 457), chunk_rows) is None
-    assert load_zone_map(path, (123, 456), chunk_rows + 10 ** 6) is None
+    stats = [chunk_column_stats(chunk) for chunk in chunks]
+    stamps = [(100 + index, 200 + index) for index in range(len(chunks))]
+    entries = {chunk_key(index * 10, index * 10 + 10):
+               encode_zone_entry(per_chunk, stamps[index])
+               for index, per_chunk in enumerate(stats)}
+    assert save_zone_entries(path, entries)
+    back = load_zone_entries(path)
+    revived = [decode_zone_entry(back[chunk_key(index * 10, index * 10 + 10)],
+                                 stamps[index])
+               for index in range(len(chunks))]
+    assert revived == stats
+    # Reassembling a ZoneMap from the revived entries matches the direct
+    # in-memory build bit-for-bit.
+    direct = build_zone_map(chunks, stamp=(123, 456), chunk_rows=chunk_rows)
+    rebuilt = zone_map_from_stats(revived, (123, 456), chunk_rows)
+    assert rebuilt.columns == direct.columns
+    assert rebuilt.n_chunks == direct.n_chunks
+    # Entries at other byte ranges merge into the same sidecar without
+    # clobbering (a second chunk granularity coexists naturally).
+    other = {chunk_key(10 ** 9, 10 ** 9 + 5):
+             encode_zone_entry(chunk_column_stats(frame), (7, 8))}
+    assert save_zone_entries(path, other)
+    merged = load_zone_entries(path)
+    assert chunk_key(0, 10) in merged
+    assert chunk_key(10 ** 9, 10 ** 9 + 5) in merged
+    # Wrong stamp or unknown byte range: no answer.
+    assert decode_zone_entry(merged[chunk_key(0, 10)], (999, 999)) is None
+    assert decode_zone_entry(merged.get(chunk_key(5, 15)), stamps[0]) is None
 
 
 DATES = [f"2021-01-{day:02d}" for day in range(1, 29)]
@@ -192,9 +209,16 @@ def test_sidecar_round_trip_all_dtypes(data, spec, tmp_path_factory):
     path = str(tmp_path_factory.mktemp("zm-dtypes") / "data.csv")
     write_csv(frame, path)
     zone_map = build_zone_map(chunks, stamp=(7, 8), chunk_rows=chunk_rows)
-    assert save_zone_map(path, zone_map)
-    back = load_zone_map(path, (7, 8), chunk_rows)
-    assert back is not None
+    entries = {chunk_key(index, index + 1):
+               encode_zone_entry(chunk_column_stats(chunk), (index, index))
+               for index, chunk in enumerate(chunks)}
+    assert save_zone_entries(path, entries)
+    stored = load_zone_entries(path)
+    revived = [decode_zone_entry(stored[chunk_key(index, index + 1)],
+                                 (index, index))
+               for index in range(len(chunks))]
+    assert all(stats is not None for stats in revived)
+    back = zone_map_from_stats(revived, (7, 8), chunk_rows)
     assert back.columns == zone_map.columns
     datetime_stats = back.columns["t"]["min"]
     assert all(stat is None or isinstance(stat, np.datetime64)
@@ -213,9 +237,15 @@ def test_all_dtype_pruning_never_drops_a_matching_row(data, spec,
     frame, chunks, chunk_rows = data
     path = str(tmp_path_factory.mktemp("zm-dtypes-sound") / "data.csv")
     write_csv(frame, path)
-    zone_map = build_zone_map(chunks, stamp=(7, 8), chunk_rows=chunk_rows)
-    assert save_zone_map(path, zone_map)
-    back = load_zone_map(path, (7, 8), chunk_rows)
+    entries = {chunk_key(index, index + 1):
+               encode_zone_entry(chunk_column_stats(chunk), (index, index))
+               for index, chunk in enumerate(chunks)}
+    assert save_zone_entries(path, entries)
+    stored = load_zone_entries(path)
+    back = zone_map_from_stats(
+        [decode_zone_entry(stored[chunk_key(index, index + 1)],
+                           (index, index))
+         for index in range(len(chunks))], (7, 8), chunk_rows)
     predicate = compile_predicate(spec)
     for chunk, keep in zip(chunks, back.keep_flags(spec)):
         if not keep:
@@ -230,12 +260,15 @@ def test_datetime_zone_map_save_does_not_crash(tmp_path):
     path = str(tmp_path / "data.csv")
     frame = DataFrame({"t": ["2021-01-01", "2021-06-15", None]})
     write_csv(frame, path)
-    zone_map = build_zone_map([frame], stamp=(1, 2), chunk_rows=10)
-    assert isinstance(zone_map.columns["t"]["min"][0], np.datetime64)
-    assert save_zone_map(path, zone_map) is True
-    back = load_zone_map(path, (1, 2), 10)
-    assert back.columns["t"]["min"] == zone_map.columns["t"]["min"]
-    assert back.columns["t"]["max"] == zone_map.columns["t"]["max"]
+    stats = chunk_column_stats(frame)
+    assert isinstance(stats["t"][0], np.datetime64)
+    assert save_zone_entries(
+        path, {chunk_key(0, 50): encode_zone_entry(stats, (3, 4))}) is True
+    revived = decode_zone_entry(load_zone_entries(path)[chunk_key(0, 50)],
+                                (3, 4))
+    assert revived["t"][0] == stats["t"][0]
+    assert revived["t"][1] == stats["t"][1]
+    back = zone_map_from_stats([revived], (1, 2), 10)
     # The revived statistics prune: everything is before 2022.
     assert back.keep_flags((("t", ">", "2022-01-01T00:00:00"),)) == [False]
     assert back.keep_flags((("t", "<", "2021-02-01T00:00:00"),)) == [True]
@@ -244,16 +277,21 @@ def test_datetime_zone_map_save_does_not_crash(tmp_path):
 @given(data=chunked_frames())
 @settings(max_examples=20, deadline=None)
 def test_stamp_change_invalidates_sidecar(data, tmp_path_factory):
+    """A chunk whose content stamp changed stops answering — but only that
+    chunk: entries for unchanged chunks keep answering (the append-reuse
+    property the whole-file stamp could not offer)."""
     frame, chunks, chunk_rows = data
     path = str(tmp_path_factory.mktemp("zm-stamp") / "data.csv")
     write_csv(frame, path)
-    zone_map = build_zone_map(chunks, stamp=(10, 20), chunk_rows=chunk_rows)
-    assert save_zone_map(path, zone_map)
-    # Saving under a new stamp discards every grid of the old one.
-    fresh = build_zone_map([frame], stamp=(11, 21), chunk_rows=len(frame) + 1)
-    assert save_zone_map(path, fresh)
-    assert load_zone_map(path, (10, 20), chunk_rows) is None
-    assert load_zone_map(path, (11, 21), len(frame) + 1) is not None
+    stats = chunk_column_stats(frame)
+    entries = {chunk_key(0, 10): encode_zone_entry(stats, (10, 20)),
+               chunk_key(10, 20): encode_zone_entry(stats, (30, 40))}
+    assert save_zone_entries(path, entries)
+    stored = load_zone_entries(path)
+    # Chunk 0 "changed" (different probe CRCs): its entry is refused.
+    assert decode_zone_entry(stored[chunk_key(0, 10)], (11, 21)) is None
+    # Chunk 1 is untouched: its entry still answers.
+    assert decode_zone_entry(stored[chunk_key(10, 20)], (30, 40)) == stats
 
 
 def test_scanned_frame_memoizes_and_persists_zone_map(tmp_path):
@@ -272,12 +310,21 @@ def test_scanned_frame_memoizes_and_persists_zone_map(tmp_path):
     assert os.path.exists(sidecar_path(path))
 
     fresh = scan_csv(path, chunk_rows=10, budget_bytes=2 ** 62)
-    loaded = load_zone_map(path, fresh.file_stamp, 10)
-    assert loaded is not None and loaded.columns == zone_map.columns
+    stored = load_zone_entries(path)
+    revived = [decode_zone_entry(stored[chunk_key(*byte_range)],
+                                 fresh.chunk_stamp(index))
+               for index, byte_range in enumerate(fresh.byte_ranges)]
+    assert all(stats is not None for stats in revived)
+    loaded = zone_map_from_stats(revived, fresh.file_stamp, 10)
+    assert loaded.columns == zone_map.columns
 
-    # Overwrite with different content: the stamp no longer matches.
+    # Overwrite with different content: the chunk stamps no longer match,
+    # so the persisted entries are refused and the map rebuilds.
     write_csv(DataFrame({"x": [float(-i) for i in range(40)]}), path)
     changed = scan_csv(path, chunk_rows=10, budget_bytes=2 ** 62)
-    assert load_zone_map(path, changed.file_stamp, 10) is None
+    stale = load_zone_entries(path)
+    assert any(decode_zone_entry(stale.get(chunk_key(*byte_range)),
+                                 changed.chunk_stamp(index)) is None
+               for index, byte_range in enumerate(changed.byte_ranges))
     rebuilt = changed.zone_map()
     assert rebuilt.columns["x"]["min"] == [-9.0, -19.0, -29.0, -39.0]
