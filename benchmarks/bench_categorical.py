@@ -1,0 +1,220 @@
+"""Dictionary-encoded string columns: vectorized categorical kernels.
+
+STRING columns are carried as int32 codes plus a unique-values dictionary,
+and every categorical hot path (value counts, categorical summaries, pair
+counts, sketch feeds) runs over the codes instead of per-row python
+strings.  Three claims, sized so CI can smoke them on every push:
+
+1. **Report speedup** — a string-heavy ``create_report`` over the encoded
+   frame beats the same report over the residual object-array carrier by
+   ≥2.5x at full size, with identical sections (the encoding must be
+   invisible in the results, only in the clock).
+2. **Pair-counts kernel** — the fused ``code1 * k + code2`` bincount beats
+   the python pair-dict loop by ≥5x at 100k rows.
+3. **Sidecar footprint** — the binary sidecar stores a ≤100-distinct
+   string column as codes + dictionary blob in ≤½ the bytes of the per-row
+   string layout it replaced.
+
+Results land in ``BENCH_categorical.json`` in the working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_header
+from repro import create_report
+from repro.eda.compute.base import _chunk_pair_counts
+from repro.frame.column import Column
+from repro.frame.dtypes import DType
+from repro.frame.frame import DataFrame
+from repro.frame.sidecar import SidecarRoute, chunk_path, store_chunk
+from repro.graph import TaskCache, set_global_cache
+
+N_ROWS = int(os.environ.get("REPRO_BENCH_CATEGORICAL_ROWS", "60000"))
+PAIR_ROWS = int(os.environ.get("REPRO_BENCH_CATEGORICAL_PAIR_ROWS", "100000"))
+
+#: CI gates.  The timing gates only bind at full size — tiny smoke runs
+#: are dominated by fixed overheads, so they get a relaxed floor.
+MIN_REPORT_SPEEDUP = 2.5
+REPORT_GATE_MIN_ROWS = 40_000
+MIN_PAIR_SPEEDUP = 5.0
+PAIR_GATE_MIN_ROWS = 100_000
+MIN_SIDECAR_SHRINK = 2.0
+
+CONFIG = {
+    "cache.enabled": False,
+    "compute.scheduler": "threaded",
+    "compute.max_workers": 2,
+}
+
+
+def _string_heavy_frame(rows: int) -> DataFrame:
+    """One numeric column, four categorical ones (the report's hot paths)."""
+    rng = np.random.default_rng(17)
+    district = [f"district-{code:03d}" for code in rng.integers(0, 300, rows)]
+    agent = [f"agent-{code:02d}" for code in rng.integers(0, 100, rows)]
+    return DataFrame({
+        "price": rng.normal(250_000, 60_000, rows),
+        "city": list(rng.choice(
+            ["vancouver", "toronto", "montreal", "calgary", "ottawa",
+             "halifax", "winnipeg", "victoria"], rows)),
+        "house_type": list(rng.choice(
+            ["detached", "condo", "townhouse", "duplex", "loft", "cabin"],
+            rows)),
+        "district": district,
+        "agent": agent,
+    })
+
+
+def _residual(frame: DataFrame) -> DataFrame:
+    """The same frame with every string column on the object-array carrier
+    (the pre-encoding representation — the benchmark's baseline)."""
+    columns = []
+    for name in frame.columns:
+        column = frame.column(name)
+        if column.dtype is DType.STRING:
+            columns.append(Column(name, column.data.copy(), DType.STRING,
+                                  column.mask.copy()))
+        else:
+            columns.append(column)
+    return DataFrame(columns)
+
+
+def _timed_report(frame: DataFrame) -> tuple:
+    set_global_cache(TaskCache())
+    started = time.perf_counter()
+    report = create_report(frame, config=dict(CONFIG))
+    return time.perf_counter() - started, report
+
+
+def _assert_identical(encoded, residual, path="items"):
+    """Identical results up to two documented divergences: ``memory_bytes``
+    (the dictionary footprint is the thing being optimized) and float
+    summation order (the object path tallies categories in first-seen order,
+    the codes path in sorted-dictionary order — last-ulp entropy drift)."""
+    if isinstance(residual, dict):
+        keys = set(residual) - {"memory_bytes"}
+        assert set(encoded) - {"memory_bytes"} == keys, path
+        for key in keys:
+            _assert_identical(encoded[key], residual[key], f"{path}.{key}")
+        return
+    if isinstance(residual, (list, tuple)):
+        assert len(encoded) == len(residual), path
+        for index, (left, right) in enumerate(zip(encoded, residual)):
+            _assert_identical(left, right, f"{path}[{index}]")
+        return
+    if isinstance(residual, float) or isinstance(encoded, float):
+        left, right = float(encoded), float(residual)
+        if left != left and right != right:
+            return      # NaN == NaN for this comparison
+        assert left == right or math.isclose(left, right, rel_tol=1e-9), path
+        return
+    assert encoded == residual, path
+
+
+_PAYLOAD = {}
+
+
+def _emit(**entries) -> None:
+    _PAYLOAD.update(entries)
+    with open("BENCH_categorical.json", "w", encoding="utf-8") as handle:
+        json.dump(_PAYLOAD, handle, indent=2)
+
+
+def test_string_heavy_report_speedup():
+    """CI smoke: encoded report ≥2.5x faster, sections bit-identical."""
+    frame = _string_heavy_frame(N_ROWS)
+    for name in ("city", "house_type", "district", "agent"):
+        assert frame.column(name).is_dictionary
+
+    residual_seconds, residual_report = _timed_report(_residual(frame))
+    encoded_seconds, encoded_report = _timed_report(frame)
+    speedup = residual_seconds / max(encoded_seconds, 1e-9)
+
+    print_header(f"Categorical report — {N_ROWS} rows, 4 string columns")
+    print(f"object baseline  {residual_seconds:6.2f} s")
+    print(f"dictionary       {encoded_seconds:6.2f} s")
+    print(f"speedup          {speedup:6.1f}x  (required ≥ "
+          f"{MIN_REPORT_SPEEDUP}x at ≥{REPORT_GATE_MIN_ROWS} rows)")
+    _emit(rows=N_ROWS,
+          report_object_seconds=round(residual_seconds, 4),
+          report_encoded_seconds=round(encoded_seconds, 4),
+          report_speedup=round(speedup, 2))
+
+    # The encoding must never show up in the results.
+    assert encoded_report.section_names == residual_report.section_names
+    for name in residual_report.section_names:
+        _assert_identical(encoded_report.sections[name].items,
+                          residual_report.sections[name].items, path=name)
+    _assert_identical(encoded_report.interactions,
+                      residual_report.interactions, path="interactions")
+    if N_ROWS >= REPORT_GATE_MIN_ROWS:
+        assert speedup >= MIN_REPORT_SPEEDUP
+
+
+def test_pair_counts_kernel_speedup():
+    """CI smoke: fused-codes bincount vs python pair-dict loop."""
+    rng = np.random.default_rng(23)
+    first = [f"left-{code:02d}" for code in rng.integers(0, 50, PAIR_ROWS)]
+    second = [f"right-{code:02d}" for code in rng.integers(0, 30, PAIR_ROWS)]
+    encoded = DataFrame({"a": first, "b": second})
+    residual = _residual(encoded)
+
+    started = time.perf_counter()
+    slow = _chunk_pair_counts(residual, "a", "b")
+    loop_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    fast = _chunk_pair_counts(encoded, "a", "b")
+    kernel_seconds = time.perf_counter() - started
+    speedup = loop_seconds / max(kernel_seconds, 1e-9)
+
+    print_header(f"Pair-counts kernel — {PAIR_ROWS} rows, 50x30 categories")
+    print(f"python loop      {loop_seconds * 1e3:8.1f} ms")
+    print(f"fused bincount   {kernel_seconds * 1e3:8.1f} ms")
+    print(f"speedup          {speedup:6.1f}x  (required ≥ "
+          f"{MIN_PAIR_SPEEDUP}x at ≥{PAIR_GATE_MIN_ROWS} rows)")
+    _emit(pair_rows=PAIR_ROWS,
+          pair_loop_seconds=round(loop_seconds, 5),
+          pair_kernel_seconds=round(kernel_seconds, 5),
+          pair_speedup=round(speedup, 2))
+
+    assert fast == slow
+    assert speedup >= (MIN_PAIR_SPEEDUP if PAIR_ROWS >= PAIR_GATE_MIN_ROWS
+                       else 2.0)
+
+
+def test_sidecar_bytes_shrink_for_low_cardinality(tmp_path):
+    """CI smoke: codes + dictionary blob vs the per-row string layout."""
+    rng = np.random.default_rng(29)
+    rows = max(N_ROWS // 3, 5_000)
+    values = [f"category-{code:02d}" for code in rng.integers(0, 100, rows)]
+    frame = DataFrame({"label": values})
+    assert frame.column("label").nunique() <= 100
+
+    route = SidecarRoute(directory=str(tmp_path / "chunks"))
+    source = str(tmp_path / "labels.csv")
+    assert store_chunk(source, 0, 1000, (1, 2), frame, tuple(route))
+    encoded_bytes = os.path.getsize(chunk_path(source, route, 0, 1000))
+    # The layout this replaced: one int64 offset per row plus the UTF-8
+    # bytes of every row's value (duplicates written out in full).
+    baseline_bytes = 8 * (rows + 1) + sum(
+        len(value.encode("utf-8")) for value in values)
+    shrink = baseline_bytes / max(encoded_bytes, 1)
+
+    print_header(f"Sidecar footprint — {rows} rows, ≤100 distinct strings")
+    print(f"per-row layout   {baseline_bytes:10d} bytes")
+    print(f"codes + dict     {encoded_bytes:10d} bytes")
+    print(f"shrink           {shrink:6.1f}x  (required ≥ "
+          f"{MIN_SIDECAR_SHRINK}x)")
+    _emit(sidecar_rows=rows,
+          sidecar_baseline_bytes=baseline_bytes,
+          sidecar_encoded_bytes=encoded_bytes,
+          sidecar_shrink=round(shrink, 2))
+
+    assert shrink >= MIN_SIDECAR_SHRINK

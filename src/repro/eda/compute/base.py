@@ -165,6 +165,24 @@ def _chunk_pair_counts(partition: DataFrame, col1: str, col2: str) -> Dict[Tuple
     first = partition.column(col1)
     second = partition.column(col2)
     keep = first.notna() & second.notna()
+    if first.is_dictionary and second.is_dictionary:
+        # Fuse both code arrays into one integer key and count with a
+        # single bincount/unique pass — no per-row python pairs.
+        width = max(int(second.dictionary.size), 1)
+        fused = (first.codes[keep].astype(np.int64) * width
+                 + second.codes[keep].astype(np.int64))
+        if fused.size == 0:
+            return {}
+        span = int(first.dictionary.size) * width
+        if span <= (1 << 22):
+            tallies = np.bincount(fused, minlength=span)
+            keys = np.flatnonzero(tallies)
+            tallies = tallies[keys]
+        else:       # too sparse for a dense bincount table
+            keys, tallies = np.unique(fused, return_counts=True)
+        left, right = first.dictionary, second.dictionary
+        return {(str(left[key // width]), str(right[key % width])): int(count)
+                for key, count in zip(keys.tolist(), tallies.tolist())}
     counts: Dict[Tuple[str, str], int] = {}
     for a, b in zip(first.filter(keep).to_list(), second.filter(keep).to_list()):
         key = (str(a), str(b))

@@ -10,7 +10,14 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 import numpy as np
 
 from repro.errors import DTypeError, FrameError
-from repro.frame.dtypes import DType, coerce_values, from_numpy, infer_dtype
+from repro.frame.dtypes import (
+    DType,
+    coerce_values,
+    decode_string_codes,
+    encode_string_codes,
+    from_numpy,
+    infer_dtype,
+)
 
 
 class Column:
@@ -20,16 +27,29 @@ class Column:
     array of the same length (``mask``; True means missing).  All reduction
     methods skip missing values.
 
+    STRING columns built through coercion (lists, inferred numpy arrays, the
+    CSV parse) additionally carry a *dictionary encoding*: ``int32`` codes
+    into a sorted unique-values array, with ``-1`` in missing slots.  The
+    codes are the canonical storage — categorical kernels, the binary
+    sidecar and pickled worker payloads all work on them — while ``data``
+    stays available as a lazily decoded object-array view, so code that
+    predates the encoding keeps working unchanged.
+
     Columns are immutable from the caller's perspective: every operation
     returns a new :class:`Column` and never mutates ``data`` in place.
     """
 
-    __slots__ = ("name", "data", "mask", "dtype", "_fingerprint")
+    __slots__ = ("name", "_data", "mask", "dtype", "_fingerprint",
+                 "_codes", "_dictionary", "_memory_bytes")
 
     def __init__(self, name: str, values: Union[Sequence[Any], np.ndarray],
                  dtype: Optional[DType] = None,
                  mask: Optional[np.ndarray] = None):
         self.name = str(name)
+        self._codes: Optional[np.ndarray] = None
+        self._dictionary: Optional[np.ndarray] = None
+        self._memory_bytes: Optional[int] = None
+        coerced = True
         if isinstance(values, np.ndarray) and dtype is None and mask is None:
             data, inferred_mask, inferred_dtype = from_numpy(values)
             self.data = data
@@ -38,6 +58,10 @@ class Column:
         elif isinstance(values, np.ndarray) and dtype is not None and mask is not None:
             if values.shape != mask.shape:
                 raise FrameError("data and mask must have the same shape")
+            # Adoption path: internal callers hand over storage they already
+            # validated; stays on the object carrier for strings (encode via
+            # :meth:`dictionary_encode` when the codes are worth having).
+            coerced = False
             self.data = values
             self.mask = mask.astype(np.bool_)
             self.dtype = dtype
@@ -53,7 +77,106 @@ class Column:
         if self.dtype is DType.FLOAT:
             # NaN and the mask must agree so float reductions stay consistent.
             self.mask = self.mask | np.isnan(self.data)
+        if coerced and self.dtype is DType.STRING:
+            self._codes, self._dictionary = encode_string_codes(self._data,
+                                                                self.mask)
         self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Storage access (dictionary encoding)
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """The values array; decoded on demand for dictionary columns."""
+        if self._data is None:
+            self._data = decode_string_codes(self._codes, self._dictionary)
+        return self._data
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+
+    @property
+    def codes(self) -> Optional[np.ndarray]:
+        """``int32`` dictionary codes (``-1`` = missing), or None."""
+        return self._codes
+
+    @property
+    def dictionary(self) -> Optional[np.ndarray]:
+        """Sorted unique present values (object array of str), or None."""
+        return self._dictionary
+
+    @property
+    def is_dictionary(self) -> bool:
+        """Whether this column carries the dictionary encoding."""
+        return self._codes is not None
+
+    def dictionary_encode(self) -> "Column":
+        """This column carried as codes + dictionary (no-op when it already
+        is, or when the dtype is not STRING)."""
+        if self.dtype is not DType.STRING or self._codes is not None:
+            return self
+        codes, dictionary = encode_string_codes(self.data, self.mask)
+        return Column.from_codes(self.name, codes, dictionary, mask=self.mask)
+
+    @classmethod
+    def from_codes(cls, name: str, codes: np.ndarray, dictionary: np.ndarray,
+                   mask: Optional[np.ndarray] = None) -> "Column":
+        """Build a STRING column directly from its dictionary encoding.
+
+        *codes* index into *dictionary* with ``-1`` marking missing slots;
+        when *mask* is omitted it is derived from the negative codes.  The
+        object-array view is not materialized until someone reads ``data``.
+        """
+        column = object.__new__(cls)
+        column.name = str(name)
+        codes = np.asarray(codes, dtype=np.int32)
+        column._codes = codes
+        column._dictionary = np.asarray(dictionary, dtype=object)
+        column.mask = (codes < 0) if mask is None \
+            else np.asarray(mask, dtype=np.bool_)
+        column.dtype = DType.STRING
+        column._data = None
+        column._fingerprint = None
+        column._memory_bytes = None
+        return column
+
+    def _take_rows(self, indexer: Union[slice, np.ndarray]) -> "Column":
+        """Row subset preserving the dictionary encoding when present."""
+        if self._codes is not None:
+            return Column.from_codes(self.name, self._codes[indexer],
+                                     self._dictionary, self.mask[indexer])
+        return Column(self.name, self.data[indexer], self.dtype,
+                      self.mask[indexer])
+
+    # ------------------------------------------------------------------ #
+    # Pickling: encoded columns ship codes + dictionary, never the decoded
+    # object array — this is what shrinks process/remote worker payloads.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict[str, Any]:
+        state: Dict[str, Any] = {"name": self.name, "mask": self.mask,
+                                 "dtype": self.dtype}
+        if self._codes is not None:
+            state["codes"] = np.ascontiguousarray(self._codes)
+            state["dictionary"] = self._dictionary
+        else:
+            state["data"] = np.ascontiguousarray(self.data)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.name = state["name"]
+        self.mask = np.asarray(state["mask"], dtype=np.bool_)
+        self.dtype = state["dtype"]
+        self._fingerprint = None
+        self._memory_bytes = None
+        if "codes" in state:
+            self._codes = state["codes"]
+            self._dictionary = state["dictionary"]
+            self._data = None
+        else:
+            self._codes = None
+            self._dictionary = None
+            self._data = state["data"]
 
     # ------------------------------------------------------------------ #
     # Basic container protocol
@@ -74,9 +197,8 @@ class Column:
                 return value.item()
             return value
         if isinstance(item, slice):
-            return Column(self.name, self.data[item], self.dtype, self.mask[item])
-        indexer = np.asarray(item)
-        return Column(self.name, self.data[indexer], self.dtype, self.mask[indexer])
+            return self._take_rows(item)
+        return self._take_rows(np.asarray(item))
 
     def __repr__(self) -> str:
         return (f"Column(name={self.name!r}, dtype={self.dtype.value}, "
@@ -104,6 +226,13 @@ class Column:
             return NotImplemented
         out = np.zeros(len(self), dtype=np.bool_)
         present = ~self.mask
+        if self._codes is not None and isinstance(other, str):
+            # Compare the (small) dictionary once, then gather per row.
+            if self._dictionary.size:
+                per_code = np.asarray(op(self._dictionary, other),
+                                      dtype=np.bool_)
+                out[present] = per_code[self._codes[present]]
+            return out
         try:
             out[present] = op(self.data[present], other)
         except TypeError:
@@ -128,6 +257,9 @@ class Column:
         valid = ~self.mask
         if self.dtype is DType.FLOAT:
             return bool(np.allclose(self.data[valid], other.data[valid], equal_nan=True))
+        if self._codes is not None and other._codes is not None and \
+                np.array_equal(self._dictionary, other._dictionary):
+            return bool(np.array_equal(self._codes[valid], other._codes[valid]))
         return bool(np.array_equal(self.data[valid], other.data[valid]))
 
     # ------------------------------------------------------------------ #
@@ -149,12 +281,18 @@ class Column:
     def invalidate_fingerprint(self) -> None:
         """Drop the cached fingerprint after an in-place buffer mutation."""
         self._fingerprint = None
+        self._memory_bytes = None
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
     def rename(self, name: str) -> "Column":
         """Return a copy of this column under a new name (data is shared)."""
+        if self._codes is not None:
+            renamed = Column.from_codes(name, self._codes, self._dictionary,
+                                        self.mask)
+            renamed._data = self._data
+            return renamed
         return Column(name, self.data, self.dtype, self.mask)
 
     @classmethod
@@ -173,10 +311,13 @@ class Column:
         """
         column = object.__new__(cls)
         column.name = str(name)
+        column._codes = None
+        column._dictionary = None
         column.data = data
         column.mask = mask
         column.dtype = dtype
         column._fingerprint = None
+        column._memory_bytes = None
         return column
 
     def slice_view(self, start: int, stop: int) -> "Column":
@@ -190,14 +331,25 @@ class Column:
         """
         view = object.__new__(Column)
         view.name = self.name
-        view.data = self.data[start:stop]
+        if self._codes is not None:
+            view._codes = self._codes[start:stop]
+            view._dictionary = self._dictionary
+            view._data = None if self._data is None else self._data[start:stop]
+        else:
+            view._codes = None
+            view._dictionary = None
+            view._data = self.data[start:stop]
         view.mask = self.mask[start:stop]
         view.dtype = self.dtype
         view._fingerprint = None
+        view._memory_bytes = None
         return view
 
     def copy(self) -> "Column":
         """Return a deep copy of this column."""
+        if self._codes is not None:
+            return Column.from_codes(self.name, self._codes.copy(),
+                                     self._dictionary, self.mask.copy())
         return Column(self.name, self.data.copy(), self.dtype, self.mask.copy())
 
     def astype(self, dtype: DType) -> "Column":
@@ -210,7 +362,8 @@ class Column:
             return self
         values = [None if self.mask[i] else self[i] for i in range(len(self))]
         data, mask = coerce_values(values, dtype)
-        return Column(self.name, data, dtype, mask)
+        column = Column(self.name, data, dtype, mask)
+        return column.dictionary_encode() if dtype is DType.STRING else column
 
     # ------------------------------------------------------------------ #
     # Missing values
@@ -235,8 +388,7 @@ class Column:
 
     def dropna(self) -> "Column":
         """Return a column containing only the present values."""
-        keep = ~self.mask
-        return Column(self.name, self.data[keep], self.dtype, self.mask[keep])
+        return self._take_rows(~self.mask)
 
     def fillna(self, value: Any) -> "Column":
         """Return a column with missing entries replaced by *value*."""
@@ -267,15 +419,14 @@ class Column:
 
     def take(self, indices: Sequence[int]) -> "Column":
         """Return the rows selected by integer positions."""
-        indexer = np.asarray(indices, dtype=np.int64)
-        return Column(self.name, self.data[indexer], self.dtype, self.mask[indexer])
+        return self._take_rows(np.asarray(indices, dtype=np.int64))
 
     def filter(self, predicate: np.ndarray) -> "Column":
         """Return the rows where the boolean *predicate* array is True."""
         keep = np.asarray(predicate, dtype=np.bool_)
         if keep.shape[0] != len(self):
             raise FrameError("predicate length does not match column length")
-        return Column(self.name, self.data[keep], self.dtype, self.mask[keep])
+        return self._take_rows(keep)
 
     def head(self, n: int = 5) -> "Column":
         """Return the first *n* rows."""
@@ -333,6 +484,14 @@ class Column:
         return self._extreme(np.max)
 
     def _extreme(self, reducer: Callable[[np.ndarray], Any]) -> Any:
+        if self._codes is not None:
+            used = self._codes[~self.mask]
+            if used.size == 0:
+                return None
+            # The dictionary is sorted, so the extreme value is the one at
+            # the extreme used code.
+            code = used.min() if reducer is np.min else used.max()
+            return str(self._dictionary[code])
         present = self.data[~self.mask]
         if present.size == 0:
             return None
@@ -360,6 +519,9 @@ class Column:
 
     def nunique(self) -> int:
         """Number of distinct present values."""
+        if self._codes is not None:
+            used = self._codes[~self.mask]
+            return int(np.unique(used).size) if used.size else 0
         present = self.data[~self.mask]
         if present.size == 0:
             return 0
@@ -369,6 +531,13 @@ class Column:
 
     def unique(self) -> List[Any]:
         """Distinct present values in first-seen order."""
+        if self._codes is not None:
+            used = self._codes[~self.mask]
+            if used.size == 0:
+                return []
+            distinct, first_seen = np.unique(used, return_index=True)
+            order = np.argsort(first_seen)
+            return [str(self._dictionary[code]) for code in distinct[order]]
         seen: Dict[Any, None] = {}
         for index in range(len(self)):
             if self.mask[index]:
@@ -378,6 +547,16 @@ class Column:
 
     def value_counts(self, descending: bool = True) -> List[Tuple[Any, int]]:
         """Counts of distinct present values as ``(value, count)`` pairs."""
+        if self._codes is not None:
+            used = self._codes[~self.mask]
+            if used.size == 0:
+                return []
+            tallies = np.bincount(used, minlength=self._dictionary.size)
+            pairs = [(str(self._dictionary[code]), int(count))
+                     for code, count in enumerate(tallies) if count]
+            pairs.sort(key=lambda pair: (-pair[1], str(pair[0])) if descending
+                       else (pair[1], str(pair[0])))
+            return pairs
         present = self.data[~self.mask]
         if present.size == 0:
             return []
@@ -449,13 +628,26 @@ class Column:
 
         String columns count the actual python ``str`` objects (header
         included), not just the pointer array — the intermediate cache uses
-        this to keep its byte budget honest for parsed CSV chunks.
+        this to keep its byte budget honest for parsed CSV chunks.  For a
+        dictionary-encoded column each distinct value is sized once
+        (O(dictionary), not O(rows)); the residual object path still walks
+        every row but memoizes the result, since the cache budget check
+        runs on every store.
         """
-        if self.dtype is DType.STRING:
-            payload = sum(sys.getsizeof(value)
-                          for value in self.data[~self.mask].tolist())
-            return int(self.data.nbytes + self.mask.nbytes + payload)
-        return int(self.data.nbytes + self.mask.nbytes)
+        if self._memory_bytes is None:
+            if self._codes is not None:
+                payload = sum(sys.getsizeof(value)
+                              for value in self._dictionary.tolist())
+                self._memory_bytes = int(self._codes.nbytes + self.mask.nbytes
+                                         + self._dictionary.nbytes + payload)
+            elif self.dtype is DType.STRING:
+                payload = sum(sys.getsizeof(value)
+                              for value in self.data[~self.mask].tolist())
+                self._memory_bytes = int(self.data.nbytes + self.mask.nbytes
+                                         + payload)
+            else:
+                self._memory_bytes = int(self.data.nbytes + self.mask.nbytes)
+        return self._memory_bytes
 
     def describe(self) -> Dict[str, Any]:
         """Summary statistics appropriate for the column dtype."""

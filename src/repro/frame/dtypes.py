@@ -352,6 +352,75 @@ def _coerce_scalar(value: Any, dtype: DType) -> Any:
     raise DTypeError(f"unknown dtype {dtype!r}")
 
 
+def encode_string_codes(data: np.ndarray,
+                        mask: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Dictionary-encode a coerced STRING column into ``(codes, dictionary)``.
+
+    ``codes`` is ``int32`` with ``-1`` in masked slots; ``dictionary`` is an
+    object array of the distinct present values in *canonical* (sorted)
+    order.  The canonical order is what makes encoding content-determined:
+    encoding a whole column equals unifying the encodings of any row-split
+    of it, which the chunked CSV scan relies on when per-chunk dictionaries
+    are merged at combine time.
+    """
+    codes = np.full(data.shape[0], -1, dtype=np.int32)
+    present = ~mask
+    if not present.any():
+        return codes, np.empty(0, dtype=object)
+    uniques, inverse = np.unique(data[present].astype(str), return_inverse=True)
+    codes[present] = inverse.astype(np.int32)
+    return codes, uniques.astype(object)
+
+
+def decode_string_codes(codes: np.ndarray,
+                        dictionary: np.ndarray) -> np.ndarray:
+    """Materialize dictionary codes back into an object array of ``str``.
+
+    Masked slots (code ``-1``) decode to the STRING null sentinel ``""`` —
+    byte-identical to what :func:`coerce_values` stores there, so decoded
+    arrays are indistinguishable from ones that never left the object path.
+    """
+    if dictionary.size == 0:
+        data = np.empty(codes.shape[0], dtype=object)
+        data[:] = ""
+        return data
+    missing = codes < 0
+    data = dictionary[np.where(missing, 0, codes)]
+    if missing.any():
+        data[missing] = ""
+    return data
+
+
+def unify_dictionaries(parts: Sequence[Tuple[np.ndarray, np.ndarray]]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-chunk ``(codes, dictionary)`` pairs into one encoding.
+
+    The unified dictionary is the sorted union of the part dictionaries —
+    the same canonical order :func:`encode_string_codes` produces — and each
+    part's codes are remapped through a ``searchsorted`` lookup, so the
+    result is exactly the encoding of the concatenated column.
+    """
+    non_empty = [dictionary for _, dictionary in parts if dictionary.size]
+    if not non_empty:
+        return (np.concatenate([codes for codes, _ in parts])
+                if parts else np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=object))
+    if len(non_empty) == 1:
+        unified = non_empty[0]
+    else:
+        unified = np.unique(np.concatenate(non_empty).astype(str)).astype(object)
+    remapped: List[np.ndarray] = []
+    for codes, dictionary in parts:
+        if dictionary.size == 0 or (dictionary.size == unified.size and
+                                    np.array_equal(dictionary, unified)):
+            remapped.append(np.asarray(codes, dtype=np.int32))
+            continue
+        table = np.searchsorted(unified, dictionary).astype(np.int32)
+        part = np.where(codes < 0, np.int32(-1), table[np.where(codes < 0, 0, codes)])
+        remapped.append(part.astype(np.int32, copy=False))
+    return np.concatenate(remapped), unified
+
+
 def from_numpy(array: np.ndarray) -> Tuple[np.ndarray, np.ndarray, DType]:
     """Adopt an existing numpy array as column storage.
 

@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.errors import ColumnNotFoundError, FrameError, LengthMismatchError
 from repro.frame.column import Column
-from repro.frame.dtypes import DType
+from repro.frame.dtypes import DType, unify_dictionaries
 
 
 class DataFrame:
@@ -290,12 +290,16 @@ class DataFrame:
             return 0
         codes = []
         for column in self._columns.values():
-            if column.dtype is DType.STRING:
-                values = column.data.astype(str)
+            if column.is_dictionary:
+                # Dictionary codes already give equal values equal codes.
+                inverse = column.codes.astype(np.int64)
             else:
-                values = column.data
-            _, inverse = np.unique(values, return_inverse=True)
-            inverse = inverse.astype(np.int64)
+                if column.dtype is DType.STRING:
+                    values = column.data.astype(str)
+                else:
+                    values = column.data
+                _, inverse = np.unique(values, return_inverse=True)
+                inverse = inverse.astype(np.int64)
             inverse[column.mask] = -1
             codes.append(inverse)
         stacked = np.column_stack(codes)
@@ -338,9 +342,19 @@ def concat_rows(frames: Sequence[DataFrame]) -> DataFrame:
         parts = [frame.column(name) for frame in frames]
         dtype = _common_dtype([part.dtype for part in parts])
         parts = [part if part.dtype is dtype else part.astype(dtype) for part in parts]
-        data = np.concatenate([part.data for part in parts])
         mask = np.concatenate([part.mask for part in parts])
-        columns.append(Column(name, data, dtype, mask))
+        if dtype is DType.STRING and all(part.is_dictionary for part in parts):
+            # Unify the per-chunk dictionaries instead of materializing the
+            # object arrays: the result is the encoding of the concatenation.
+            codes, dictionary = unify_dictionaries(
+                [(part.codes, part.dictionary) for part in parts])
+            columns.append(Column.from_codes(name, codes, dictionary, mask))
+            continue
+        data = np.concatenate([part.data for part in parts])
+        column = Column(name, data, dtype, mask)
+        if dtype is DType.STRING:
+            column = column.dictionary_encode()
+        columns.append(column)
     return DataFrame(columns)
 
 

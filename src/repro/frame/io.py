@@ -36,7 +36,12 @@ import numpy as np
 
 from repro.errors import ColumnNotFoundError, FrameError
 from repro.frame.column import Column
-from repro.frame.dtypes import DType, coerce_values, infer_dtype
+from repro.frame.dtypes import (
+    DType,
+    coerce_values,
+    encode_string_codes,
+    infer_dtype,
+)
 from repro.frame.frame import DataFrame, concat_rows
 from repro.utils import default_worker_count  # noqa: F401 - re-exported; the
 # shared worker-count default lives in repro.utils so the graph and compute
@@ -184,6 +189,14 @@ def _read_csv_stream(stream: io.TextIOBase,
     for name, raw_values in zip(names, cells):
         dtype = overrides.get(name, infer_dtype(raw_values))
         data, mask = coerce_values(raw_values, dtype, lenient=lenient)
+        if dtype is DType.STRING:
+            # Emit dictionary codes directly at parse time: one np.unique
+            # over the chunk's cells replaces every later per-row loop, and
+            # the chunk travels (cache, sidecar, worker payloads) as int32
+            # codes plus its per-chunk dictionary.
+            codes, dictionary = encode_string_codes(data, mask)
+            columns.append(Column.from_codes(name, codes, dictionary, mask))
+            continue
         columns.append(Column(name, data, dtype, mask))
     return DataFrame(columns)
 

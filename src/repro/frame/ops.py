@@ -49,6 +49,23 @@ def crosstab(frame: DataFrame, row_column: str, col_column: str,
     rows = frame.column(row_column)
     cols = frame.column(col_column)
     keep = rows.notna() & cols.notna()
+    if rows.is_dictionary and cols.is_dictionary:
+        # Vectorized path: both axes are dictionary-encoded, so tabulate
+        # int32 codes with one fused bincount instead of per-row dict hits.
+        row_codes = rows.codes[keep]
+        col_codes = cols.codes[keep]
+        row_categories, row_map = _top_codes(
+            row_codes, rows.dictionary, max_row_categories)
+        col_categories, col_map = _top_codes(
+            col_codes, cols.dictionary, max_col_categories)
+        counts = np.zeros((len(row_categories), len(col_categories)),
+                          dtype=np.int64)
+        if row_codes.size and counts.size:
+            fused = (row_map[row_codes].astype(np.int64) * len(col_categories)
+                     + col_map[col_codes])
+            counts += np.bincount(
+                fused, minlength=counts.size).reshape(counts.shape)
+        return row_categories, col_categories, counts
     row_values = [str(value) for value in rows.filter(keep).to_list()]
     col_values = [str(value) for value in cols.filter(keep).to_list()]
 
@@ -67,6 +84,32 @@ def crosstab(frame: DataFrame, row_column: str, col_column: str,
             continue
         counts[i, j] += 1
     return row_categories, col_categories, counts
+
+
+def _top_codes(codes: np.ndarray, dictionary: np.ndarray,
+               limit: int) -> Tuple[List[str], np.ndarray]:
+    """Codes-domain twin of :func:`_top_categories`.
+
+    Returns the top categories (same ``(-count, value)`` ordering, same
+    ``"(other)"`` bucket when truncated) plus an int64 lookup table mapping
+    every dictionary code to its index in the category list.
+    """
+    tallies = np.bincount(codes, minlength=dictionary.size) \
+        if codes.size else np.zeros(dictionary.size, dtype=np.int64)
+    used = np.flatnonzero(tallies)
+    ordered = sorted(used.tolist(),
+                     key=lambda code: (-int(tallies[code]),
+                                       str(dictionary[code])))
+    top = ordered[:limit]
+    categories = [str(dictionary[code]) for code in top]
+    truncated = len(ordered) > limit
+    if truncated:
+        categories.append("(other)")
+    table = np.full(max(dictionary.size, 1), len(categories) - 1 if truncated
+                    else 0, dtype=np.int64)
+    for index, code in enumerate(top):
+        table[code] = index
+    return categories, table
 
 
 def _top_categories(values: Sequence[str], limit: int) -> List[str]:
@@ -100,16 +143,40 @@ def groupby_aggregate(frame: DataFrame, by: str, value: str,
         raise DTypeError(f"column {value!r} must be numeric for aggregation")
 
     keep = group_column.notna() & value_column.notna()
-    groups = [str(item) for item in group_column.filter(keep).to_list()]
     values = value_column.filter(keep).to_numpy(drop_missing=False).astype(np.float64)
+    reducer = AGGREGATIONS[aggregation]
+    if group_column.is_dictionary:
+        return [(group, reducer(values[selector]))
+                for group, selector in _code_groups(
+                    group_column.codes[keep], group_column.dictionary,
+                    max_groups)]
 
+    groups = [str(item) for item in group_column.filter(keep).to_list()]
     buckets: Dict[str, List[float]] = {}
     for group, number in zip(groups, values):
         buckets.setdefault(group, []).append(float(number))
     frequency = sorted(buckets.items(), key=lambda pair: (-len(pair[1]), pair[0]))
-    reducer = AGGREGATIONS[aggregation]
     return [(group, reducer(np.asarray(numbers)))
             for group, numbers in frequency[:max_groups]]
+
+
+def _code_groups(codes: np.ndarray, dictionary: np.ndarray,
+                 max_groups: int) -> List[Tuple[str, np.ndarray]]:
+    """The *max_groups* most frequent groups as ``(name, row selector)``.
+
+    Order matches the bucket-dict path: by descending count, ties broken on
+    the group name.  The boolean selector preserves row order inside each
+    group, so float reductions see values in exactly the order the python
+    loop appended them.
+    """
+    tallies = np.bincount(codes, minlength=dictionary.size) \
+        if codes.size else np.zeros(dictionary.size, dtype=np.int64)
+    used = np.flatnonzero(tallies)
+    ordered = sorted(used.tolist(),
+                     key=lambda code: (-int(tallies[code]),
+                                       str(dictionary[code])))
+    return [(str(dictionary[code]), codes == code)
+            for code in ordered[:max_groups]]
 
 
 def grouped_values(frame: DataFrame, by: str, value: str,
@@ -124,8 +191,13 @@ def grouped_values(frame: DataFrame, by: str, value: str,
     if not value_column.dtype.is_numeric:
         raise DTypeError(f"column {value!r} must be numeric")
     keep = group_column.notna() & value_column.notna()
-    groups = [str(item) for item in group_column.filter(keep).to_list()]
     values = value_column.filter(keep).to_numpy().astype(np.float64)
+    if group_column.is_dictionary:
+        return [(group, values[selector])
+                for group, selector in _code_groups(
+                    group_column.codes[keep], group_column.dictionary,
+                    max_groups)]
+    groups = [str(item) for item in group_column.filter(keep).to_list()]
     buckets: Dict[str, List[float]] = {}
     for group, number in zip(groups, values):
         buckets.setdefault(group, []).append(float(number))

@@ -120,6 +120,24 @@ class Conjunct:
         out = np.zeros(len(column), dtype=bool)
         if not present.any():
             return out
+        if column.is_dictionary and isinstance(self.value, str) and \
+                self.op in ("==", "!="):
+            # Resolve the literal to a dictionary code once, then compare
+            # int32 codes instead of per-row strings.  The dictionary is
+            # sorted, so the lookup is a binary search.
+            dictionary = column.dictionary
+            position = int(np.searchsorted(dictionary, self.value)) \
+                if dictionary.size else 0
+            hit = position < dictionary.size and \
+                dictionary[position] == self.value
+            codes = column.codes
+            if self.op == "==":
+                if hit:
+                    out[present] = codes[present] == np.int32(position)
+            else:
+                out[present] = codes[present] != np.int32(position) \
+                    if hit else True
+            return out
         values = column.to_numpy()[present]
         value = self.value
         if values.dtype.kind == "M" and not isinstance(value, np.datetime64):

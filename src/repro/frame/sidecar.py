@@ -28,9 +28,13 @@ On-disk format (version :data:`SIDECAR_VERSION`)::
 The header records the stamp, row count, delimiter and, per column, the
 dtype plus ``[payload-relative offset, byte length]`` of each buffer.
 Fixed-width columns (bool/int/float/datetime) store their raw array bytes
-and load zero-copy through ``numpy.memmap``; string columns store an
-``int64`` offset array plus a UTF-8 blob (masked slots are zero-length).
-Writes are atomic — a uniquely named temp file (pid + random suffix, so
+and load zero-copy through ``numpy.memmap``.  Since format version 2,
+string columns store their dictionary encoding — an ``int32`` code array
+(``-1`` = missing, loaded zero-copy like the fixed-width dtypes) plus the
+dictionary as an ``int64`` offset array over a UTF-8 blob — so a
+low-cardinality string column costs 4 bytes per row on disk instead of its
+repeated text.  Version-1 files (per-row offset arrays) simply miss and
+re-parse.  Writes are atomic — a uniquely named temp file (pid + random suffix, so
 concurrent writers never collide) is ``os.replace``\\d over the target —
 and a byte budget is enforced per chunk directory by evicting the
 least-recently-*read* files (atime LRU; every hit touches the file).
@@ -54,7 +58,9 @@ from repro.frame.frame import DataFrame
 MAGIC = b"RPCH"
 
 #: Chunk-file schema version; bump on incompatible format changes.
-SIDECAR_VERSION = 1
+#: Version 2 switched string columns to dictionary encoding (int32 codes +
+#: dictionary blob); v1 files fail the version check and re-parse once.
+SIDECAR_VERSION = 2
 
 #: Default per-directory byte budget (``cache.disk_bytes``).
 DEFAULT_DISK_BYTES = 512 * 1024 * 1024
@@ -195,18 +201,20 @@ def _encode_frame(frame: DataFrame, stamp: Tuple[int, int], n_rows: int,
         column = frame.column(name)
         entry: Dict[str, Any] = {"dtype": column.dtype.value}
         if column.dtype is DType.STRING:
-            offsets = np.zeros(len(column) + 1, dtype=np.int64)
+            encoded_column = column.dictionary_encode()
+            codes = np.ascontiguousarray(encoded_column.codes, dtype=np.int32)
+            dictionary = encoded_column.dictionary
+            offsets = np.zeros(dictionary.size + 1, dtype=np.int64)
             blobs: List[bytes] = []
             total = 0
-            data, mask = column.data, column.mask
-            for index in range(len(column)):
-                if not mask[index]:
-                    encoded = str(data[index]).encode("utf-8")
-                    blobs.append(encoded)
-                    total += len(encoded)
+            for index, value in enumerate(dictionary.tolist()):
+                encoded = str(value).encode("utf-8")
+                blobs.append(encoded)
+                total += len(encoded)
                 offsets[index + 1] = total
-            entry["offsets"] = list(append(offsets.tobytes()))
-            entry["data"] = list(append(b"".join(blobs)))
+            entry["codes"] = list(append(codes.tobytes()))
+            entry["dict_offsets"] = list(append(offsets.tobytes()))
+            entry["dict_data"] = list(append(b"".join(blobs)))
         else:
             entry["data"] = list(append(
                 np.ascontiguousarray(column.data).tobytes()))
@@ -285,18 +293,37 @@ def _decode_column(path: str, handle: Any, base: int, name: str,
                     return None
                 data = np.frombuffer(raw, dtype=numpy_dtype)
         return Column.from_storage(name, data, dtype, mask)
-    offsets_raw = _read_span(handle, base, entry["offsets"])
-    if offsets_raw is None or \
-            len(offsets_raw) != (n_rows + 1) * np.dtype(np.int64).itemsize:
+    codes_span = entry["codes"]
+    if int(codes_span[1]) != n_rows * np.dtype(np.int32).itemsize:
+        return None
+    if n_rows == 0:
+        codes: np.ndarray = np.empty(0, dtype=np.int32)
+    else:
+        try:
+            codes = np.memmap(path, dtype=np.int32, mode="r",
+                              offset=base + int(codes_span[0]),
+                              shape=(n_rows,))
+        except (OSError, ValueError):
+            codes_raw = _read_span(handle, base, codes_span)
+            if codes_raw is None:
+                return None
+            codes = np.frombuffer(codes_raw, dtype=np.int32)
+    offsets_raw = _read_span(handle, base, entry["dict_offsets"])
+    if offsets_raw is None or len(offsets_raw) < np.dtype(np.int64).itemsize \
+            or len(offsets_raw) % np.dtype(np.int64).itemsize:
         return None
     offsets = np.frombuffer(offsets_raw, dtype=np.int64)
-    blob = _read_span(handle, base, entry["data"])
-    if blob is None or (n_rows and int(offsets[-1]) != len(blob)):
+    blob = _read_span(handle, base, entry["dict_data"])
+    if blob is None or int(offsets[-1]) != len(blob):
         return None
-    data = np.empty(n_rows, dtype=object)
-    for index in range(n_rows):
-        data[index] = blob[offsets[index]:offsets[index + 1]].decode("utf-8")
-    return Column.from_storage(name, data, DType.STRING, mask)
+    size = offsets.size - 1
+    dictionary = np.empty(size, dtype=object)
+    for index in range(size):
+        dictionary[index] = blob[offsets[index]:offsets[index + 1]].decode("utf-8")
+    if codes.size and (int(codes.max()) >= size or
+                       bool(((codes < 0) != mask).any())):
+        return None
+    return Column.from_codes(name, codes, dictionary, mask)
 
 
 def _load_payload(path: str, stamp: Tuple[int, int],

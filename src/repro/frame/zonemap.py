@@ -60,7 +60,9 @@ class ZoneMap:
     chunk_rows: int                 # granularity the chunks were cut at
     n_chunks: int
     #: column name -> {"min": [...], "max": [...], "nulls": [...],
-    #: "distinct": [...]}, each list indexed by chunk.
+    #: "distinct": [...], "values": [...]}, each list indexed by chunk.
+    #: ``values`` holds the chunk's exact distinct-value list for
+    #: dictionary-encoded string columns (None when unbounded/unknown).
     columns: Dict[str, ColumnStats] = field(default_factory=dict)
 
     def chunk_may_match(self, index: int,
@@ -79,6 +81,13 @@ class ZoneMap:
             if vmin is None:
                 # Every value in this chunk is missing; missing never
                 # matches any comparison, so no conjunct can hold.
+                return False
+            values_lists = stats.get("values")
+            chunk_values = values_lists[index] if values_lists else None
+            if chunk_values is not None and isinstance(value, str) and \
+                    op == "==" and value not in chunk_values:
+                # Exact distinct set (dictionary-encoded string column):
+                # an absent literal provably matches no row in the chunk.
                 return False
             if isinstance(vmin, np.datetime64) and \
                     not isinstance(value, np.datetime64):
@@ -163,19 +172,33 @@ def _decode_stat(value: Any) -> Any:
     return value
 
 
-def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
-    """``(min, max, nulls, distinct)`` per column of one parsed chunk.
+def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, ...]]:
+    """``(min, max, nulls, distinct[, values])`` per column of one chunk.
 
     ``min``/``max`` are None when the chunk has no present values for the
-    column; ``distinct`` saturates at :data:`DISTINCT_CAP`.
+    column; ``distinct`` saturates at :data:`DISTINCT_CAP`.  For
+    dictionary-encoded string columns whose distinct count fits the cap,
+    a fifth element lists the exact distinct values (sorted) — the
+    membership set behind string-equality chunk skipping; it is None
+    whenever the exact set is unknown or too large.
     """
-    stats: Dict[str, Tuple[Any, Any, int, int]] = {}
+    stats: Dict[str, Tuple[Any, ...]] = {}
     for name in frame.columns:
         column = frame.column(name)
         present = column.notna()
         nulls = int(len(column) - present.sum())
         if nulls == len(column):
-            stats[name] = (None, None, nulls, 0)
+            stats[name] = (None, None, nulls, 0, None)
+            continue
+        if getattr(column, "is_dictionary", False):
+            used = np.unique(column.codes[present])
+            dictionary = column.dictionary
+            distinct = int(used.size)
+            values_set = [str(dictionary[code]) for code in used] \
+                if distinct <= DISTINCT_CAP else None
+            stats[name] = (str(dictionary[used[0]]),
+                           str(dictionary[used[-1]]),
+                           nulls, min(distinct, DISTINCT_CAP), values_set)
             continue
         values = column.to_numpy()[present]
         try:
@@ -183,7 +206,7 @@ def chunk_column_stats(frame: Any) -> Dict[str, Tuple[Any, Any, int, int]]:
         except TypeError:       # mixed unhashable/unsortable objects
             distinct = DISTINCT_CAP
         stats[name] = (_scalar(values.min()), _scalar(values.max()),
-                       nulls, distinct)
+                       nulls, distinct, None)
     return stats
 
 
@@ -194,16 +217,18 @@ def build_zone_map(chunks: Iterable[Any], stamp: Tuple[int, int],
                                stamp, chunk_rows)
 
 
-def zone_map_from_stats(stats_list: Sequence[Dict[str, Tuple[Any, Any, int, int]]],
+def zone_map_from_stats(stats_list: Sequence[Dict[str, Tuple[Any, ...]]],
                         stamp: Tuple[int, int],
                         chunk_rows: int) -> ZoneMap:
     """Assemble a :class:`ZoneMap` from per-chunk statistics dictionaries.
 
     *stats_list* holds one :func:`chunk_column_stats`-shaped mapping per
     chunk, in chunk order — what the incremental build collects from a mix
-    of sidecar hits and fresh parses.  Only columns present in *every*
-    chunk's statistics enter the map: a column with gaps cannot be safely
-    indexed per chunk, and dropping it merely disables pruning on it.
+    of sidecar hits and fresh parses.  Entries may be 4-tuples (pre-distinct
+    -set sidecars) or 5-tuples; a missing value set just means no membership
+    pruning for that chunk.  Only columns present in *every* chunk's
+    statistics enter the map: a column with gaps cannot be safely indexed
+    per chunk, and dropping it merely disables pruning on it.
     """
     columns: Dict[str, ColumnStats] = {}
     shared: Optional[set] = None
@@ -212,13 +237,16 @@ def zone_map_from_stats(stats_list: Sequence[Dict[str, Tuple[Any, Any, int, int]
         shared = names if shared is None else (shared & names)
     for per_column in stats_list:
         for name in (shared or ()):
-            vmin, vmax, nulls, distinct = per_column[name]
+            vmin, vmax, nulls, distinct = per_column[name][:4]
+            values = per_column[name][4] if len(per_column[name]) > 4 else None
             entry = columns.setdefault(
-                name, {"min": [], "max": [], "nulls": [], "distinct": []})
+                name, {"min": [], "max": [], "nulls": [], "distinct": [],
+                       "values": []})
             entry["min"].append(vmin)
             entry["max"].append(vmax)
             entry["nulls"].append(nulls)
             entry["distinct"].append(distinct)
+            entry["values"].append(values)
     return ZoneMap(stamp=(int(stamp[0]), int(stamp[1])),
                    chunk_rows=int(chunk_rows), n_chunks=len(stats_list),
                    columns=columns)
@@ -237,14 +265,25 @@ def chunk_key(byte_start: int, byte_stop: int) -> str:
     return f"{int(byte_start)}-{int(byte_stop)}"
 
 
-def encode_zone_entry(stats: Dict[str, Tuple[Any, Any, int, int]],
+def encode_zone_entry(stats: Dict[str, Tuple[Any, ...]],
                       stamp: Tuple[int, int]) -> Dict[str, Any]:
-    """JSON form of one chunk's statistics, guarded by its content stamp."""
-    return {"stamp": [int(stamp[0]), int(stamp[1])],
-            "columns": {name: [_encode_stat(vmin), _encode_stat(vmax),
-                               int(nulls), int(distinct)]
-                        for name, (vmin, vmax, nulls, distinct)
-                        in stats.items()}}
+    """JSON form of one chunk's statistics, guarded by its content stamp.
+
+    The distinct-value set, when present, is written as a fifth element —
+    a plain JSON list of strings, unambiguous next to the tagged-pair
+    datetime encoding because those always have exactly two elements with
+    a ``"dt"`` head.
+    """
+    encoded: Dict[str, List[Any]] = {}
+    for name, packed in stats.items():
+        vmin, vmax, nulls, distinct = packed[:4]
+        entry = [_encode_stat(vmin), _encode_stat(vmax),
+                 int(nulls), int(distinct)]
+        values = packed[4] if len(packed) > 4 else None
+        if values is not None:
+            entry.append([str(value) for value in values])
+        encoded[name] = entry
+    return {"stamp": [int(stamp[0]), int(stamp[1])], "columns": encoded}
 
 
 def decode_zone_entry(entry: Any, stamp: Tuple[int, int]
@@ -260,11 +299,18 @@ def decode_zone_entry(entry: Any, stamp: Tuple[int, int]
     try:
         if tuple(entry["stamp"]) != (int(stamp[0]), int(stamp[1])):
             return None
-        stats: Dict[str, Tuple[Any, Any, int, int]] = {}
+        stats: Dict[str, Tuple[Any, ...]] = {}
         for name, packed in entry["columns"].items():
-            vmin, vmax, nulls, distinct = packed
+            if len(packed) not in (4, 5):
+                return None
+            vmin, vmax, nulls, distinct = packed[:4]
+            values = packed[4] if len(packed) > 4 else None
+            if values is not None and not (
+                    isinstance(values, list) and
+                    all(isinstance(value, str) for value in values)):
+                return None
             stats[name] = (_decode_stat(vmin), _decode_stat(vmax),
-                           int(nulls), int(distinct))
+                           int(nulls), int(distinct), values)
         return stats
     except (KeyError, TypeError, ValueError):
         return None

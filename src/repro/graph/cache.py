@@ -188,15 +188,25 @@ def detach_views(value: Any, _depth: int = 0) -> Any:
     from repro.frame.column import Column
     from repro.frame.frame import DataFrame
     if isinstance(value, Column):
-        if value.data.base is not None or value.mask.base is not None:
-            return value.copy()
-        return value
+        return value.copy() if _column_is_view(value) else value
     if isinstance(value, DataFrame):
-        if any(column.data.base is not None or column.mask.base is not None
-               for column in (value.column(name) for name in value.columns)):
+        if any(_column_is_view(value.column(name)) for name in value.columns):
             return value.copy()
         return value
     return value
+
+
+def _column_is_view(column: Any) -> bool:
+    """True when the column's backing arrays are views into a parent buffer.
+
+    Dictionary-encoded columns are judged on their codes array — touching
+    ``column.data`` here would materialize the decoded object array just to
+    inspect it.  The shared dictionary is the unique-values buffer itself,
+    not a slice of a larger frame, so it never pins foreign memory.
+    """
+    if column.is_dictionary:
+        return column.codes.base is not None or column.mask.base is not None
+    return column.data.base is not None or column.mask.base is not None
 
 
 # --------------------------------------------------------------------------- #

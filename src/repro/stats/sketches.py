@@ -419,6 +419,16 @@ _EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
 def _column_hash_codes(column: Any) -> np.ndarray:
     """Per-row 64-bit codes of one Column; equal values get equal codes."""
+    if getattr(column, "is_dictionary", False):
+        # Hash the (small) dictionary once and gather by code — no per-row
+        # python loop and no decoded object array.
+        dictionary = column.dictionary
+        table = np.fromiter((_hash64(value) for value in dictionary.tolist()),
+                            dtype=np.uint64, count=dictionary.size)
+        codes = table[np.where(column.codes < 0, 0, column.codes)] \
+            if dictionary.size else np.zeros(len(column), dtype=np.uint64)
+        codes[column.isna()] = _MISSING_CODE
+        return codes
     data = column.data
     if data.dtype == object:
         uniques, inverse = np.unique(data.astype(str), return_inverse=True)

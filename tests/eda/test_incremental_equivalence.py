@@ -38,7 +38,13 @@ def _rows(start, stop, rng):
         price = "" if rng.random() < 0.08 else f"{rng.normal(250_000, 60_000):.2f}"
         size = f"{rng.normal(1_800, 400):.2f}"
         city = rng.choice(["vancouver", "toronto", "montreal"])
-        lines.append(f"{price},{size},{city}\n")
+        # Appends bring *new* dictionary entries (high-cardinality district)
+        # and grow existing tallies (duplicate-heavy badge): the refreshed
+        # unified dictionary must equal the cold rescan's.
+        district = "" if rng.random() < 0.05 else \
+            f"district-{rng.integers(0, 150):03d}"
+        badge = rng.choice(["standard", "premium"], p=[0.95, 0.05])
+        lines.append(f"{price},{size},{city},{district},{badge}\n")
     return "".join(lines)
 
 
@@ -48,7 +54,7 @@ def grown_csv(tmp_path):
     rng = np.random.default_rng(42)
     path = str(tmp_path / "houses.csv")
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write("price,size,city\n")
+        handle.write("price,size,city,district,badge\n")
         handle.write(_rows(0, N_BASE, rng))
 
     def append():
@@ -66,7 +72,7 @@ def grown_glob(tmp_path):
     boundaries = (0, 250, N_BASE)
     for index in range(2):
         with open(tmp_path / f"part-{index}.csv", "w", encoding="utf-8") as handle:
-            handle.write("price,size,city\n")
+            handle.write("price,size,city,district,badge\n")
             handle.write(_rows(boundaries[index], boundaries[index + 1], rng))
     pattern = str(tmp_path / "part-*.csv")
 
@@ -75,7 +81,7 @@ def grown_glob(tmp_path):
         with open(tmp_path / "part-1.csv", "a", encoding="utf-8") as handle:
             handle.write(_rows(N_BASE, split, rng))
         with open(tmp_path / "part-2.csv", "w", encoding="utf-8") as handle:
-            handle.write("price,size,city\n")
+            handle.write("price,size,city,district,badge\n")
             handle.write(_rows(split, N_TOTAL, rng))
 
     return pattern, append
@@ -134,8 +140,12 @@ CALLS = [
                                             mode="intermediates")),
     ("univariate-cat", lambda df, cfg: plot(df, "city", config=cfg,
                                             mode="intermediates")),
+    ("univariate-highcard", lambda df, cfg: plot(df, "district", config=cfg,
+                                                 mode="intermediates")),
     ("bivariate", lambda df, cfg: plot(df, "price", "size", config=cfg,
                                        mode="intermediates")),
+    ("bivariate-CC", lambda df, cfg: plot(df, "city", "badge", config=cfg,
+                                          mode="intermediates")),
     ("correlation", lambda df, cfg: plot_correlation(df, config=cfg,
                                                      mode="intermediates")),
     ("missing", lambda df, cfg: plot_missing(df, config=cfg,

@@ -251,6 +251,98 @@ def test_datetime_filtered_equals_mask_filtered(csv_paths, source_kind,
         assert skipped > 0
 
 
+# --------------------------------------------------------------------------- #
+# String predicates: dictionary-encoded equality over the same grid.
+#
+# ``city == literal`` resolves the literal to a dictionary code once per
+# chunk and compares int32 codes; ``!=`` must keep the SQL-like
+# missing-never-matches semantics.  Results must equal the mask-filtered
+# in-memory reference for every source and scheduler.
+# --------------------------------------------------------------------------- #
+STRING_PREDICATES = {
+    "eq": ("city", "==", "vancouver"),
+    "ne": ("city", "!=", "montreal"),
+}
+
+STRING_CALLS = ["univariate-numeric", "bivariate-CC"]
+
+_STRING_REFERENCES = {}
+
+
+def _string_reference(call_name, predicate, csv_paths):
+    key = (call_name, predicate)
+    if key not in _STRING_REFERENCES:
+        from repro.frame.predicate import Predicate
+        frame = read_csv(csv_paths["whole"])
+        filtered = frame.filter(Predicate.from_spec((predicate,)).mask(frame))
+        config = {
+            "cache.enabled": False,
+            "compute.scheduler": "synchronous",
+            "scatter.sample_size": N_ROWS + 1,
+            "correlation.scatter_sample_size": N_ROWS + 1,
+        }
+        _STRING_REFERENCES[key] = CALLS[call_name](filtered, config)
+    return _STRING_REFERENCES[key]
+
+
+@pytest.mark.parametrize("predicate_name", sorted(STRING_PREDICATES))
+@pytest.mark.parametrize("call_name", STRING_CALLS)
+def test_string_filtered_equals_mask_filtered(csv_paths, source_kind,
+                                              base_config, predicates_enabled,
+                                              call_name, predicate_name):
+    predicate = STRING_PREDICATES[predicate_name]
+    reference = _string_reference(call_name, predicate, csv_paths)
+    result = CALLS[call_name](
+        _make_source(source_kind, csv_paths),
+        config={**base_config, "compute.predicates": predicates_enabled},
+        where=predicate)
+    assert_equivalent(result.items, reference.items)
+    if not predicates_enabled:
+        assert result.meta["predicate"]["chunks_skipped"] == 0
+
+
+def test_string_equality_prunes_chunks_via_distinct_sets(tmp_path):
+    """A string literal absent from a chunk's dictionary prunes the chunk
+    without parsing it — through the zone map's exact distinct set, where
+    min/max ranges alone could not prune.
+
+    Chunk layout: the first three chunks hold {"apple", "cherry"}, the last
+    three {"banana", "date"}.  Filtering on ``fruit == "banana"`` cannot be
+    range-pruned for the apple/cherry chunks ("apple" <= "banana" <=
+    "cherry") — only distinct-set membership proves the miss.
+    """
+    rng = np.random.default_rng(11)
+    chunk_rows, n_chunks = 150, 6
+    fruit = []
+    for chunk in range(n_chunks):
+        pool = ["apple", "cherry"] if chunk < 3 else ["banana", "date"]
+        fruit.extend(rng.choice(pool, chunk_rows))
+    frame = DataFrame({
+        "fruit": fruit,
+        "size": rng.normal(100.0, 10.0, chunk_rows * n_chunks),
+    })
+    path = str(tmp_path / "fruit.csv")
+    write_csv(frame, path)
+
+    from repro.frame.predicate import Predicate
+    mask = Predicate.from_spec((("fruit", "==", "banana"),)).mask(frame)
+    previous = get_global_cache()
+    set_global_cache(TaskCache())
+    try:
+        reference = plot(frame.filter(mask), "size", mode="intermediates",
+                         config={"cache.enabled": False})
+        scan = scan_csv(path, chunk_rows=chunk_rows)
+        plot(scan, "size", mode="intermediates")    # persist the zone maps
+        set_global_cache(TaskCache())
+        scan = scan_csv(path, chunk_rows=chunk_rows)
+        result = plot(scan, "size", mode="intermediates",
+                      where=("fruit", "==", "banana"))
+        assert_equivalent(result.items, reference.items)
+        assert result.meta["predicate"]["chunks_skipped"] == 3
+    finally:
+        set_global_cache(previous)
+
+
 def test_datetime_where_accepts_datetime_objects(csv_paths):
     """datetime / numpy.datetime64 literals in where= match the ISO-string
     spec exactly (they normalize to the same pushed-down conjunct)."""

@@ -45,12 +45,20 @@ def csv_paths(tmp_path_factory):
     rating[rng.random(N_ROWS) < 0.25] = np.nan
     city = rng.choice(["vancouver", "toronto", "montreal"], N_ROWS)
     kind = rng.choice(["detached", "condo", "townhouse"], N_ROWS)
+    # Dictionary-encoding archetypes: high-cardinality and duplicate-heavy
+    # string columns must project identically to the full-width parse.
+    district = [None if missing else f"district-{code:03d}"
+                for missing, code in zip(rng.random(N_ROWS) < 0.05,
+                                         rng.integers(0, 200, N_ROWS))]
+    badge = rng.choice(["standard", "premium"], N_ROWS, p=[0.95, 0.05])
     frame = DataFrame({
         "price": price,
         "size": size,
         "rating": rating,
         "city": list(city),
         "house_type": list(kind),
+        "district": district,
+        "badge": list(badge),
     })
     directory = tmp_path_factory.mktemp("projection")
     whole = str(directory / "houses.csv")
@@ -131,6 +139,10 @@ CALLS = {
         df, "city", "price", config=config, mode="intermediates"),
     "bivariate-CC": lambda df, config: plot(
         df, "city", "house_type", config=config, mode="intermediates"),
+    "univariate-highcard": lambda df, config: plot(
+        df, "district", config=config, mode="intermediates"),
+    "bivariate-CC-highcard": lambda df, config: plot(
+        df, "district", "badge", config=config, mode="intermediates"),
     "correlation-overview": lambda df, config: plot_correlation(
         df, config=config, mode="intermediates"),
     "missing-overview": lambda df, config: plot_missing(
@@ -200,8 +212,8 @@ def test_single_column_plot_parses_only_projected_chunks(csv_paths):
         assert plan["enabled"] is True
         assert plan["projected_parse_tasks"] > 0
         assert plan["full_parse_tasks"] == 0
-        # 5-column table, single-column projection: 4 columns pruned per chunk.
-        assert plan["columns_pruned"] == 4 * plan["projected_parse_tasks"]
+        # 7-column table, single-column projection: 6 columns pruned per chunk.
+        assert plan["columns_pruned"] == 6 * plan["projected_parse_tasks"]
     finally:
         set_global_cache(previous)
 

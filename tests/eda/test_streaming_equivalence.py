@@ -49,12 +49,21 @@ def csv_path(tmp_path_factory):
     city = rng.choice(["vancouver", "toronto", "montreal", "calgary"],
                       N_ROWS, p=[0.4, 0.3, 0.2, 0.1])
     kind = rng.choice(["detached", "condo", "townhouse"], N_ROWS)
+    # String-column archetypes for the dictionary encoding: high-cardinality
+    # (most chunk dictionaries near-distinct), low-cardinality/duplicate-
+    # heavy (tiny dictionary, massively repeated codes), plus missing.
+    district = [None if missing else f"district-{code:03d}"
+                for missing, code in zip(rng.random(N_ROWS) < 0.05,
+                                         rng.integers(0, 300, N_ROWS))]
+    badge = rng.choice(["standard", "premium"], N_ROWS, p=[0.95, 0.05])
     frame = DataFrame({
         "price": price,
         "size": size,
         "rating": rating,
         "city": list(city),
         "house_type": list(kind),
+        "district": district,
+        "badge": list(badge),
     })
     path = tmp_path_factory.mktemp("streaming") / "houses.csv"
     write_csv(frame, str(path))
@@ -150,9 +159,24 @@ def test_univariate_categorical_equivalent(csv_path, cache_config):
     assert "bar_chart" in result.items and "pie_chart" in result.items
 
 
+def test_univariate_high_cardinality_string_equivalent(csv_path, cache_config):
+    """Per-chunk dictionaries are near-distinct here; unification at combine
+    time must still match the whole-column in-memory encoding."""
+    def call(df, config):
+        return plot(df, "district", config=config, mode="intermediates")
+    _compare_call(call, csv_path, cache_config)
+
+
+def test_univariate_duplicate_heavy_string_equivalent(csv_path, cache_config):
+    def call(df, config):
+        return plot(df, "badge", config=config, mode="intermediates")
+    _compare_call(call, csv_path, cache_config)
+
+
 @pytest.mark.parametrize("pair", [("price", "size"),      # N x N
                                   ("city", "price"),      # C x N
-                                  ("city", "house_type")])  # C x C
+                                  ("city", "house_type"),   # C x C
+                                  ("district", "badge")])   # C x C, high card
 def test_bivariate_equivalent(csv_path, cache_config, pair):
     def call(df, config):
         return plot(df, pair[0], pair[1], config=config, mode="intermediates")

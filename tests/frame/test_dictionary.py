@@ -1,0 +1,283 @@
+"""Dictionary-encoded string columns: representation and kernel contracts.
+
+STRING columns are carried as int32 codes plus a sorted unique-values
+dictionary (``-1`` = missing).  The contracts pinned here:
+
+* encode → decode round-trips exactly, including missing slots, empty
+  strings and non-ASCII values — and survives the binary sidecar;
+* the dictionary is *canonical* (sorted uniques of the present values), so
+  concatenating independently encoded parts yields bit-identical codes and
+  dictionary to encoding the whole column at once — the invariant streaming
+  scans rely on when combining per-chunk dictionaries;
+* vectorized kernels (value counts, unique, min/max, predicate masks,
+  crosstab/groupby) agree with the residual object-array path;
+* pickled payloads ship codes + dictionary, never the decoded object
+  array, and ``memory_bytes`` is O(dictionary) and memoized;
+* zone maps record exact bounded distinct sets, so a string-equality
+  literal absent from a chunk's dictionary prunes the chunk.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame.column import Column
+from repro.frame.dtypes import (
+    DType,
+    decode_string_codes,
+    encode_string_codes,
+    unify_dictionaries,
+)
+from repro.frame.frame import DataFrame, concat_rows
+from repro.frame.predicate import Conjunct
+from repro.frame.sidecar import SidecarRoute, load_chunk, store_chunk
+from repro.frame.zonemap import chunk_column_stats, zone_map_from_stats
+
+ROUTE = tuple(SidecarRoute())
+STAMP = (1234, 5678)
+
+#: Strings that exercise empty values, whitespace, unicode and sort order.
+string_values = st.sampled_from(
+    ["", "a", "b", "apple", "Apple", "zebra", "x y", "日本語", "0", "-1"])
+optional_strings = st.one_of(st.none(), string_values)
+string_lists = st.lists(optional_strings, min_size=0, max_size=60)
+
+
+def _column(values):
+    return Column("s", list(values), DType.STRING)
+
+
+def _object_column(values):
+    """The residual (non-encoded) object-array carrier of the same values.
+
+    Built by adopting the encoded column's decoded buffers, so both carriers
+    hold the exact same post-coercion content (the list-input coercion treats
+    ``""`` as missing; constructing an object array by hand would not).
+    """
+    encoded = _column(values)
+    return Column("s", encoded.data.copy(), DType.STRING,
+                  encoded.mask.copy())
+
+
+def _codes_column(values):
+    """An encoded column with no materialized object array (``_data=None``)."""
+    encoded = _column(values)
+    return Column.from_codes("s", encoded.codes.copy(), encoded.dictionary,
+                             encoded.mask.copy())
+
+
+# --------------------------------------------------------------------------- #
+# Representation invariants.
+# --------------------------------------------------------------------------- #
+class TestRepresentation:
+    def test_string_columns_encode_by_default(self):
+        column = _column(["b", "a", None, "b"])
+        assert column.is_dictionary
+        assert column.codes.dtype == np.int32
+        assert list(column.dictionary) == ["a", "b"]
+        assert list(column.codes) == [1, 0, -1, 1]
+
+    def test_adopted_object_arrays_stay_residual(self):
+        column = _object_column(["b", "a", None])
+        assert not column.is_dictionary
+        encoded = column.dictionary_encode()
+        assert encoded.is_dictionary
+        assert encoded.to_list() == column.to_list()
+
+    def test_mask_iff_negative_codes(self):
+        column = _column(["x", None, "y", None])
+        np.testing.assert_array_equal(column.mask, column.codes < 0)
+
+    @given(values=string_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip(self, values):
+        data = np.array(["" if v is None else v for v in values], dtype=object)
+        mask = np.array([v is None for v in values], dtype=bool)
+        codes, dictionary = encode_string_codes(data, mask)
+        assert codes.dtype == np.int32
+        # Canonical form: sorted uniques of the present values only.
+        assert list(dictionary) == sorted({v for v in values if v is not None})
+        np.testing.assert_array_equal(codes < 0, mask)
+        decoded = decode_string_codes(codes, dictionary)
+        np.testing.assert_array_equal(decoded, data)
+
+    @given(values=string_lists, split=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_of_split_equals_whole_column_encoding(self, values, split):
+        split = min(split, len(values))
+        whole = _column(values) if values else None
+        parts = [(part.codes, part.dictionary)
+                 for part in (_column(values[:split]), _column(values[split:]))]
+        codes, dictionary = unify_dictionaries(parts)
+        if whole is None:
+            assert codes.size == 0
+            return
+        np.testing.assert_array_equal(codes, whole.codes)
+        np.testing.assert_array_equal(dictionary, whole.dictionary)
+
+    @given(values=string_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_concat_rows_matches_whole_encoding(self, values):
+        if len(values) < 2:
+            return
+        split = max(1, len(values) // 2)
+        combined = concat_rows([DataFrame([_column(values[:split])]),
+                                DataFrame([_column(values[split:])])])
+        whole = _column(values)
+        assert combined.column("s").is_dictionary
+        np.testing.assert_array_equal(combined.column("s").codes, whole.codes)
+        np.testing.assert_array_equal(combined.column("s").dictionary,
+                                      whole.dictionary)
+
+    def test_slices_and_takes_preserve_encoding(self):
+        column = _column(["a", "b", None, "c", "a"])
+        for view in (column[1:4], column.take(np.array([0, 3, 4])),
+                     column.filter(np.array([1, 0, 1, 1, 0], dtype=bool)),
+                     column.dropna(), column.copy()):
+            assert view.is_dictionary
+        np.testing.assert_array_equal(column[1:4].codes, column.codes[1:4])
+        assert column[1:4].dictionary is column.dictionary
+
+
+# --------------------------------------------------------------------------- #
+# Kernel equivalence against the residual object path.
+# --------------------------------------------------------------------------- #
+class TestKernelEquivalence:
+    @given(values=string_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_reductions_match_object_path(self, values):
+        encoded = _column(values)
+        residual = _object_column(values)
+        assert encoded.value_counts() == residual.value_counts()
+        assert encoded.nunique() == residual.nunique()
+        assert encoded.unique() == residual.unique()
+        assert encoded.min() == residual.min()
+        assert encoded.max() == residual.max()
+        assert encoded.to_list() == residual.to_list()
+
+    @given(values=string_lists, literal=string_values,
+           op=st.sampled_from(["==", "!="]))
+    @settings(max_examples=60, deadline=None)
+    def test_predicate_mask_matches_object_path(self, values, literal, op):
+        if not values:
+            return
+        frame_encoded = DataFrame([_column(values)])
+        frame_residual = DataFrame([_object_column(values)])
+        assert frame_encoded.column("s").is_dictionary
+        conjunct = Conjunct("s", op, literal)
+        np.testing.assert_array_equal(conjunct.mask(frame_encoded),
+                                      conjunct.mask(frame_residual))
+
+    def test_equality_on_absent_literal(self):
+        frame = DataFrame({"s": ["a", None, "b"]})
+        assert list(Conjunct("s", "==", "zzz").mask(frame)) == \
+            [False, False, False]
+        # != with an absent literal matches every present row, never missing.
+        assert list(Conjunct("s", "!=", "zzz").mask(frame)) == \
+            [True, False, True]
+
+
+# --------------------------------------------------------------------------- #
+# Transport: pickle payloads and the binary sidecar.
+# --------------------------------------------------------------------------- #
+class TestTransport:
+    def test_pickle_round_trip_preserves_encoding(self):
+        column = _column(["a", None, "b", "a"])
+        restored = pickle.loads(pickle.dumps(column))
+        assert restored.is_dictionary
+        np.testing.assert_array_equal(restored.codes, column.codes)
+        np.testing.assert_array_equal(restored.dictionary, column.dictionary)
+        assert restored.to_list() == column.to_list()
+
+    def test_pickle_ships_codes_not_decoded_strings(self):
+        values = [f"category-{i % 8:02d}" for i in range(5_000)]
+        column = _codes_column(values)
+        encoded_bytes = len(pickle.dumps(column))
+        residual_bytes = len(pickle.dumps(_object_column(values)))
+        assert encoded_bytes < residual_bytes / 2
+        # Pickling must not materialize the decoded object array.
+        assert column._data is None
+        pickle.dumps(column)
+        assert column._data is None
+
+    @given(values=string_lists)
+    @settings(max_examples=25, deadline=None)
+    def test_sidecar_round_trips_encoding(self, values, tmp_path_factory):
+        if not values:
+            return
+        directory = tmp_path_factory.mktemp("sidecar")
+        path = str(directory / "data.csv")
+        frame = DataFrame([_column(values)])
+        assert store_chunk(path, 0, 100, STAMP, frame, ROUTE)
+        back = load_chunk(path, 0, 100, STAMP, ("s",), {"s": DType.STRING},
+                          len(frame), ROUTE)
+        assert back is not None
+        column = back.column("s")
+        assert column.is_dictionary
+        np.testing.assert_array_equal(column.codes, frame.column("s").codes)
+        np.testing.assert_array_equal(column.dictionary,
+                                      frame.column("s").dictionary)
+        assert column.to_list() == frame.column("s").to_list()
+
+
+# --------------------------------------------------------------------------- #
+# memory_bytes: O(dictionary) for encoded columns, memoized everywhere.
+# --------------------------------------------------------------------------- #
+class TestMemoryBytes:
+    def test_encoded_footprint_counts_codes_plus_dictionary(self):
+        values = ["left", "right"] * 10_000
+        encoded = _codes_column(values)
+        residual = _object_column(values)
+        assert encoded.memory_bytes() < residual.memory_bytes() / 3
+        # Computing the footprint must not decode the column.
+        assert encoded._data is None
+
+    def test_memoized(self):
+        column = _column(["a", "b", "a"])
+        first = column.memory_bytes()
+        assert column._memory_bytes == first
+        assert column.memory_bytes() == first
+        residual = _object_column(["a", "b", "a"])
+        first = residual.memory_bytes()
+        assert residual._memory_bytes == first
+        assert residual.memory_bytes() == first
+
+
+# --------------------------------------------------------------------------- #
+# Zone maps: exact distinct sets gate string-equality chunk pruning.
+# --------------------------------------------------------------------------- #
+class TestZoneMapDistinctSets:
+    def test_stats_carry_bounded_distinct_values(self):
+        frame = DataFrame({"s": ["b", "a", None, "b"]})
+        stats = chunk_column_stats(frame)
+        minimum, maximum, nulls, distinct, values = stats["s"]
+        assert (minimum, maximum, nulls, distinct) == ("a", "b", 1, 2)
+        assert values == ["a", "b"]
+
+    def test_high_cardinality_drops_the_distinct_set(self):
+        frame = DataFrame({"s": [f"v{i:04d}" for i in range(400)]})
+        values = chunk_column_stats(frame)["s"][4]
+        assert values is None
+
+    def test_absent_literal_prunes_chunk(self):
+        chunk_a = DataFrame({"s": ["a", "b"]})
+        chunk_b = DataFrame({"s": ["c", "d"]})
+        zone_map = zone_map_from_stats(
+            [chunk_column_stats(chunk_a), chunk_column_stats(chunk_b)],
+            STAMP, 2)
+        spec = (("s", "==", "c"),)
+        assert zone_map.keep_flags(spec) == [False, True]
+        # Min/max alone could not prune "b" < "bb" < "c"; the exact
+        # distinct set can.
+        assert zone_map.keep_flags((("s", "==", "bb"),)) == [False, False]
+
+    def test_range_operators_still_use_min_max(self):
+        chunk = DataFrame({"s": ["a", "b"]})
+        zone_map = zone_map_from_stats([chunk_column_stats(chunk)], STAMP, 1)
+        assert zone_map.keep_flags((("s", ">", "b"),)) == [False]
+        assert zone_map.keep_flags((("s", ">=", "b"),)) == [True]
